@@ -1,0 +1,71 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace vc2m::bench {
+
+/// Command-line options shared by the schedulability benches. The defaults
+/// reproduce the paper's setup exactly (50 tasksets per utilization point,
+/// utilization 0.1..2.0 step 0.05); --quick trades fidelity for speed when
+/// smoke-testing.
+struct Options {
+  int tasksets = 50;
+  double step = 0.05;
+  std::uint64_t seed = 42;
+  std::string csv_dir = "bench_results";
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto next = [&](const char* what) -> const char* {
+        if (i + 1 >= argc) {
+          std::cerr << "missing value for " << what << "\n";
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--tasksets") {
+        opt.tasksets = std::atoi(next("--tasksets"));
+      } else if (arg == "--step") {
+        opt.step = std::atof(next("--step"));
+      } else if (arg == "--seed") {
+        opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+      } else if (arg == "--csv-dir") {
+        opt.csv_dir = next("--csv-dir");
+      } else if (arg == "--quick") {
+        opt.tasksets = 10;
+        opt.step = 0.1;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "options: --tasksets N  --step S  --seed S  "
+                     "--csv-dir DIR  --quick\n";
+        std::exit(0);
+      } else {
+        std::cerr << "unknown option " << arg << "\n";
+        std::exit(2);
+      }
+    }
+    return opt;
+  }
+
+  /// Ensure the CSV directory exists; returns the path for `name`.
+  std::string csv_path(const std::string& name) const {
+    std::error_code ec;
+    std::filesystem::create_directories(csv_dir, ec);
+    return csv_dir + "/" + name;
+  }
+};
+
+/// Progress meter on stderr (the tables go to stdout).
+inline void progress(const std::string& label, int done, int total) {
+  std::cerr << "\r[" << label << "] " << done << "/" << total
+            << (done == total ? "\n" : "") << std::flush;
+}
+
+}  // namespace vc2m::bench

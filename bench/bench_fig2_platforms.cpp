@@ -1,0 +1,66 @@
+// Figure 2 — schedulability on Platforms A, B, and C (uniform utilization).
+//
+// Reproduces the paper's headline experiment: for each platform, tasksets
+// with reference utilization 0.1..2.0 (step 0.05), 50 tasksets per point,
+// task utilizations uniform in [0.1, 0.4], harmonic periods in [100, 1100]
+// ms, WCETs from the PARSEC surfaces; each taskset analyzed by all five
+// solutions. Prints the fraction-schedulable series per platform (one CSV
+// each) plus the breakdown-utilization summary the paper quotes (baseline
+// 0.5 vs vC2M >= 1.3 => 2.6x on Platform A).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "model/platform.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vc2m;
+  const auto opt = bench::Options::parse(argc, argv);
+
+  const model::PlatformSpec platforms[] = {model::PlatformSpec::A(),
+                                           model::PlatformSpec::B(),
+                                           model::PlatformSpec::C()};
+  const char* csv_names[] = {"fig2a_platform_A.csv", "fig2b_platform_B.csv",
+                             "fig2c_platform_C.csv"};
+
+  std::vector<core::ExperimentResult> results;
+  for (int p = 0; p < 3; ++p) {
+    core::ExperimentConfig cfg;
+    cfg.platform = platforms[p];
+    cfg.dist = workload::UtilDist::kUniform;
+    cfg.util_step = opt.step;
+    cfg.tasksets_per_point = opt.tasksets;
+    cfg.seed = opt.seed;
+    const std::string label = platforms[p].name;
+    results.push_back(core::run_schedulability_experiment(
+        cfg, [&](int d, int t) { bench::progress(label, d, t); }));
+
+    std::cout << "\nFigure 2(" << static_cast<char>('a' + p) << "): "
+              << platforms[p].name << " (" << platforms[p].cores << " cores, "
+              << platforms[p].total_cache()
+              << " partitions), fraction of schedulable tasksets\n\n";
+    results.back().to_table().print(std::cout);
+    results.back().to_table().write_csv(opt.csv_path(csv_names[p]));
+  }
+
+  std::cout << "\nBreakdown utilization (largest utilization with every "
+               "taskset schedulable):\n\n";
+  util::Table summary({"platform", "Heur(flat)", "Heur(ovf-free)",
+                       "Heur(existing)", "Evenly-part", "Baseline",
+                       "vC2M/baseline"});
+  summary.set_precision(2);
+  for (int p = 0; p < 3; ++p) {
+    const auto& r = results[p];
+    const double flat = r.breakdown_utilization(0);
+    const double base = r.breakdown_utilization(4);
+    summary.add_row(platforms[p].name, flat, r.breakdown_utilization(1),
+                    r.breakdown_utilization(2), r.breakdown_utilization(3),
+                    base, base > 0 ? flat / base : 0.0);
+  }
+  summary.print(std::cout);
+  std::cout << "\nPaper (Platform A): baseline breaks at 0.5, vC2M at >= "
+               "1.3 — a 2.6x workload increase.\nCSV series written to "
+            << opt.csv_dir << "/.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Micro-benchmarks of the analysis and allocation primitives
+// (google-benchmark). Complements Figure 4: shows *why* the existing CSA
+// is orders of magnitude slower — a single PRM minimum-budget search costs
+// as much as an entire overhead-free VCPU computation over the whole grid.
+#include <benchmark/benchmark.h>
+
+#include "analysis/prm.h"
+#include "analysis/schedulability.h"
+#include "analysis/theorems.h"
+#include "core/kmeans.h"
+#include "core/solutions.h"
+#include "model/platform.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace vc2m;
+using util::Time;
+
+model::Taskset make_taskset(double util, std::uint64_t seed) {
+  workload::GeneratorConfig cfg;
+  cfg.grid = model::PlatformSpec::A().grid;
+  cfg.target_ref_utilization = util;
+  util::Rng rng(seed);
+  return workload::generate_taskset(cfg, rng);
+}
+
+void BM_DbfEvaluation(benchmark::State& state) {
+  std::vector<analysis::PTask> tasks;
+  for (int i = 1; i <= 8; ++i)
+    tasks.push_back({Time::ms(100 * (1 << (i % 4))), Time::ms(i)});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::dbf(tasks, Time::ms(800)));
+}
+BENCHMARK(BM_DbfEvaluation);
+
+void BM_PrmSbf(benchmark::State& state) {
+  const analysis::Prm prm{Time::ms(100), Time::ms(37)};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(prm.sbf(Time::ms(731)));
+}
+BENCHMARK(BM_PrmSbf);
+
+void BM_PrmMinBudget(benchmark::State& state) {
+  // One existing-CSA budget search — this runs once per (c,b) grid point
+  // per VCPU (380 times per VCPU on Platform A).
+  std::vector<analysis::PTask> tasks;
+  for (int i = 1; i <= static_cast<int>(state.range(0)); ++i)
+    tasks.push_back({Time::ms(100 * (1 << (i % 4))), Time::ms(3 * i)});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::min_budget_edf(tasks, Time::ms(100)));
+}
+BENCHMARK(BM_PrmMinBudget)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_RegulatedVcpu(benchmark::State& state) {
+  // One overhead-free (Theorem 2) VCPU computation over the FULL grid.
+  const auto tasks = make_taskset(1.0, 11);
+  std::vector<std::size_t> idx(tasks.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::regulated_vcpu(tasks, idx));
+}
+BENCHMARK(BM_RegulatedVcpu);
+
+void BM_KMeansSlowdownVectors(benchmark::State& state) {
+  const auto tasks = make_taskset(2.0, 12);
+  std::vector<std::vector<double>> points;
+  for (const auto& t : tasks) points.push_back(t.slowdown().flat());
+  util::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::kmeans(points, 4, rng));
+}
+BENCHMARK(BM_KMeansSlowdownVectors);
+
+void BM_SolveEndToEnd(benchmark::State& state) {
+  const auto solution = static_cast<core::Solution>(state.range(0));
+  const auto tasks = make_taskset(1.0, 13);
+  const auto platform = model::PlatformSpec::A();
+  util::Rng rng(5);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::solve(solution, tasks, platform, {}, rng));
+  state.SetLabel(core::to_string(solution));
+}
+BENCHMARK(BM_SolveEndToEnd)
+    ->Arg(static_cast<int>(core::Solution::kHeuristicFlattening))
+    ->Arg(static_cast<int>(core::Solution::kHeuristicOverheadFree))
+    ->Arg(static_cast<int>(core::Solution::kHeuristicExistingCsa))
+    ->Arg(static_cast<int>(core::Solution::kEvenPartitionOverheadFree))
+    ->Arg(static_cast<int>(core::Solution::kBaselineExistingCsa))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table 2 — scheduler overhead (µs) with 24 and 96 VCPUs.
+//
+// The paper instruments its modified RTDS scheduler:
+//                       24 VCPUs              96 VCPUs
+//                   min   avg   max       min   avg   max
+//   budget replen.  0.29  0.74  2.95      0.34  1.26  3.73
+//   scheduling      0.13  0.57  1.73      0.13  0.55  2.03
+//   context switch  0.04  0.23  32.07     0.04  0.27  24.67
+//
+// This bench times the simulator's implementations of the same three hot
+// paths (periodic-server replenishment, the EDF pick, and the VCPU-switch
+// bookkeeping) under 24 and 96 VCPUs spread over 4 cores. The shape to
+// reproduce: all three stay in the microsecond-or-below range and grow
+// only slowly (sub-linearly) from 24 to 96 VCPUs.
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/simulation.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vc2m;
+using util::Time;
+
+sim::HostProbe run_with_vcpus(unsigned num_vcpus) {
+  constexpr unsigned kCores = 4;
+  sim::SimConfig cfg;
+  cfg.num_cores = kCores;
+  cfg.cache_partitions = 20;
+
+  // Harmonic periods and per-VCPU bandwidth sized so every core is busy
+  // but schedulable: per VCPU utilization ~ 0.9 * cores / num_vcpus.
+  util::Rng rng(7);
+  const std::int64_t periods_ms[] = {10, 20, 40, 80};
+  for (unsigned i = 0; i < num_vcpus; ++i) {
+    const Time period = Time::ms(periods_ms[rng.index(4)]);
+    const double share = 0.9 * static_cast<double>(kCores) / num_vcpus;
+    const auto budget = Time::ns(static_cast<std::int64_t>(
+        share * static_cast<double>(period.raw_ns())));
+    sim::SimVcpuSpec v;
+    v.period = period;
+    v.budget = util::max(budget, Time::us(50));
+    v.core = i % kCores;
+    cfg.vcpus.push_back(v);
+
+    sim::SimTaskSpec t;
+    t.period = period;
+    t.cpu_work = util::max(budget - Time::us(10), Time::us(20));
+    t.vcpu = i;
+    cfg.tasks.push_back(t);
+  }
+
+  sim::Simulation simulation(cfg);
+  sim::HostProbe probe;
+  simulation.set_probe(&probe);
+  simulation.run(Time::sec(5));
+  return probe;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)bench::Options::parse(argc, argv);
+
+  std::cout << "Table 2: scheduler's overhead (µs), 4 cores\n"
+               "(p99 is the noise-robust tail; raw maxima include host "
+               "scheduler jitter,\n just as the paper's context-switch "
+               "maxima include Xen's)\n\n";
+  util::Table table(
+      {"operation", "VCPUs", "min", "avg", "p99", "max", "samples"});
+  for (const unsigned n : {24u, 96u}) {
+    const auto probe = run_with_vcpus(n);
+    auto add = [&](const char* name, const util::SampleStats& s) {
+      table.add_row(name, static_cast<int>(n), s.min(), s.mean(),
+                    s.percentile(0.99), s.max(),
+                    static_cast<int>(s.count()));
+    };
+    add("CPU budget replenishment", probe.replenish);
+    add("Scheduling", probe.schedule);
+    add("Context switching", probe.context_switch);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper (Xen RTDS, µs):\n"
+               "                          24 VCPUs             96 VCPUs\n"
+               "  budget replenishment  0.29/0.74/2.95      0.34/1.26/3.73\n"
+               "  scheduling            0.13/0.57/1.73      0.13/0.55/2.03\n"
+               "  context switching     0.04/0.23/32.07     0.04/0.27/24.67\n"
+               "Shape checks: microsecond scale; slow growth 24 -> 96; the\n"
+               "scheduling pick grows with per-core queue length.\n";
+  return 0;
+}

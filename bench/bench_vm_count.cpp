@@ -1,0 +1,62 @@
+// VM-count sensitivity (extension, not in the paper).
+//
+// The paper's evaluation does not fix the number of VMs per taskset. This
+// bench repeats the Fig. 2(a) sweep with the tasks split round-robin over
+// 1, 2, and 4 VMs. Flattening is insensitive by construction (one VCPU per
+// task either way). The overhead-free solution *improves* with more VMs at
+// high utilization: each VM brings its own min(#tasks, M) VCPUs, so more
+// VMs mean more, smaller servers — finer-grained packing that approaches
+// flattening's granularity (at the runtime cost of more servers and
+// context switches, which is exactly the trade-off §3.1 describes).
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "model/platform.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace vc2m;
+  const auto opt = bench::Options::parse(argc, argv);
+
+  std::vector<core::ExperimentResult> results;
+  for (const int vms : {1, 2, 4}) {
+    core::ExperimentConfig cfg;
+    cfg.platform = model::PlatformSpec::A();
+    cfg.util_lo = 0.8;
+    cfg.util_step = opt.step * 2;
+    cfg.tasksets_per_point = opt.tasksets;
+    cfg.num_vms = vms;
+    cfg.seed = opt.seed;
+    cfg.solutions = {core::Solution::kHeuristicFlattening,
+                     core::Solution::kHeuristicOverheadFree,
+                     core::Solution::kBaselineExistingCsa};
+    const std::string label = "vms=" + std::to_string(vms);
+    results.push_back(core::run_schedulability_experiment(
+        cfg, [&](int d, int t) { bench::progress(label, d, t); }));
+  }
+
+  std::cout << "\nVM-count sensitivity on Platform A (fractions "
+               "schedulable)\n\n";
+  util::Table table({"util", "flat 1VM", "flat 2VM", "flat 4VM", "ovf 1VM",
+                     "ovf 2VM", "ovf 4VM"});
+  table.set_precision(3);
+  for (std::size_t pi = 0; pi < results[0].points.size(); ++pi) {
+    table.add_row(results[0].points[pi].target_util,
+                  results[0].points[pi].per_solution[0].fraction(),
+                  results[1].points[pi].per_solution[0].fraction(),
+                  results[2].points[pi].per_solution[0].fraction(),
+                  results[0].points[pi].per_solution[1].fraction(),
+                  results[1].points[pi].per_solution[1].fraction(),
+                  results[2].points[pi].per_solution[1].fraction());
+  }
+  table.print(std::cout);
+  table.write_csv(opt.csv_path("vm_count.csv"));
+  std::cout << "\nFlattening columns coincide (identical VCPUs regardless "
+               "of VM split); the\noverhead-free columns *rise* with VM "
+               "count at high utilization — more VMs\nmean more, smaller "
+               "servers, i.e. packing granularity closer to flattening's\n"
+               "(paid for at runtime with more servers and context "
+               "switches).\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// The abstraction overhead, end to end — the paper's §1 motivating example.
+//
+// A single task with period 10ms and WCET 1ms (utilization 0.1) needs a
+// VCPU budget of 5.5ms under the existing compositional analysis [13] —
+// 55× the task's utilization. This example computes that number with the
+// periodic-resource-model analysis, shows how vC2M's two remedies reduce
+// it to exactly 1ms, and then *demonstrates* both on the simulator: the
+// PRM-sized VCPU and the flattened, release-synchronized VCPU each meet
+// every deadline, while a naive 1ms budget without synchronization misses.
+//
+//   $ ./abstraction_overhead
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/prm.h"
+#include "analysis/regulated.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace vc2m;
+  using util::Time;
+
+  const Time p = Time::ms(10);
+  const Time e = Time::ms(1);
+  const std::vector<analysis::PTask> taskset{{p, e}};
+
+  std::cout << "Task (p=10ms, e=1ms), utilization "
+            << e.ratio(p) << "\n\n";
+
+  // 1. Existing compositional analysis (periodic resource model).
+  const auto prm_budget = analysis::min_budget_edf(taskset, p);
+  // 2. Well-regulated VCPU (supply pattern repeats each period).
+  const auto wr_budget = analysis::min_budget_regulated(taskset, p);
+
+  std::printf("minimum VCPU budget at Pi = 10ms:\n");
+  std::printf("  existing CSA (PRM)        : %5.2f ms  (bandwidth %.3f — "
+              "%.1fx the utilization)\n",
+              prm_budget->to_ms(), prm_budget->ratio(p),
+              prm_budget->ratio(p) / e.ratio(p));
+  std::printf("  well-regulated VCPU       : %5.2f ms  (bandwidth %.3f)\n",
+              wr_budget->to_ms(), wr_budget->ratio(p));
+  std::printf("  flattening + release sync : %5.2f ms  (bandwidth %.3f — "
+              "overhead-free, Theorem 1)\n\n",
+              e.to_ms(), e.ratio(p));
+
+  // Demonstrate on the simulated prototype. The task is released 4ms into
+  // the hyperperiod — a phase the hypervisor cannot know without the
+  // synchronization hypercall.
+  // Demonstration on the simulated prototype. Alone on a core, a periodic
+  // server IS well-regulated, so the danger only appears with competition:
+  // an interfering VCPU (Pi = 7.3ms, Theta = 3.2ms — deliberately not
+  // harmonic with 10ms) jitters where our VCPU's budget lands within each
+  // period. The task is released 1.5ms out of phase with the VCPU grid.
+  auto run = [&](Time budget, bool sync, const char* label) {
+    sim::SimConfig cfg;
+    cfg.num_cores = 1;
+    cfg.release_sync = sync;
+    sim::SimVcpuSpec interferer;  // pure budget burner, no tasks
+    interferer.period = Time::us(7'300);
+    interferer.budget = Time::us(3'200);
+    sim::SimVcpuSpec v;
+    v.period = p;
+    v.budget = budget;
+    cfg.vcpus = {interferer, v};
+    sim::SimTaskSpec t;
+    t.period = p;
+    t.cpu_work = e;
+    t.offset = Time::us(1'500);
+    t.vcpu = 1;
+    cfg.tasks = {t};
+    sim::Simulation s(cfg);
+    s.run(Time::sec(4));
+    const auto st = s.stats();
+    std::printf("  %-36s: %3llu/%3llu deadlines met, max response %6.3f ms\n",
+                label,
+                static_cast<unsigned long long>(st.jobs_completed -
+                                                st.deadline_misses),
+                static_cast<unsigned long long>(st.jobs_completed),
+                st.per_task[0].max_response.to_ms());
+  };
+
+  std::cout << "simulated with an interfering VCPU and a 1.5ms task phase:\n";
+  run(*prm_budget, false, "PRM budget 5.5ms, no sync");
+  run(e, false, "budget 1ms, no sync (naive)");
+  run(e, true, "budget 1ms + release sync (vC2M)");
+
+  std::cout
+      << "\nUnder interference the naive 1ms budget misses — which is why "
+         "the existing\nanalysis must provision 5.5ms for every possible "
+         "phase. vC2M pins the phase\nwith the synchronization hypercall "
+         "and keeps the budget at the utilization.\n";
+  return 0;
+}

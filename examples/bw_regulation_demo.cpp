@@ -1,0 +1,128 @@
+// Memory-bandwidth regulation demo (§3.2, Fig. 1).
+//
+// A latency-critical control task shares the machine with a streaming
+// memory hog on another core. Three configurations are simulated:
+//   1. no isolation:   shared bus, no regulator — the hog steals bandwidth
+//                      and the control task's response time balloons;
+//   2. vC2M regulation: each core gets a bandwidth budget enforced by the
+//                      PC-overflow/throttle mechanism — the control task is
+//                      isolated, and the hog's core goes *idle* when
+//                      throttled (not busy-spinning as MemGuard does);
+//   3. hog alone:      reference without interference.
+//
+//   $ ./bw_regulation_demo
+#include <cstdio>
+#include <iostream>
+
+#include "sim/simulation.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace vc2m;
+using util::Time;
+
+sim::SimConfig scenario(bool regulated) {
+  sim::SimConfig cfg;
+  cfg.num_cores = 2;
+  cfg.cache_partitions = 20;
+  cfg.cache_alloc = {10, 10};
+  cfg.bw_alloc = {12, 8};  // control core gets 12 partitions, hog gets 8
+  cfg.requests_per_partition = 1000;
+  cfg.regulation_period = Time::ms(1);
+  cfg.bw_regulation = regulated;
+  cfg.bus_contention = true;
+  cfg.bus_requests_per_period = 20'000;  // B · requests_per_partition
+
+  // Core 0: the control task — modest memory traffic, tight deadline.
+  sim::SimVcpuSpec v0;
+  v0.period = Time::ms(10);
+  v0.budget = Time::ms(10);
+  v0.core = 0;
+  cfg.vcpus.push_back(v0);
+  sim::SimTaskSpec control;
+  control.period = Time::ms(10);
+  control.cpu_work = Time::ms(2);
+  control.mem_work_ref = Time::ms(3);
+  control.mem_requests_ref = 25'000;  // 5k requests/ms while executing
+  control.vcpu = 0;
+  cfg.tasks.push_back(control);
+
+  // Core 1: the streaming hog — saturates the bus if allowed to.
+  sim::SimVcpuSpec v1;
+  v1.period = Time::ms(400);
+  v1.budget = Time::ms(400);
+  v1.core = 1;
+  cfg.vcpus.push_back(v1);
+  sim::SimTaskSpec hog;
+  hog.period = Time::ms(400);
+  hog.cpu_work = Time::ms(10);
+  hog.mem_work_ref = Time::ms(40);
+  hog.mem_requests_ref = 2'250'000;  // 45k requests/ms while executing
+  hog.vcpu = 1;
+  cfg.tasks.push_back(hog);
+  return cfg;
+}
+
+struct RunResult {
+  Time control_wcet;
+  Time hog_wcet;
+  std::uint64_t throttles;
+  std::uint64_t control_misses;
+  double hog_core_busy;
+};
+
+RunResult run(sim::SimConfig cfg, std::size_t control_idx,
+              std::size_t hog_idx) {
+  sim::Simulation s(std::move(cfg));
+  s.run(Time::sec(2));
+  const auto st = s.stats();
+  const bool has_control = control_idx != hog_idx;
+  return {has_control ? st.per_task[control_idx].max_response : Time::zero(),
+          st.per_task[hog_idx].max_response, st.throttles,
+          has_control ? st.per_task[control_idx].deadline_misses : 0,
+          st.core_busy_fraction[1]};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "vC2M bandwidth regulation demo: control task (10ms period) "
+               "vs streaming hog\n\n";
+
+  const RunResult unregulated = run(scenario(false), 0, 1);
+  const RunResult regulated = run(scenario(true), 0, 1);
+
+  auto hog_only = scenario(false);
+  hog_only.tasks.erase(hog_only.tasks.begin());
+  hog_only.vcpus.erase(hog_only.vcpus.begin());
+  for (auto& t : hog_only.tasks) t.vcpu = 0;
+  const RunResult reference = run(hog_only, 0, 0);
+
+  util::Table table({"configuration", "control WCET (ms)", "hog WCET (ms)",
+                     "throttles", "control misses", "hog core busy"});
+  table.add_row("no isolation", unregulated.control_wcet.to_ms(),
+                unregulated.hog_wcet.to_ms(),
+                static_cast<int>(unregulated.throttles),
+                static_cast<int>(unregulated.control_misses),
+                unregulated.hog_core_busy);
+  table.add_row("vC2M regulation", regulated.control_wcet.to_ms(),
+                regulated.hog_wcet.to_ms(),
+                static_cast<int>(regulated.throttles),
+                static_cast<int>(regulated.control_misses),
+                regulated.hog_core_busy);
+  table.add_row("hog alone (ref)", 0.0, reference.hog_wcet.to_ms(),
+                static_cast<int>(reference.throttles), 0,
+                reference.hog_core_busy);
+  table.print(std::cout, "Isolation comparison (2s simulated)");
+
+  std::cout << "\nNotes:\n"
+               "  - without isolation the hog's 45k req/ms demand saturates\n"
+               "    the 20k req/ms bus and stretches the control task past\n"
+               "    its 10ms deadline;\n"
+               "  - with vC2M the hog is throttled to its 8-partition budget\n"
+               "    and its core sits idle for the rest of each regulation\n"
+               "    period (lower busy fraction = energy saved);\n"
+               "  - the control task keeps its bandwidth and misses nothing.\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Dynamic cache repartitioning — vCAT's headline capability ([16]) driving
+// the simulated prototype through a mode change.
+//
+// Scenario: a vision VM and a logging VM share the cache. In cruise mode
+// the logger owns most of the ways; when the vehicle enters a complex
+// intersection (t = 1s) the hypervisor resizes the vCAT regions so the
+// vision pipeline gets the cache it needs, and resizes back at t = 2s.
+// The example programs the actual vCAT/CAT register model for each mode
+// and mirrors the allocation into the simulator, reporting the vision
+// task's response times per mode.
+//
+//   $ ./dynamic_repartition
+#include <cstdio>
+#include <map>
+#include <iostream>
+
+#include "hw/cat.h"
+#include "hw/msr.h"
+#include "hw/vcat.h"
+#include "sim/simulation.h"
+
+int main() {
+  using namespace vc2m;
+  using util::Time;
+
+  constexpr unsigned kWays = 20;
+
+  // --- hypervisor side: vCAT regions for the two modes -------------------
+  hw::MsrFile msr(2);
+  hw::Cat cat(msr, kWays, /*num_cos=*/8, /*min_ways=*/2);
+  hw::VCat vcat(cat);
+  vcat.assign_region(/*vm=*/0, /*offset=*/0, /*count=*/4);    // vision (cruise)
+  vcat.assign_region(/*vm=*/1, /*offset=*/4, /*count=*/16);   // logger
+  vcat.guest_write_cbm(0, 0, hw::make_mask(0, 4));
+  vcat.guest_write_cbm(1, 0, hw::make_mask(0, 16));
+  vcat.bind_core(0, /*core=*/0, 0);
+  vcat.bind_core(1, /*core=*/1, 0);
+  std::printf("cruise mode : vision CBM 0x%05llx, logger CBM 0x%05llx\n",
+              static_cast<unsigned long long>(cat.effective_mask(0)),
+              static_cast<unsigned long long>(cat.effective_mask(1)));
+
+  // Intersection mode, prepared up front: vision 14 ways, logger 6.
+  // (vCAT rewrites all translations transactionally on resize.)
+  const auto resize_to_intersection = [&] {
+    vcat.resize_region(1, 14, 6);
+    vcat.resize_region(0, 0, 14);
+    vcat.guest_write_cbm(0, 0, hw::make_mask(0, 14));
+  };
+
+  // --- runtime side: the same mode change on the simulator ---------------
+  sim::SimConfig cfg;
+  cfg.num_cores = 2;
+  cfg.cache_partitions = kWays;
+  cfg.cache_alloc = {4, 16};  // cruise-mode split
+  sim::SimVcpuSpec vision_vcpu;
+  vision_vcpu.period = Time::ms(33);  // ~30 fps
+  vision_vcpu.budget = Time::ms(33);
+  vision_vcpu.core = 0;
+  cfg.vcpus.push_back(vision_vcpu);
+  sim::SimTaskSpec vision;
+  vision.period = Time::ms(33);
+  vision.cpu_work = Time::ms(6);
+  vision.mem_work_ref = Time::ms(8);
+  vision.miss_amp = 2.6;  // cache-hungry
+  vision.ws_decay = 6.0;
+  cfg.tasks.push_back(vision);
+
+  sim::SimVcpuSpec logger_vcpu;
+  logger_vcpu.period = Time::ms(100);
+  logger_vcpu.budget = Time::ms(100);
+  logger_vcpu.core = 1;
+  cfg.vcpus.push_back(logger_vcpu);
+  sim::SimTaskSpec logger;
+  logger.period = Time::ms(100);
+  logger.cpu_work = Time::ms(10);
+  logger.mem_work_ref = Time::ms(10);
+  logger.miss_amp = 1.4;
+  logger.vcpu = 1;
+  cfg.tasks.push_back(logger);
+
+  cfg.capture_trace = true;
+  sim::Simulation s(cfg);
+  // Mode changes: intersection at 1s (vision 4→14 ways, logger 16→6),
+  // back to cruise at 2s.
+  s.schedule_cache_update(Time::sec(1), 0, 14);
+  s.schedule_cache_update(Time::sec(1), 1, 6);
+  s.schedule_cache_update(Time::sec(2), 0, 4);
+  s.schedule_cache_update(Time::sec(2), 1, 16);
+
+  resize_to_intersection();  // register model mirrors the t=1s change
+  std::printf("intersection: vision CBM 0x%05llx, logger CBM 0x%05llx\n\n",
+              static_cast<unsigned long long>(cat.effective_mask(0)),
+              static_cast<unsigned long long>(cat.effective_mask(1)));
+
+  s.run(Time::sec(3));
+
+  // Per-phase worst response of the vision task, from the trace.
+  struct Phase {
+    const char* name;
+    Time end;
+    Time worst = Time::zero();
+    int jobs = 0;
+  };
+  Phase phases[] = {{"cruise (4 ways)", Time::sec(1)},
+                    {"intersection (14 ways)", Time::sec(2)},
+                    {"cruise again (4 ways)", Time::sec(3)}};
+  std::map<std::int64_t, Time> release_of;
+  for (const auto& ev : s.trace().events()) {
+    if (ev.task != 0) continue;
+    if (ev.kind == sim::TraceKind::kJobRelease) release_of[ev.job] = ev.when;
+    if (ev.kind == sim::TraceKind::kJobComplete &&
+        release_of.count(ev.job)) {
+      const Time response = ev.when - release_of[ev.job];
+      for (auto& ph : phases)
+        if (ev.when <= ph.end) {
+          ph.worst = util::max(ph.worst, response);
+          ++ph.jobs;
+          break;
+        }
+    }
+  }
+
+  std::cout << "simulated vision pipeline (33ms period, per-phase worst "
+               "response):\n";
+  for (const auto& ph : phases)
+    std::printf("  %-24s: %6.2f ms over %d jobs\n", ph.name, ph.worst.to_ms(),
+                ph.jobs);
+
+  std::cout << "\nDuring the intersection phase the vision VM holds 14 ways "
+               "and its jobs\ncomplete near the full-cache requirement; vCAT "
+               "applies both resizes without\nstopping either VM, and the "
+               "register model above shows the exact CBMs.\n";
+  return 0;
+}

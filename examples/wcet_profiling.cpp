@@ -1,0 +1,63 @@
+// WCET profiling under cache/BW allocations — the §3.3/§5.1 methodology.
+//
+// The paper obtains every benchmark's e(c,b) surface by running it on a
+// dedicated VCPU/core under each allocation and measuring execution time.
+// This example does the same against the simulated prototype for a few
+// PARSEC profiles and prints a coarse slice of the surface, showing how
+// WCET sensitivity to cache and bandwidth varies per benchmark — the
+// observation the allocation heuristics exploit.
+//
+//   $ ./wcet_profiling [benchmark]
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/profiling.h"
+#include "util/table.h"
+#include "workload/parsec.h"
+
+int main(int argc, char** argv) {
+  using namespace vc2m;
+  using util::Time;
+
+  std::vector<std::string> names = {"swaptions", "freqmine", "streamcluster"};
+  if (argc > 1) names = {argv[1]};
+
+  sim::ProfilingConfig cfg;
+  cfg.jobs = 10;
+  const std::vector<unsigned> cache_pts = {2, 4, 8, 20};
+  const std::vector<unsigned> bw_pts = {1, 2, 5, 20};
+
+  for (const auto& name : names) {
+    const auto& profile = workload::find_profile(name);
+    const auto w =
+        sim::workload_from_profile(profile, Time::ms(10), cfg);
+
+    std::cout << "\nBenchmark '" << name << "' (reference WCET 10ms, "
+              << "mem share " << profile.mem_frac << ", bw saturation "
+              << profile.bw_sat << " partitions)\n";
+    std::vector<std::string> header{"cache \\ bw"};
+    for (const unsigned b : bw_pts)
+      header.push_back("b=" + std::to_string(b));
+    util::Table table(header);
+    table.set_precision(2);
+    for (const unsigned c : cache_pts) {
+      std::vector<std::string> row{"c=" + std::to_string(c)};
+      for (const unsigned b : bw_pts) {
+        const Time wcet = sim::profile_wcet(w, c, b, cfg);
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%.2fms", wcet.to_ms());
+        row.push_back(buf);
+      }
+      table.add_row_vec(std::move(row));
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nNote how the compute-bound benchmark is nearly flat while "
+               "the streaming one\nstretches sharply at low bandwidth — the "
+               "slowdown-vector clustering in the\nallocator groups tasks by "
+               "exactly this shape.\n";
+  return 0;
+}

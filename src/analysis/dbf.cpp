@@ -1,0 +1,43 @@
+#include "analysis/dbf.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace vc2m::analysis {
+
+util::Time dbf(std::span<const PTask> tasks, util::Time t) {
+  util::Time demand = util::Time::zero();
+  for (const auto& tk : tasks) {
+    VC2M_CHECK(tk.period > util::Time::zero());
+    demand += tk.wcet * (t / tk.period);
+  }
+  return demand;
+}
+
+double total_utilization(std::span<const PTask> tasks) {
+  double u = 0;
+  for (const auto& tk : tasks) u += tk.wcet.ratio(tk.period);
+  return u;
+}
+
+util::Time hyperperiod(std::span<const PTask> tasks) {
+  util::Time h = util::Time::ns(1);
+  for (const auto& tk : tasks) h = util::lcm(h, tk.period);
+  return h;
+}
+
+std::vector<util::Time> dbf_checkpoints(std::span<const PTask> tasks,
+                                        util::Time horizon) {
+  std::vector<util::Time> pts;
+  for (const auto& tk : tasks) {
+    VC2M_CHECK(tk.period > util::Time::zero());
+    for (util::Time t = tk.period; t <= horizon; t += tk.period)
+      pts.push_back(t);
+  }
+  std::sort(pts.begin(), pts.end());
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  return pts;
+}
+
+}  // namespace vc2m::analysis

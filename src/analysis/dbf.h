@@ -1,0 +1,39 @@
+// EDF demand-bound functions for implicit-deadline periodic tasks.
+//
+// The compositional analyses in this library all reduce to comparing the
+// demand of a (plain, resource-agnostic) periodic taskset against the supply
+// of a resource model. `PTask` is that plain view: a (period, wcet) pair
+// obtained by evaluating a cache/BW-aware task at one grid point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/time.h"
+
+namespace vc2m::analysis {
+
+/// A plain implicit-deadline periodic task (p, e) with e already fixed for a
+/// concrete (cache, bandwidth) allocation.
+struct PTask {
+  util::Time period;
+  util::Time wcet;
+};
+
+/// EDF demand bound: dbf(t) = Σ_i ⌊t / p_i⌋ · e_i (implicit deadlines).
+util::Time dbf(std::span<const PTask> tasks, util::Time t);
+
+/// Σ e_i / p_i.
+double total_utilization(std::span<const PTask> tasks);
+
+/// Hyperperiod (LCM of all periods).
+util::Time hyperperiod(std::span<const PTask> tasks);
+
+/// The points where dbf() jumps within (0, horizon]: every multiple of every
+/// period. Sorted, deduplicated. Since dbf is a right-continuous step
+/// function and every relevant supply bound is non-decreasing, verifying
+/// dbf(t) <= sbf(t) at these points verifies it everywhere.
+std::vector<util::Time> dbf_checkpoints(std::span<const PTask> tasks,
+                                        util::Time horizon);
+
+}  // namespace vc2m::analysis

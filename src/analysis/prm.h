@@ -1,0 +1,47 @@
+// The periodic resource model of Shin & Lee [13] — the "existing CSA".
+//
+// A VCPU abstracted as Γ = (Π, Θ) supplies Θ units of CPU time in every
+// period Π, in the worst case delayed by up to 2(Π − Θ). The existing
+// compositional analysis computes, for the tasks mapped onto a VCPU, the
+// minimum budget Θ such that EDF meets all deadlines given the worst-case
+// supply — this minimum is what carries the *abstraction overhead* vC2M
+// removes: e.g. a single task (p=10, e=1) with utilization 0.1 needs
+// Θ = 5.5 at Π = 10, a bandwidth 5.5× the task's utilization.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "analysis/dbf.h"
+#include "util/time.h"
+
+namespace vc2m::analysis {
+
+/// Periodic resource model Γ = (Π, Θ).
+struct Prm {
+  util::Time period;  ///< Π
+  util::Time budget;  ///< Θ
+
+  /// Worst-case supply bound function sbf_Γ(t) (exact form of [13]):
+  ///   sbf(t) = (k−1)Θ + max(0, t − 2(Π−Θ) − (k−1)Π),
+  ///   k = ⌊(t − (Π−Θ))/Π⌋ + 1, for t ≥ Π−Θ; 0 otherwise.
+  util::Time sbf(util::Time t) const;
+
+  /// Linear lower bound lsbf(t) = (Θ/Π)·(t − 2(Π−Θ)), clipped at 0.
+  double lsbf(util::Time t) const;
+
+  double bandwidth() const { return budget.ratio(period); }
+};
+
+/// True iff the taskset is EDF-schedulable on the supply of `prm`:
+/// dbf(t) ≤ sbf(t) at every demand checkpoint up to lcm(hyperperiod, Π),
+/// plus the long-run rate condition U ≤ Θ/Π.
+bool edf_schedulable_on_prm(std::span<const PTask> tasks, const Prm& prm);
+
+/// Minimum integer-nanosecond budget Θ such that the taskset is
+/// EDF-schedulable on (Π = period, Θ); std::nullopt if even Θ = Π fails
+/// (i.e. the taskset exceeds a dedicated core).
+std::optional<util::Time> min_budget_edf(std::span<const PTask> tasks,
+                                         util::Time period);
+
+}  // namespace vc2m::analysis

@@ -1,0 +1,94 @@
+#include "analysis/schedulability.h"
+
+#include "util/error.h"
+#include "util/time.h"
+
+namespace vc2m::analysis {
+namespace {
+
+/// Exact Σ Θ/Π ≤ 1 via a common multiple of the periods when it fits;
+/// long-double fallback for pathological period sets.
+bool utilization_at_most_one(std::span<const model::Vcpu> vcpus,
+                             std::span<const std::size_t> on_core, unsigned c,
+                             unsigned b) {
+  constexpr std::int64_t kLcmCap = std::int64_t{1} << 50;
+  std::int64_t l = 1;
+  bool exact = true;
+  for (const std::size_t j : on_core) {
+    const std::int64_t p = vcpus[j].period.raw_ns();
+    VC2M_CHECK(p > 0);
+    const std::int64_t g = std::gcd(l, p);
+    if (l / g > kLcmCap / p) {
+      exact = false;
+      break;
+    }
+    l = l / g * p;
+  }
+  if (exact) {
+    __int128 demand = 0;
+    for (const std::size_t j : on_core)
+      demand += static_cast<__int128>(vcpus[j].budget.at(c, b).raw_ns()) *
+                (l / vcpus[j].period.raw_ns());
+    return demand <= static_cast<__int128>(l);
+  }
+  long double u = 0;
+  for (const std::size_t j : on_core)
+    u += static_cast<long double>(vcpus[j].budget.at(c, b).raw_ns()) /
+         static_cast<long double>(vcpus[j].period.raw_ns());
+  return u <= 1.0L;
+}
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+}  // namespace
+
+double core_utilization(std::span<const model::Vcpu> vcpus,
+                        std::span<const std::size_t> on_core, unsigned c,
+                        unsigned b) {
+  double u = 0;
+  for (const std::size_t j : on_core) u += vcpus[j].utilization(c, b);
+  return u;
+}
+
+double core_utilization(std::span<const model::Vcpu> vcpus, unsigned c,
+                        unsigned b) {
+  return core_utilization(vcpus, all_indices(vcpus.size()), c, b);
+}
+
+bool core_schedulable(std::span<const model::Vcpu> vcpus,
+                      std::span<const std::size_t> on_core, unsigned c,
+                      unsigned b) {
+  return utilization_at_most_one(vcpus, on_core, c, b);
+}
+
+bool core_schedulable(std::span<const model::Vcpu> vcpus, unsigned c,
+                      unsigned b) {
+  return core_schedulable(vcpus, all_indices(vcpus.size()), c, b);
+}
+
+void inflate_tasks(model::Taskset& tasks, util::Time per_job) {
+  if (per_job.is_zero()) return;
+  for (auto& t : tasks) {
+    const auto& g = t.wcet.grid();
+    for (unsigned c = g.c_min; c <= g.c_max; ++c)
+      for (unsigned b = g.b_min; b <= g.b_max; ++b)
+        t.wcet.set(c, b, t.wcet.at(c, b) + per_job);
+    t.max_wcet += per_job;
+  }
+}
+
+void inflate_vcpus(std::vector<model::Vcpu>& vcpus, util::Time per_period) {
+  if (per_period.is_zero()) return;
+  for (auto& v : vcpus) {
+    const auto& g = v.budget.grid();
+    for (unsigned c = g.c_min; c <= g.c_max; ++c)
+      for (unsigned b = g.b_min; b <= g.b_max; ++b)
+        v.budget.set(c, b, v.budget.at(c, b) + per_period);
+  }
+}
+
+}  // namespace vc2m::analysis

@@ -1,0 +1,44 @@
+// Per-core schedulability tests for partitioned EDF over VCPUs.
+//
+// Once VCPU parameters are fixed, a core hosting VCPUs {V_j} with c cache
+// and b bandwidth partitions is schedulable iff Σ_j Θ_j(c,b)/Π_j ≤ 1 —
+// VCPUs are implicit-deadline periodic servers under EDF. The comparison is
+// performed with exact integer arithmetic when the period LCM is small
+// (always true for the harmonic workloads of §5) and falls back to long
+// double otherwise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/task.h"
+
+namespace vc2m::analysis {
+
+/// Σ_j Θ_j(c,b)/Π_j over the given VCPUs.
+double core_utilization(std::span<const model::Vcpu> vcpus, unsigned c,
+                        unsigned b);
+
+/// Like core_utilization but over a subset given by indices into `vcpus`.
+double core_utilization(std::span<const model::Vcpu> vcpus,
+                        std::span<const std::size_t> on_core, unsigned c,
+                        unsigned b);
+
+/// Exact test Σ_j Θ_j(c,b)/Π_j ≤ 1 (EDF on one core).
+bool core_schedulable(std::span<const model::Vcpu> vcpus, unsigned c,
+                      unsigned b);
+
+bool core_schedulable(std::span<const model::Vcpu> vcpus,
+                      std::span<const std::size_t> on_core, unsigned c,
+                      unsigned b);
+
+/// Intra-core overhead accounting (the [17]-style inflation of §4.1/§4.3):
+/// adds `per_job` to every WCET grid entry of every task (cache-related
+/// preemption/migration delay per job), and `per_period` to every budget
+/// entry of every VCPU (VCPU preemption/completion events per server
+/// period). Applied *before* the VM-level / hypervisor-level allocation.
+void inflate_tasks(model::Taskset& tasks, util::Time per_job);
+void inflate_vcpus(std::vector<model::Vcpu>& vcpus, util::Time per_period);
+
+}  // namespace vc2m::analysis

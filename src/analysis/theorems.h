@@ -1,0 +1,43 @@
+// The overhead-free VCPU interfaces of §4.2.
+//
+// Theorem 1 (flattening): a task scheduled alone on a VCPU whose release is
+// synchronized with the task's is schedulable iff the VCPU — viewed as a
+// periodic task (Π = p_i, Θ(c,b) = e_i(c,b)) — is schedulable. The VCPU
+// bandwidth equals the task utilization: zero abstraction overhead.
+//
+// Theorem 2 (well-regulated VCPUs): a *harmonic* taskset is EDF-schedulable
+// on a well-regulated VCPU (execution pattern repeating each period) with
+// period Π = min_i p_i and budget Θ(c,b) = Π · Σ_i e_i(c,b)/p_i. The VCPU
+// bandwidth equals the taskset utilization: again zero overhead.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/task.h"
+
+namespace vc2m::analysis {
+
+/// Theorem 1: the dedicated, release-synchronized VCPU for one task.
+/// `task_index` is recorded in the VCPU's task list.
+model::Vcpu flattened_vcpu(const model::Task& task, std::size_t task_index);
+
+/// One flattened VCPU per task, in task order.
+std::vector<model::Vcpu> flatten(const model::Taskset& tasks);
+
+/// Theorem 2: the well-regulated VCPU serving the (harmonic) tasks at
+/// `task_indices` within `tasks`. Throws util::Error if the selected tasks
+/// are not harmonic. Budgets are computed with exact integer arithmetic
+/// (Π divides every period) and rounded up to the nanosecond.
+model::Vcpu regulated_vcpu(const model::Taskset& tasks,
+                           std::span<const std::size_t> task_indices);
+
+/// Partition `task_indices` into harmonic chains: within each returned
+/// group every pair of periods is harmonic (one divides the other), so
+/// each group satisfies Theorem 2's precondition. Greedy first-fit over
+/// tasks sorted by period; a fully harmonic input yields a single group.
+std::vector<std::vector<std::size_t>> harmonic_groups(
+    const model::Taskset& tasks, std::span<const std::size_t> task_indices);
+
+}  // namespace vc2m::analysis

@@ -1,0 +1,187 @@
+#include "core/admission.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "analysis/schedulability.h"
+#include "util/error.h"
+
+namespace vc2m::core {
+namespace {
+
+/// Minimal (cache, bw) a core needs to absorb its VCPU set, growing from
+/// its current allocation with max-gain grants bounded by the free pools.
+/// Returns the final allocation or nullopt.
+std::optional<std::pair<unsigned, unsigned>> fit_with_grants(
+    const std::vector<model::Vcpu>& vcpus,
+    const std::vector<std::size_t>& on_core, unsigned c, unsigned b,
+    unsigned free_c, unsigned free_b, const model::ResourceGrid& grid) {
+  while (!analysis::core_schedulable(vcpus, on_core, c, b)) {
+    double best_gain = 0;
+    bool grant_cache = false;
+    const double u_now = analysis::core_utilization(vcpus, on_core, c, b);
+    if (free_c > 0 && c < grid.c_max) {
+      const double gain =
+          u_now - analysis::core_utilization(vcpus, on_core, c + 1, b);
+      if (gain > best_gain) {
+        best_gain = gain;
+        grant_cache = true;
+      }
+    }
+    if (free_b > 0 && b < grid.b_max) {
+      const double gain =
+          u_now - analysis::core_utilization(vcpus, on_core, c, b + 1);
+      if (gain > best_gain) {
+        best_gain = gain;
+        grant_cache = false;
+      }
+    }
+    if (best_gain <= 1e-15) return std::nullopt;  // no grant helps
+    if (grant_cache) {
+      ++c;
+      --free_c;
+    } else {
+      ++b;
+      --free_b;
+    }
+  }
+  return std::make_pair(c, b);
+}
+
+}  // namespace
+
+AdmitResult admit_vm(const AdmissionState& current,
+                     const model::Taskset& vm_tasks, int vm_id,
+                     const model::PlatformSpec& platform,
+                     const VmAllocConfig& vm_cfg, util::Rng& rng) {
+  VC2M_CHECK(!vm_tasks.empty());
+  for (const auto& t : vm_tasks)
+    VC2M_CHECK_MSG(t.vm == vm_id, "task does not belong to the admitted VM");
+  for (const auto& v : current.vcpus)
+    VC2M_CHECK_MSG(v.vm != vm_id, "VM id already present");
+
+  AdmitResult result;
+  AdmissionState next = current;
+
+  // Parameterize the new VM's VCPUs.
+  std::vector<std::size_t> idx(vm_tasks.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto new_vcpus = allocate_vm_heuristic(vm_tasks, idx, vm_cfg, rng);
+  std::sort(new_vcpus.begin(), new_vcpus.end(),
+            [](const model::Vcpu& a, const model::Vcpu& b) {
+              return a.reference_utilization() > b.reference_utilization();
+            });
+
+  const auto& grid = platform.grid;
+  unsigned free_c = platform.total_cache() - next.mapping.total_cache();
+  unsigned free_b = platform.total_bw() - next.mapping.total_bw();
+
+  for (auto& vcpu : new_vcpus) {
+    vcpu.vm = vm_id;
+    next.vcpus.push_back(vcpu);
+    const std::size_t vi = next.vcpus.size() - 1;
+
+    // Candidate placements compete on pool consumption (partitions newly
+    // drawn from the free pools), ties broken toward lower utilization —
+    // so a lightly loaded or fresh core beats squeezing onto a hot one
+    // with expensive grants.
+    std::size_t best_core = next.mapping.cores_used;  // == "open new core"
+    bool have_candidate = false;
+    std::pair<unsigned, unsigned> best_alloc{0, 0};
+    unsigned best_cost = ~0u;
+    double best_util = 2.0;
+    for (unsigned k = 0; k < next.mapping.cores_used; ++k) {
+      auto with_new = next.mapping.vcpus_on_core[k];
+      with_new.push_back(vi);
+      const auto fit =
+          fit_with_grants(next.vcpus, with_new, next.mapping.cache[k],
+                          next.mapping.bw[k], free_c, free_b, grid);
+      if (!fit) continue;
+      const unsigned cost = (fit->first - next.mapping.cache[k]) +
+                            (fit->second - next.mapping.bw[k]);
+      const double u = analysis::core_utilization(next.vcpus, with_new,
+                                                  fit->first, fit->second);
+      if (cost < best_cost || (cost == best_cost && u < best_util)) {
+        best_core = k;
+        best_alloc = *fit;
+        best_cost = cost;
+        best_util = u;
+        have_candidate = true;
+      }
+    }
+    if (next.mapping.cores_used < platform.cores && free_c >= grid.c_min &&
+        free_b >= grid.b_min) {
+      const std::vector<std::size_t> alone{vi};
+      const auto fit = fit_with_grants(next.vcpus, alone, grid.c_min,
+                                       grid.b_min, free_c - grid.c_min,
+                                       free_b - grid.b_min, grid);
+      if (fit) {
+        const unsigned cost = fit->first + fit->second;
+        const double u = analysis::core_utilization(next.vcpus, alone,
+                                                    fit->first, fit->second);
+        if (cost < best_cost || (cost == best_cost && u < best_util)) {
+          best_core = next.mapping.cores_used;
+          best_alloc = *fit;
+          have_candidate = true;
+        }
+      }
+    }
+    if (!have_candidate) return result;  // rejection: `current` untouched
+
+    if (best_core < next.mapping.cores_used) {
+      free_c -= best_alloc.first - next.mapping.cache[best_core];
+      free_b -= best_alloc.second - next.mapping.bw[best_core];
+      next.mapping.cache[best_core] = best_alloc.first;
+      next.mapping.bw[best_core] = best_alloc.second;
+      next.mapping.vcpus_on_core[best_core].push_back(vi);
+    } else {
+      free_c -= best_alloc.first;
+      free_b -= best_alloc.second;
+      next.mapping.vcpus_on_core.push_back({vi});
+      next.mapping.cache.push_back(best_alloc.first);
+      next.mapping.bw.push_back(best_alloc.second);
+      ++next.mapping.cores_used;
+    }
+  }
+
+  next.mapping.schedulable = true;
+  result.admitted = true;
+  result.state = std::move(next);
+  return result;
+}
+
+AdmissionState remove_vm(const AdmissionState& current, int vm_id) {
+  AdmissionState next;
+  next.mapping = current.mapping;
+
+  // Compact the VCPU vector; remap indices in the core lists.
+  std::vector<std::size_t> remap(current.vcpus.size(),
+                                 current.vcpus.size());
+  for (std::size_t i = 0; i < current.vcpus.size(); ++i) {
+    if (current.vcpus[i].vm == vm_id) continue;
+    remap[i] = next.vcpus.size();
+    next.vcpus.push_back(current.vcpus[i]);
+  }
+  VC2M_CHECK_MSG(next.vcpus.size() < current.vcpus.size(),
+                 "VM id not present");
+
+  for (auto& core : next.mapping.vcpus_on_core) {
+    std::vector<std::size_t> kept;
+    for (const std::size_t v : core)
+      if (remap[v] < current.vcpus.size()) kept.push_back(remap[v]);
+    core = std::move(kept);
+  }
+  // Trim empty trailing cores (interior cores keep their partitions —
+  // shrinking them would perturb running VMs' cache contents).
+  while (!next.mapping.vcpus_on_core.empty() &&
+         next.mapping.vcpus_on_core.back().empty()) {
+    next.mapping.vcpus_on_core.pop_back();
+    next.mapping.cache.pop_back();
+    next.mapping.bw.pop_back();
+    --next.mapping.cores_used;
+  }
+  next.mapping.schedulable = true;
+  return next;
+}
+
+}  // namespace vc2m::core

@@ -1,0 +1,52 @@
+// Online admission control: grow or shrink a running system without
+// disturbing the VMs already placed.
+//
+// The paper's allocator is offline (§4); a deployed hypervisor also needs
+// to admit a VM into a system that is already running. `admit_vm` places
+// the new VM's VCPUs using only headroom: existing VCPUs stay on their
+// cores, existing cores may *gain* cache/BW partitions from the free pools
+// but never lose any (so running guarantees are untouched), and unused
+// cores may be brought up. `remove_vm` releases a VM's VCPUs and returns
+// its cores' now-free capacity to the pools (partitions stay with the
+// cores until a later admission redistributes the free pool).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/hv_alloc.h"
+#include "core/vm_alloc.h"
+#include "model/platform.h"
+#include "model/task.h"
+#include "util/rng.h"
+
+namespace vc2m::core {
+
+struct AdmissionState {
+  /// All placed VCPUs; `mapping.vcpus_on_core` indexes into this vector.
+  std::vector<model::Vcpu> vcpus;
+  HvAllocResult mapping;
+};
+
+struct AdmitResult {
+  bool admitted = false;
+  /// The updated system on success; empty on rejection (the caller keeps
+  /// using its own, untouched AdmissionState — rejection is atomic).
+  AdmissionState state;
+};
+
+/// Try to admit a VM (the tasks must all carry `vm_id`) into `current`.
+/// New VCPUs are parameterized per `vm_cfg.analysis`, packed best-fit onto
+/// the least-loaded feasible cores, with greedy partition grants from the
+/// free pools when a core needs more resources; a new core is opened only
+/// when no existing core fits. On failure the running system is untouched.
+AdmitResult admit_vm(const AdmissionState& current,
+                     const model::Taskset& vm_tasks, int vm_id,
+                     const model::PlatformSpec& platform,
+                     const VmAllocConfig& vm_cfg, util::Rng& rng);
+
+/// Remove every VCPU belonging to `vm_id`. Cores keep their partition
+/// allocations (still valid supersets); empty trailing cores are trimmed.
+AdmissionState remove_vm(const AdmissionState& current, int vm_id);
+
+}  // namespace vc2m::core

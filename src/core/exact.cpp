@@ -1,0 +1,179 @@
+#include "core/exact.h"
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/schedulability.h"
+#include "util/error.h"
+
+namespace vc2m::core {
+namespace {
+
+constexpr unsigned kInfeasible = std::numeric_limits<unsigned>::max();
+
+/// Per-core Pareto frontier: for every cache allocation c, the minimal
+/// bandwidth allocation b making the VCPU set schedulable (kInfeasible if
+/// none). Monotone: more cache never needs more bandwidth.
+struct Frontier {
+  std::vector<unsigned> min_b;  // indexed by c - c_min
+  bool feasible = false;        // at (c_max, b_max)
+};
+
+class ExactSearch {
+ public:
+  ExactSearch(std::span<const model::Vcpu> vcpus,
+              const model::PlatformSpec& platform)
+      : vcpus_(vcpus), platform_(platform), grid_(platform.grid) {}
+
+  HvAllocResult run() {
+    HvAllocResult result;
+    cores_.clear();
+    recurse(0, result);
+    return result;
+  }
+
+ private:
+  using Mask = std::uint32_t;
+
+  Mask mask_of(const std::vector<std::size_t>& core) const {
+    Mask m = 0;
+    for (const std::size_t v : core) m |= Mask{1} << v;
+    return m;
+  }
+
+  const Frontier& frontier(const std::vector<std::size_t>& core) {
+    const Mask key = mask_of(core);
+    auto it = frontiers_.find(key);
+    if (it != frontiers_.end()) return it->second;
+
+    Frontier f;
+    f.min_b.assign(grid_.cache_levels(), kInfeasible);
+    // min_b is non-increasing in c: sweep c upward, b downward.
+    unsigned b_hi = grid_.b_max;
+    for (unsigned c = grid_.c_min; c <= grid_.c_max; ++c) {
+      unsigned best = kInfeasible;
+      for (unsigned b = b_hi;; --b) {
+        if (b < grid_.b_min ||
+            !analysis::core_schedulable(vcpus_, core, c, b)) {
+          break;
+        }
+        best = b;
+        if (b == grid_.b_min) break;
+      }
+      f.min_b[c - grid_.c_min] = best;
+      if (best != kInfeasible) {
+        f.feasible = true;
+        b_hi = best;  // monotonicity: larger c needs at most this b
+      }
+    }
+    return frontiers_.emplace(key, std::move(f)).first->second;
+  }
+
+  /// Can the current partition receive a cache/bandwidth split within the
+  /// pools? Knapsack DP over the cache pool minimizing total bandwidth;
+  /// reconstructs the split on success.
+  bool resources_feasible(HvAllocResult& out) {
+    const std::size_t m = cores_.size();
+    const unsigned C = platform_.total_cache();
+    const unsigned B = platform_.total_bw();
+
+    // dp[k][x] = minimal total bandwidth for the first k cores using
+    // exactly x cache partitions; choice[k][x] = cache given to core k-1.
+    std::vector<std::vector<unsigned>> dp(
+        m + 1, std::vector<unsigned>(C + 1, kInfeasible));
+    std::vector<std::vector<unsigned>> choice(
+        m + 1, std::vector<unsigned>(C + 1, 0));
+    dp[0][0] = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      const Frontier& f = frontier(cores_[k]);
+      if (!f.feasible) return false;
+      for (unsigned x = 0; x <= C; ++x) {
+        if (dp[k][x] == kInfeasible) continue;
+        for (unsigned c = grid_.c_min; c <= grid_.c_max && x + c <= C; ++c) {
+          const unsigned need_b = f.min_b[c - grid_.c_min];
+          if (need_b == kInfeasible) continue;
+          const unsigned total_b = dp[k][x] + need_b;
+          if (total_b < dp[k + 1][x + c]) {
+            dp[k + 1][x + c] = total_b;
+            choice[k + 1][x + c] = c;
+          }
+        }
+      }
+    }
+    unsigned best_x = C + 1;
+    for (unsigned x = 0; x <= C; ++x)
+      if (dp[m][x] <= B && (best_x > C || dp[m][x] < dp[m][best_x]))
+        best_x = x;
+    if (best_x > C) return false;
+
+    // Reconstruct.
+    out.schedulable = true;
+    out.cores_used = static_cast<unsigned>(m);
+    out.vcpus_on_core = cores_;
+    out.cache.assign(m, 0);
+    out.bw.assign(m, 0);
+    unsigned x = best_x;
+    for (std::size_t k = m; k > 0; --k) {
+      const unsigned c = choice[k][x];
+      out.cache[k - 1] = c;
+      out.bw[k - 1] =
+          frontier(cores_[k - 1]).min_b[c - grid_.c_min];
+      x -= c;
+    }
+    return true;
+  }
+
+  void recurse(std::size_t v, HvAllocResult& result) {
+    if (result.schedulable) return;
+    if (v == vcpus_.size()) {
+      if (!cores_.empty()) resources_feasible(result);
+      return;
+    }
+    // Place VCPU v on each core existing at this level (if still feasible
+    // at the full allocation — a cheap necessary condition). Index-based:
+    // deeper levels push/pop additional cores on the same vector, which
+    // would invalidate range-for iterators (they restore the size before
+    // returning, so the fixed bound stays correct).
+    const std::size_t existing = cores_.size();
+    for (std::size_t k = 0; k < existing; ++k) {
+      cores_[k].push_back(v);
+      if (frontier(cores_[k]).feasible) recurse(v + 1, result);
+      if (result.schedulable) return;
+      cores_[k].pop_back();
+    }
+    // ... or open one new core (symmetry breaking: cores are
+    // indistinguishable until resources are assigned).
+    if (cores_.size() <
+        std::min<std::size_t>(platform_.cores, vcpus_.size())) {
+      cores_.push_back({v});
+      if (cores_.size() * grid_.c_min <= platform_.total_cache() &&
+          cores_.size() * grid_.b_min <= platform_.total_bw())
+        recurse(v + 1, result);
+      if (result.schedulable) return;
+      cores_.pop_back();
+    }
+  }
+
+  std::span<const model::Vcpu> vcpus_;
+  const model::PlatformSpec& platform_;
+  model::ResourceGrid grid_;
+  std::vector<std::vector<std::size_t>> cores_;
+  std::unordered_map<Mask, Frontier> frontiers_;
+};
+
+}  // namespace
+
+HvAllocResult allocate_exact(std::span<const model::Vcpu> vcpus,
+                             const model::PlatformSpec& platform,
+                             const ExactConfig& cfg) {
+  VC2M_CHECK(!vcpus.empty());
+  VC2M_CHECK_MSG(vcpus.size() <= cfg.max_vcpus,
+                 "instance too large for exhaustive search ("
+                     << vcpus.size() << " VCPUs > " << cfg.max_vcpus << ")");
+  VC2M_CHECK_MSG(vcpus.size() <= 31, "bitmask memoization limit");
+  return ExactSearch(vcpus, platform).run();
+}
+
+}  // namespace vc2m::core

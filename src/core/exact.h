@@ -1,0 +1,37 @@
+// Exact feasibility for small instances — the heuristic's yardstick.
+//
+// Enumerates every partition of the VCPUs over up to M cores (with
+// symmetry breaking) and decides, per partition, whether cache and
+// bandwidth partitions can be split so that every core's utilization is at
+// most 1 — computed exactly via a per-core Pareto frontier (minimum
+// bandwidth per cache allocation) and a knapsack-style DP over the cache
+// pool. Exponential in the VCPU count; intended for ≤ ~10 VCPUs, where it
+// certifies whether the three-phase heuristic left feasible mappings on
+// the table (bench_optimality_gap).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/hv_alloc.h"
+#include "model/platform.h"
+#include "model/task.h"
+
+namespace vc2m::core {
+
+struct ExactConfig {
+  /// Hard cap on instance size: above this, allocate_exact throws rather
+  /// than silently taking exponential time.
+  std::size_t max_vcpus = 10;
+};
+
+/// Exhaustive feasibility search. Returns a schedulable mapping iff one
+/// exists (so `!result.schedulable` is a proof of infeasibility under the
+/// per-core utilization test). The returned mapping uses, per core, the
+/// cache/bandwidth split found by the DP (minimal in total bandwidth for
+/// its cache split; not otherwise canonical).
+HvAllocResult allocate_exact(std::span<const model::Vcpu> vcpus,
+                             const model::PlatformSpec& platform,
+                             const ExactConfig& cfg = {});
+
+}  // namespace vc2m::core

@@ -1,0 +1,90 @@
+#include "core/experiment.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace vc2m::core {
+
+double ExperimentResult::breakdown_utilization(std::size_t solution_index,
+                                               double threshold) const {
+  double breakdown = 0;
+  for (const auto& pt : points) {
+    VC2M_CHECK(solution_index < pt.per_solution.size());
+    if (pt.per_solution[solution_index].fraction() < threshold) break;
+    breakdown = pt.target_util;
+  }
+  return breakdown;
+}
+
+util::Table ExperimentResult::to_table(bool runtimes) const {
+  std::vector<std::string> header{"util"};
+  for (const auto s : cfg.solutions) header.push_back(to_string(s));
+  if (runtimes)
+    for (const auto s : cfg.solutions)
+      header.push_back("sec " + to_string(s));
+  util::Table table(std::move(header));
+  for (const auto& pt : points) {
+    std::vector<std::string> row;
+    auto fmt = [](double v, int prec) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+      return std::string(buf);
+    };
+    row.push_back(fmt(pt.target_util, 2));
+    for (const auto& sp : pt.per_solution) row.push_back(fmt(sp.fraction(), 3));
+    if (runtimes)
+      for (const auto& sp : pt.per_solution)
+        row.push_back(fmt(sp.avg_seconds(), 4));
+    table.add_row_vec(std::move(row));
+  }
+  return table;
+}
+
+ExperimentResult run_schedulability_experiment(
+    const ExperimentConfig& cfg,
+    const std::function<void(int, int)>& progress) {
+  VC2M_CHECK(cfg.util_lo > 0 && cfg.util_step > 0 &&
+             cfg.util_lo <= cfg.util_hi);
+  VC2M_CHECK(cfg.tasksets_per_point > 0);
+  VC2M_CHECK(!cfg.solutions.empty());
+
+  ExperimentResult result;
+  result.cfg = cfg;
+
+  const int n_points = static_cast<int>(
+      std::floor((cfg.util_hi - cfg.util_lo) / cfg.util_step + 1e-9)) + 1;
+
+  util::Rng master(cfg.seed);
+  for (int pi = 0; pi < n_points; ++pi) {
+    UtilizationPoint point;
+    point.target_util = cfg.util_lo + cfg.util_step * pi;
+    point.per_solution.assign(cfg.solutions.size(), {});
+
+    workload::GeneratorConfig gen;
+    gen.grid = cfg.platform.grid;
+    gen.target_ref_utilization = point.target_util;
+    gen.dist = cfg.dist;
+    gen.num_vms = cfg.num_vms;
+
+    for (int rep = 0; rep < cfg.tasksets_per_point; ++rep) {
+      util::Rng gen_rng = master.fork();
+      const auto taskset = workload::generate_taskset(gen, gen_rng);
+      for (std::size_t si = 0; si < cfg.solutions.size(); ++si) {
+        util::Rng solve_rng = master.fork();
+        const auto res = solve(cfg.solutions[si], taskset, cfg.platform,
+                               cfg.solve, solve_rng);
+        auto& sp = point.per_solution[si];
+        sp.total += 1;
+        sp.schedulable += res.schedulable ? 1 : 0;
+        sp.total_seconds += res.seconds;
+      }
+    }
+    result.points.push_back(std::move(point));
+    if (progress) progress(pi + 1, n_points);
+  }
+  return result;
+}
+
+}  // namespace vc2m::core

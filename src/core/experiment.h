@@ -1,0 +1,71 @@
+// The §5 schedulability experiment runner shared by the Fig. 2/3/4 benches
+// and the examples: sweep taskset reference utilization, generate workloads
+// per §5.1, run each solution on identical tasksets, and record schedulable
+// fractions and analysis running times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/solutions.h"
+#include "model/platform.h"
+#include "util/table.h"
+#include "workload/generator.h"
+
+namespace vc2m::core {
+
+struct ExperimentConfig {
+  model::PlatformSpec platform = model::PlatformSpec::A();
+  workload::UtilDist dist = workload::UtilDist::kUniform;
+  double util_lo = 0.1;
+  double util_hi = 2.0;
+  double util_step = 0.05;
+  int tasksets_per_point = 50;
+  int num_vms = 1;
+  std::uint64_t seed = 42;
+  std::vector<Solution> solutions = all_solutions();
+  SolveConfig solve;
+};
+
+struct SolutionPoint {
+  int schedulable = 0;       ///< tasksets deemed schedulable
+  int total = 0;             ///< tasksets analyzed
+  double total_seconds = 0;  ///< summed analysis time
+
+  double fraction() const {
+    return total > 0 ? static_cast<double>(schedulable) / total : 0;
+  }
+  double avg_seconds() const {
+    return total > 0 ? total_seconds / total : 0;
+  }
+};
+
+struct UtilizationPoint {
+  double target_util = 0;
+  std::vector<SolutionPoint> per_solution;  ///< parallel to cfg.solutions
+};
+
+struct ExperimentResult {
+  ExperimentConfig cfg;
+  std::vector<UtilizationPoint> points;
+
+  /// Largest utilization u such that every point ≤ u has schedulable
+  /// fraction ≥ `threshold` for the given solution — the paper's
+  /// "utilization after which tasksets start to become unschedulable".
+  double breakdown_utilization(std::size_t solution_index,
+                               double threshold = 0.999) const;
+
+  /// Render as a table: one row per utilization, one fraction column per
+  /// solution (plus optional average-seconds columns for Fig. 4).
+  util::Table to_table(bool runtimes = false) const;
+};
+
+/// Run the sweep. `progress`, when set, is invoked after every utilization
+/// point with (point_index, total_points).
+ExperimentResult run_schedulability_experiment(
+    const ExperimentConfig& cfg,
+    const std::function<void(int, int)>& progress = {});
+
+}  // namespace vc2m::core

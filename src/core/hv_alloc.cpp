@@ -1,0 +1,303 @@
+#include "core/hv_alloc.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "analysis/schedulability.h"
+#include "core/kmeans.h"
+#include "core/vm_alloc.h"
+#include "util/error.h"
+
+namespace vc2m::core {
+
+unsigned HvAllocResult::total_cache() const {
+  unsigned t = 0;
+  for (const unsigned c : cache) t += c;
+  return t;
+}
+
+unsigned HvAllocResult::total_bw() const {
+  unsigned t = 0;
+  for (const unsigned b : bw) t += b;
+  return t;
+}
+
+namespace {
+
+struct CoreState {
+  std::vector<std::vector<std::size_t>> on_core;  // VCPU indices per core
+  std::vector<unsigned> cache;
+  std::vector<unsigned> bw;
+};
+
+double util_of(std::span<const model::Vcpu> vcpus, const CoreState& st,
+               std::size_t core) {
+  return analysis::core_utilization(vcpus, st.on_core[core], st.cache[core],
+                                    st.bw[core]);
+}
+
+bool sched_of(std::span<const model::Vcpu> vcpus, const CoreState& st,
+              std::size_t core) {
+  return analysis::core_schedulable(vcpus, st.on_core[core], st.cache[core],
+                                    st.bw[core]);
+}
+
+bool all_schedulable(std::span<const model::Vcpu> vcpus, const CoreState& st) {
+  for (std::size_t i = 0; i < st.on_core.size(); ++i)
+    if (!sched_of(vcpus, st, i)) return false;
+  return true;
+}
+
+/// Phase 1: pack clusters (in permutation order) worst-fit decreasing by
+/// reference utilization onto m cores.
+CoreState phase1_pack(std::span<const model::Vcpu> vcpus,
+                      const std::vector<std::vector<std::size_t>>& clusters,
+                      const std::vector<std::size_t>& perm, unsigned m,
+                      const model::ResourceGrid& grid) {
+  CoreState st;
+  st.on_core.assign(m, {});
+  st.cache.assign(m, grid.c_min);
+  st.bw.assign(m, grid.b_min);
+
+  std::vector<double> ref_load(m, 0);
+  for (const std::size_t ci : perm) {
+    std::vector<std::size_t> order = clusters[ci];
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return vcpus[a].reference_utilization() >
+             vcpus[b].reference_utilization();
+    });
+    for (const std::size_t v : order) {
+      const auto least = static_cast<std::size_t>(
+          std::min_element(ref_load.begin(), ref_load.end()) -
+          ref_load.begin());
+      st.on_core[least].push_back(v);
+      ref_load[least] += vcpus[v].reference_utilization();
+    }
+  }
+  return st;
+}
+
+/// Phase 2: grow per-core cache/BW from (C_min, B_min), always granting the
+/// partition with the largest utilization reduction on an unschedulable
+/// core (or cycling grants round-robin under the ablation policy).
+/// Returns true iff the system became schedulable.
+bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
+                      const model::PlatformSpec& platform,
+                      HvAllocConfig::Phase2Policy policy) {
+  const auto& grid = platform.grid;
+  const unsigned m = static_cast<unsigned>(st.on_core.size());
+  for (std::size_t i = 0; i < m; ++i) {
+    st.cache[i] = grid.c_min;
+    st.bw[i] = grid.b_min;
+  }
+  unsigned pool_c = platform.total_cache() - m * grid.c_min;
+  unsigned pool_b = platform.total_bw() - m * grid.b_min;
+
+  std::size_t rr_cursor = 0;  // round-robin state for the ablation policy
+  while (true) {
+    std::vector<std::size_t> unsched;
+    for (std::size_t i = 0; i < m; ++i)
+      if (!sched_of(vcpus, st, i)) unsched.push_back(i);
+    if (unsched.empty()) return true;
+
+    if (policy == HvAllocConfig::Phase2Policy::kRoundRobin) {
+      // Ablation: grant alternating cache/BW partitions to unschedulable
+      // cores in cyclic order, ignoring the utilization gain.
+      bool granted = false;
+      for (std::size_t attempt = 0;
+           attempt < 2 * unsched.size() && !granted; ++attempt) {
+        const std::size_t i = unsched[(rr_cursor / 2) % unsched.size()];
+        const bool want_cache = rr_cursor % 2 == 0;
+        ++rr_cursor;
+        if (want_cache && pool_c > 0 && st.cache[i] < grid.c_max) {
+          ++st.cache[i];
+          --pool_c;
+          granted = true;
+        } else if (!want_cache && pool_b > 0 && st.bw[i] < grid.b_max) {
+          ++st.bw[i];
+          --pool_b;
+          granted = true;
+        }
+      }
+      if (!granted) return false;  // pools dry or cores saturated
+      continue;
+    }
+
+    // The grant with the highest utilization reduction, over all
+    // unschedulable cores and both resource kinds.
+    double best_gain = 0;
+    std::size_t best_core = m;
+    bool best_is_cache = false;
+    for (const std::size_t i : unsched) {
+      const double u_now = util_of(vcpus, st, i);
+      if (pool_c > 0 && st.cache[i] < grid.c_max) {
+        const double gain =
+            u_now - analysis::core_utilization(vcpus, st.on_core[i],
+                                               st.cache[i] + 1, st.bw[i]);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_core = i;
+          best_is_cache = true;
+        }
+      }
+      if (pool_b > 0 && st.bw[i] < grid.b_max) {
+        const double gain =
+            u_now - analysis::core_utilization(vcpus, st.on_core[i],
+                                               st.cache[i], st.bw[i] + 1);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_core = i;
+          best_is_cache = false;
+        }
+      }
+    }
+    if (best_core == m || best_gain <= 1e-15) return false;  // no impact
+    if (best_is_cache) {
+      ++st.cache[best_core];
+      --pool_c;
+    } else {
+      ++st.bw[best_core];
+      --pool_b;
+    }
+  }
+}
+
+/// Phase 3: migrate VCPUs away from unschedulable cores. Destination is the
+/// schedulable core least utilized after the move; the migrated VCPU is the
+/// largest one the destination can absorb while staying schedulable, else
+/// the smallest VCPU on the overloaded core. Returns true iff any VCPU
+/// moved.
+bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
+  const std::size_t m = st.on_core.size();
+  bool moved_any = false;
+
+  for (std::size_t i = 0; i < m; ++i) {
+    unsigned guard = 0;
+    while (!sched_of(vcpus, st, i) && !st.on_core[i].empty() &&
+           guard++ < 64) {
+      // Least-utilized currently-schedulable destination (≠ i).
+      std::size_t dest = m;
+      double dest_util = std::numeric_limits<double>::infinity();
+      for (std::size_t j = 0; j < m; ++j) {
+        if (j == i || !sched_of(vcpus, st, j)) continue;
+        const double u = util_of(vcpus, st, j);
+        if (u < dest_util) {
+          dest_util = u;
+          dest = j;
+        }
+      }
+      if (dest == m) return moved_any;  // nowhere to migrate
+
+      // Largest VCPU the destination absorbs while staying schedulable.
+      auto& src = st.on_core[i];
+      std::size_t pick_pos = src.size();
+      double pick_util = -1;
+      std::size_t fallback_pos = 0;
+      double fallback_util = std::numeric_limits<double>::infinity();
+      for (std::size_t p = 0; p < src.size(); ++p) {
+        const double uv =
+            vcpus[src[p]].utilization(st.cache[i], st.bw[i]);
+        const double uv_dest =
+            vcpus[src[p]].utilization(st.cache[dest], st.bw[dest]);
+        if (dest_util + uv_dest <= 1.0 && uv > pick_util) {
+          pick_util = uv;
+          pick_pos = p;
+        }
+        if (uv < fallback_util) {
+          fallback_util = uv;
+          fallback_pos = p;
+        }
+      }
+      const std::size_t pos = pick_pos < src.size() ? pick_pos : fallback_pos;
+      st.on_core[dest].push_back(src[pos]);
+      src.erase(src.begin() + static_cast<std::ptrdiff_t>(pos));
+      moved_any = true;
+    }
+  }
+  return moved_any;
+}
+
+HvAllocResult to_result(CoreState&& st, bool schedulable) {
+  HvAllocResult res;
+  res.schedulable = schedulable;
+  res.cores_used = static_cast<unsigned>(st.on_core.size());
+  res.vcpus_on_core = std::move(st.on_core);
+  res.cache = std::move(st.cache);
+  res.bw = std::move(st.bw);
+  return res;
+}
+
+}  // namespace
+
+HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
+                                 const model::PlatformSpec& platform,
+                                 const HvAllocConfig& cfg, util::Rng& rng) {
+  VC2M_CHECK(!vcpus.empty());
+  const auto& grid = platform.grid;
+
+  // Fast infeasibility screens at the full allocation (C, B).
+  double best_total = 0;
+  for (const auto& v : vcpus) {
+    const double u = v.utilization(grid.c_max, grid.b_max);
+    if (u > 1.0) return HvAllocResult{};  // one VCPU exceeds any core
+    best_total += u;
+  }
+  if (best_total > static_cast<double>(platform.cores))
+    return HvAllocResult{};
+
+  // Cluster VCPUs by slowdown vector once; reused for every core count.
+  const std::size_t k =
+      cfg.cluster_vcpus ? std::min(cfg.clusters, vcpus.size()) : 1;
+  std::vector<std::vector<double>> points;
+  points.reserve(vcpus.size());
+  for (const auto& v : vcpus) points.push_back(v.slowdown().flat());
+  const auto clusters = cluster_members(kmeans(points, k, rng), k);
+
+  for (unsigned m = 1; m <= platform.cores; ++m) {
+    if (m * grid.c_min > platform.total_cache() ||
+        m * grid.b_min > platform.total_bw())
+      break;  // larger m cannot satisfy the per-core minimums either
+    for (unsigned perm_iter = 0; perm_iter < cfg.max_permutations;
+         ++perm_iter) {
+      CoreState st =
+          phase1_pack(vcpus, clusters, rng.permutation(k), m, grid);
+      for (unsigned round = 0; round < cfg.max_balance_rounds; ++round) {
+        if (phase2_resources(vcpus, st, platform, cfg.phase2))
+          return to_result(std::move(st), true);
+        if (!cfg.load_balance) break;           // ablation: no Phase 3
+        if (!phase3_balance(vcpus, st)) break;  // no benefit in balancing
+      }
+    }
+  }
+  return HvAllocResult{};
+}
+
+HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
+                                      const model::PlatformSpec& platform) {
+  VC2M_CHECK(!vcpus.empty());
+  const auto& grid = platform.grid;
+  const unsigned m = platform.cores;
+  const unsigned c_even =
+      std::max(grid.c_min, platform.total_cache() / m);
+  const unsigned b_even = std::max(grid.b_min, platform.total_bw() / m);
+  VC2M_CHECK_MSG(m * grid.c_min <= platform.total_cache() &&
+                     m * grid.b_min <= platform.total_bw(),
+                 "platform cannot give every core the minimum partitions");
+
+  std::vector<double> weights;
+  weights.reserve(vcpus.size());
+  for (const auto& v : vcpus) weights.push_back(v.utilization(c_even, b_even));
+
+  auto bins = best_fit_decreasing(weights, 1.0, m);
+  if (!bins) return HvAllocResult{};
+
+  CoreState st;
+  st.on_core = std::move(*bins);
+  st.cache.assign(st.on_core.size(), c_even);
+  st.bw.assign(st.on_core.size(), b_even);
+  const bool ok = all_schedulable(vcpus, st);
+  return to_result(std::move(st), ok);
+}
+
+}  // namespace vc2m::core

@@ -1,0 +1,79 @@
+// Hypervisor-level resource allocation (§4.3): VCPUs → cores plus per-core
+// cache and bandwidth partition counts.
+//
+// The heuristic fixes a core count m (growing from 1 to M) and repeats three
+// phases until the system is schedulable or the iteration budget runs out:
+//   Phase 1 (packing): VCPUs are clustered by slowdown vector; following a
+//     random permutation of the clusters, each cluster's VCPUs are packed
+//     worst-fit in decreasing reference utilization so that all cores end up
+//     with similar total reference utilization.
+//   Phase 2 (resource allocation): every core starts at (C_min, B_min);
+//     while some core is unschedulable (utilization > 1 under its current
+//     partitions), the single remaining cache-or-BW partition that yields
+//     the largest utilization reduction on an unschedulable core is granted.
+//     Stops when schedulable, when the pools run dry, or when no grant has
+//     any impact.
+//   Phase 3 (load balancing): VCPUs migrate from unschedulable cores to the
+//     schedulable core that remains least utilized after the move; then
+//     Phase 2 re-runs. When balancing stops helping, a new Phase-1
+//     permutation is drawn.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "model/platform.h"
+#include "model/task.h"
+#include "util/rng.h"
+
+namespace vc2m::core {
+
+struct HvAllocResult {
+  bool schedulable = false;
+  unsigned cores_used = 0;
+  /// Per used core: indices into the input VCPU vector.
+  std::vector<std::vector<std::size_t>> vcpus_on_core;
+  /// Per used core: allocated cache and bandwidth partition counts.
+  std::vector<unsigned> cache;
+  std::vector<unsigned> bw;
+
+  /// Σ over used cores (for reporting / CAT programming).
+  unsigned total_cache() const;
+  unsigned total_bw() const;
+};
+
+struct HvAllocConfig {
+  /// Number of slowdown classes for VCPU clustering.
+  std::size_t clusters = 4;
+  /// Phase-1 restarts (random cluster permutations) per core count.
+  unsigned max_permutations = 8;
+  /// Phase 3 ↔ Phase 2 alternations per permutation.
+  unsigned max_balance_rounds = 8;
+
+  // ---- ablation switches (DESIGN.md §4; bench_ablation_allocator) ----
+  /// false: skip slowdown-vector clustering (every VCPU in one cluster).
+  bool cluster_vcpus = true;
+  /// Phase-2 partition granting policy.
+  enum class Phase2Policy {
+    kMaxGain,    ///< the paper: grant where utilization drops the most
+    kRoundRobin  ///< ablation: cycle cache/BW grants over unschedulable cores
+  };
+  Phase2Policy phase2 = Phase2Policy::kMaxGain;
+  /// false: skip Phase-3 load balancing entirely.
+  bool load_balance = true;
+};
+
+/// The paper's heuristic. Returns schedulable == false when no core count
+/// m ≤ platform.cores admits a feasible mapping within the search budget.
+HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
+                                 const model::PlatformSpec& platform,
+                                 const HvAllocConfig& cfg, util::Rng& rng);
+
+/// The Evenly-partition comparison solution: cache and BW split evenly over
+/// all M cores, VCPUs packed best-fit decreasing by their utilization under
+/// the even allocation.
+HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
+                                      const model::PlatformSpec& platform);
+
+}  // namespace vc2m::core

@@ -1,0 +1,144 @@
+#include "core/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace vc2m::core {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  VC2M_CHECK(a.size() == b.size());
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+namespace {
+
+/// kmeans++: first centroid uniform, then proportional to squared distance
+/// from the nearest chosen centroid.
+std::vector<std::vector<double>> seed_centroids(
+    const std::vector<std::vector<double>>& points, std::size_t k,
+    util::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(k);
+  centroids.push_back(points[rng.index(points.size())]);
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids)
+        best = std::min(best, squared_distance(points[i], c));
+      d2[i] = best;
+      total += best;
+    }
+    std::size_t pick;
+    if (total <= 0) {
+      // All points coincide with existing centroids; any choice works.
+      pick = rng.index(points.size());
+    } else {
+      double r = rng.uniform01() * total;
+      pick = points.size() - 1;
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        r -= d2[i];
+        if (r <= 0) {
+          pick = i;
+          break;
+        }
+      }
+    }
+    centroids.push_back(points[pick]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::size_t k, util::Rng& rng, unsigned max_iters) {
+  VC2M_CHECK_MSG(k >= 1 && k <= points.size(),
+                 "k=" << k << " incompatible with " << points.size()
+                      << " points");
+  const std::size_t dim = points.front().size();
+  VC2M_CHECK(dim > 0);
+  for (const auto& p : points) VC2M_CHECK(p.size() == dim);
+
+  KMeansResult res;
+  res.centroids = seed_centroids(points, k, rng);
+  res.assignment.assign(points.size(), 0);
+
+  for (unsigned iter = 0; iter < max_iters; ++iter) {
+    res.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = squared_distance(points[i], res.centroids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[i] != best) {
+        res.assignment[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ++counts[res.assignment[i]];
+      for (std::size_t d = 0; d < dim; ++d)
+        sums[res.assignment[i]][d] += points[i][d];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Repair an empty cluster: steal the point farthest from its
+        // centroid so every cluster stays populated.
+        std::size_t worst = 0;
+        double worst_d = -1;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          if (counts[res.assignment[i]] <= 1) continue;
+          const double d =
+              squared_distance(points[i], res.centroids[res.assignment[i]]);
+          if (d > worst_d) {
+            worst_d = d;
+            worst = i;
+          }
+        }
+        --counts[res.assignment[worst]];
+        for (std::size_t d = 0; d < dim; ++d)
+          sums[res.assignment[worst]][d] -= points[worst][d];
+        res.assignment[worst] = c;
+        counts[c] = 1;
+        sums[c] = points[worst];
+      }
+      for (std::size_t d = 0; d < dim; ++d)
+        res.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+    }
+  }
+  return res;
+}
+
+std::vector<std::vector<std::size_t>> cluster_members(
+    const KMeansResult& result, std::size_t k) {
+  std::vector<std::vector<std::size_t>> members(k);
+  for (std::size_t i = 0; i < result.assignment.size(); ++i) {
+    VC2M_CHECK(result.assignment[i] < k);
+    members[result.assignment[i]].push_back(i);
+  }
+  return members;
+}
+
+}  // namespace vc2m::core

@@ -1,0 +1,66 @@
+// The five solutions evaluated in §5, behind one interface.
+//
+//   1. Heuristic (flattening)           — Theorem 1 VCPUs + heuristic
+//                                         hypervisor-level allocation.
+//   2. Heuristic (overhead-free CSA)    — Theorem 2 well-regulated VCPUs +
+//                                         heuristic allocation.
+//   3. Heuristic (existing CSA)         — heuristic allocation, but VCPU
+//                                         parameters from the periodic
+//                                         resource model [13].
+//   4. Evenly-partition (overhead-free) — Theorem 2 VCPUs, cache/BW split
+//                                         evenly over all cores, best-fit
+//                                         bin packing at both levels.
+//   5. Baseline (existing CSA)          — PRM VCPU parameters with tasks at
+//                                         their maximum WCET (worst-case BW,
+//                                         no cache), best-fit packing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hv_alloc.h"
+#include "core/vm_alloc.h"
+#include "model/platform.h"
+#include "model/task.h"
+#include "util/rng.h"
+
+namespace vc2m::core {
+
+enum class Solution {
+  kHeuristicFlattening,
+  kHeuristicOverheadFree,
+  kHeuristicExistingCsa,
+  kEvenPartitionOverheadFree,
+  kBaselineExistingCsa,
+};
+
+std::string to_string(Solution s);
+
+/// All five, in the paper's legend order (strongest first).
+const std::vector<Solution>& all_solutions();
+
+struct SolveConfig {
+  /// Slowdown classes for both clustering stages.
+  std::size_t clusters = 4;
+  HvAllocConfig hv;
+  /// Intra-core overhead inflation (§4.1 Remarks); zero by default, as the
+  /// paper's schedulability study abstracts measured overheads away.
+  util::Time task_inflation = util::Time::zero();
+  util::Time vcpu_inflation = util::Time::zero();
+};
+
+struct SolveResult {
+  bool schedulable = false;
+  std::vector<model::Vcpu> vcpus;
+  HvAllocResult mapping;
+  double seconds = 0;  ///< wall-clock analysis + allocation time
+};
+
+/// Run one solution on one taskset. Tasks must share the platform's
+/// resource grid; solutions based on Theorem 2 additionally require the
+/// taskset to be harmonic (guaranteed by the §5.1 generator).
+SolveResult solve(Solution s, const model::Taskset& tasks,
+                  const model::PlatformSpec& platform, const SolveConfig& cfg,
+                  util::Rng& rng);
+
+}  // namespace vc2m::core

@@ -1,0 +1,222 @@
+#include "core/vm_alloc.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "analysis/dbf.h"
+#include "analysis/prm.h"
+#include "analysis/theorems.h"
+#include "core/kmeans.h"
+#include "util/error.h"
+
+namespace vc2m::core {
+
+namespace {
+
+util::Time min_period(const model::Taskset& tasks,
+                      std::span<const std::size_t> idx) {
+  util::Time p = tasks[idx.front()].period;
+  for (const std::size_t i : idx) p = util::min(p, tasks[i].period);
+  return p;
+}
+
+}  // namespace
+
+model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
+                              std::span<const std::size_t> idx) {
+  VC2M_CHECK(!idx.empty());
+  const auto& grid = tasks[idx.front()].wcet.grid();
+  const util::Time pi = min_period(tasks, idx);
+
+  model::Vcpu v;
+  v.period = pi;
+  v.vm = tasks[idx.front()].vm;
+  v.tasks.assign(idx.begin(), idx.end());
+  v.budget = model::WcetFn(grid);
+
+  std::vector<analysis::PTask> ptasks(idx.size());
+  for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
+    for (unsigned b = grid.b_min; b <= grid.b_max; ++b) {
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        ptasks[k] = {tasks[idx[k]].period, tasks[idx[k]].wcet.at(c, b)};
+      const auto theta = analysis::min_budget_edf(ptasks, pi);
+      v.budget.set(c, b, theta ? *theta : pi * 2);
+    }
+  return v;
+}
+
+model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
+                                       std::span<const std::size_t> idx) {
+  VC2M_CHECK(!idx.empty());
+  const auto& grid = tasks[idx.front()].wcet.grid();
+  const util::Time pi = min_period(tasks, idx);
+
+  std::vector<analysis::PTask> ptasks;
+  ptasks.reserve(idx.size());
+  for (const std::size_t i : idx)
+    ptasks.push_back({tasks[i].period, tasks[i].max_wcet});
+  const auto theta = analysis::min_budget_edf(ptasks, pi);
+
+  model::Vcpu v;
+  v.period = pi;
+  v.vm = tasks[idx.front()].vm;
+  v.tasks.assign(idx.begin(), idx.end());
+  v.budget = model::WcetFn(grid, theta ? *theta : pi * 2);
+  return v;
+}
+
+std::vector<std::vector<std::size_t>> tasks_by_vm(
+    const model::Taskset& tasks) {
+  std::map<int, std::vector<std::size_t>> by_vm;
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    by_vm[tasks[i].vm].push_back(i);
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(by_vm.size());
+  for (auto& [vm, idx] : by_vm) out.push_back(std::move(idx));
+  return out;
+}
+
+std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
+    const std::vector<double>& weights, double capacity,
+    std::size_t max_bins) {
+  VC2M_CHECK(capacity > 0);
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+
+  std::vector<std::vector<std::size_t>> bins;
+  std::vector<double> load;
+  for (const std::size_t item : order) {
+    // Best fit: the feasible bin with the least residual capacity.
+    std::size_t best = bins.size();
+    double best_residual = std::numeric_limits<double>::infinity();
+    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+      const double residual = capacity - load[bi] - weights[item];
+      if (residual >= -1e-12 && residual < best_residual) {
+        best_residual = residual;
+        best = bi;
+      }
+    }
+    if (best == bins.size()) {
+      if (bins.size() >= max_bins || weights[item] > capacity + 1e-12)
+        return std::nullopt;
+      bins.emplace_back();
+      load.push_back(0);
+    }
+    bins[best].push_back(item);
+    load[best] += weights[item];
+  }
+  return bins;
+}
+
+std::vector<model::Vcpu> allocate_vm_heuristic(
+    const model::Taskset& tasks, std::span<const std::size_t> vm_task_idx,
+    const VmAllocConfig& cfg, util::Rng& rng) {
+  VC2M_CHECK(!vm_task_idx.empty());
+  VC2M_CHECK(cfg.max_vcpus_per_vm >= 1);
+
+  if (cfg.analysis == VcpuAnalysis::kFlattening) {
+    std::vector<model::Vcpu> vcpus;
+    vcpus.reserve(vm_task_idx.size());
+    for (const std::size_t i : vm_task_idx)
+      vcpus.push_back(analysis::flattened_vcpu(tasks[i], i));
+    return vcpus;
+  }
+
+  const std::size_t n = vm_task_idx.size();
+  const std::size_t m = std::min<std::size_t>(n, cfg.max_vcpus_per_vm);
+  const std::size_t k = std::min({cfg.clusters, m, n});
+
+  // Cluster by slowdown vector.
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (const std::size_t i : vm_task_idx)
+    points.push_back(tasks[i].slowdown().flat());
+  const auto clusters = cluster_members(kmeans(points, k, rng), k);
+
+  // Pack tasks onto the m VCPUs worst-fit in decreasing reference
+  // utilization (so VCPU loads stay similar), iterating clusters in
+  // decreasing total-utilization order. Among near-tied VCPUs, a small
+  // affinity bonus prefers a VCPU already hosting the task's cluster, so
+  // tasks with similar slowdown vectors share a VCPU whenever balance
+  // permits (§4.2).
+  std::vector<double> cluster_util(k, 0);
+  for (std::size_t c = 0; c < k; ++c)
+    for (const std::size_t local : clusters[c])
+      cluster_util[c] += tasks[vm_task_idx[local]].reference_utilization();
+  std::vector<std::size_t> cluster_order(k);
+  std::iota(cluster_order.begin(), cluster_order.end(), 0);
+  std::sort(cluster_order.begin(), cluster_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return cluster_util[a] > cluster_util[b];
+            });
+
+  constexpr double kAffinityBonus = 0.05;
+  std::vector<std::vector<std::size_t>> vcpu_tasks(m);  // global indices
+  std::vector<double> loads(m, 0);
+  std::vector<std::size_t> bin_cluster(m, k);  // k = "no cluster yet"
+  for (const std::size_t c : cluster_order) {
+    std::vector<std::size_t> order = clusters[c];
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return tasks[vm_task_idx[a]].reference_utilization() >
+             tasks[vm_task_idx[b]].reference_utilization();
+    });
+    for (const std::size_t local : order) {
+      std::size_t best = 0;
+      double best_score = std::numeric_limits<double>::infinity();
+      for (std::size_t bi = 0; bi < m; ++bi) {
+        const double score =
+            loads[bi] -
+            ((bin_cluster[bi] == c || bin_cluster[bi] == k) ? kAffinityBonus
+                                                            : 0.0);
+        if (score < best_score) {
+          best_score = score;
+          best = bi;
+        }
+      }
+      vcpu_tasks[best].push_back(vm_task_idx[local]);
+      loads[best] += tasks[vm_task_idx[local]].reference_utilization();
+      if (bin_cluster[best] == k) bin_cluster[best] = c;
+    }
+  }
+  std::erase_if(vcpu_tasks,
+                [](const std::vector<std::size_t>& v) { return v.empty(); });
+
+  std::vector<model::Vcpu> vcpus;
+  vcpus.reserve(vcpu_tasks.size());
+  for (const auto& idx : vcpu_tasks) {
+    switch (cfg.analysis) {
+      case VcpuAnalysis::kRegulated:
+        // Theorem 2 needs harmonic periods; non-harmonic inputs are split
+        // into harmonic chains, one well-regulated VCPU each (a fully
+        // harmonic bin — the §5.1 workloads — stays a single VCPU).
+        for (const auto& group : analysis::harmonic_groups(tasks, idx))
+          vcpus.push_back(analysis::regulated_vcpu(tasks, group));
+        break;
+      case VcpuAnalysis::kExistingCsa:
+        vcpus.push_back(vcpu_existing_csa(tasks, idx));
+        break;
+      case VcpuAnalysis::kFlattening:
+        VC2M_CHECK_MSG(false, "handled above");
+    }
+  }
+  return vcpus;
+}
+
+std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
+                                                const VmAllocConfig& cfg,
+                                                util::Rng& rng) {
+  std::vector<model::Vcpu> all;
+  for (const auto& vm_idx : tasks_by_vm(tasks)) {
+    auto vcpus = allocate_vm_heuristic(tasks, vm_idx, cfg, rng);
+    all.insert(all.end(), std::make_move_iterator(vcpus.begin()),
+               std::make_move_iterator(vcpus.end()));
+  }
+  return all;
+}
+
+}  // namespace vc2m::core

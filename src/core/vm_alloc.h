@@ -1,0 +1,73 @@
+// VM-level resource allocation (§4.2): tasks → VCPUs and VCPU parameters.
+//
+// The heuristic path clusters a VM's tasks by slowdown vector (so tasks
+// sharing a VCPU — and hence eventually a core — make similar use of the
+// cache/BW granted to that core), distributes the VM's VCPUs over the
+// clusters in proportion to cluster load, and packs each cluster's tasks
+// onto its VCPUs worst-fit in decreasing reference utilization so that all
+// VCPUs carry similar load. VCPU parameters come from one of:
+//   - Theorem 1 (flattening: one task per VCPU, Π = p, Θ(c,b) = e(c,b)),
+//   - Theorem 2 (well-regulated VCPU, Π = min p_i, Θ = Π·Σ e_i/p_i), or
+//   - the existing CSA [13] (PRM minimum budget per grid point) for the
+//     Heuristic (existing CSA) comparison solution.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "model/task.h"
+#include "util/rng.h"
+
+namespace vc2m::core {
+
+enum class VcpuAnalysis {
+  kFlattening,   ///< Theorem 1
+  kRegulated,    ///< Theorem 2 (overhead-free CSA)
+  kExistingCsa,  ///< periodic resource model [13]
+};
+
+struct VmAllocConfig {
+  /// Upper bound on VCPUs per VM; the heuristic uses m = min(#tasks, this).
+  unsigned max_vcpus_per_vm = 4;
+  /// Number of slowdown classes for KMeans (clamped to min(m, #tasks)).
+  std::size_t clusters = 4;
+  VcpuAnalysis analysis = VcpuAnalysis::kRegulated;
+};
+
+/// Compute the existing-CSA (PRM) VCPU for the tasks at `idx`: Π = the
+/// minimum task period, Θ(c,b) = the minimum PRM budget for the tasks'
+/// WCETs at (c,b). Grid points where no feasible budget exists get Θ = 2Π,
+/// which any core-schedulability test rejects.
+model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
+                              std::span<const std::size_t> idx);
+
+/// Existing-CSA VCPU computed at a single fixed WCET per task (used by the
+/// Baseline, which assumes worst-case bandwidth and no cache): the budget
+/// surface is constant.
+model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
+                                       std::span<const std::size_t> idx);
+
+/// Heuristic tasks→VCPUs mapping for the tasks of one VM (given by indices
+/// into `tasks`). Returns the VCPUs with parameters per `cfg.analysis`.
+std::vector<model::Vcpu> allocate_vm_heuristic(
+    const model::Taskset& tasks, std::span<const std::size_t> vm_task_idx,
+    const VmAllocConfig& cfg, util::Rng& rng);
+
+/// Run the heuristic per VM over a whole taskset (tasks carry VM ids).
+std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
+                                                const VmAllocConfig& cfg,
+                                                util::Rng& rng);
+
+/// Group task indices by VM id, ascending.
+std::vector<std::vector<std::size_t>> tasks_by_vm(const model::Taskset& tasks);
+
+/// Best-fit decreasing bin packing: items with the given weights into bins
+/// of the given capacity, at most `max_bins` bins. Each item goes to the
+/// feasible bin with the least residual capacity; a new bin opens only when
+/// no open bin fits. Returns std::nullopt if an item cannot be placed.
+std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
+    const std::vector<double>& weights, double capacity, std::size_t max_bins);
+
+}  // namespace vc2m::core

@@ -1,0 +1,70 @@
+// Local APIC model — just the slice the BW regulator needs.
+//
+// The prototype configures each core's LAPIC to deliver the performance-
+// counter overflow interrupt (PMI) to that core, where the BW enforcer
+// handler runs. This model provides the LVT perf-counter entry (vector +
+// mask bit) and delivery to a registered handler, including the masked-
+// interrupt case (delivery suppressed, not queued — PMIs are edge-triggered).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vc2m::hw {
+
+class Lapic {
+ public:
+  using Handler = std::function<void(unsigned core, std::uint8_t vector)>;
+
+  explicit Lapic(unsigned num_cores) : lvt_pc_(num_cores) {}
+
+  unsigned num_cores() const { return static_cast<unsigned>(lvt_pc_.size()); }
+
+  /// Program the LVT performance-counter entry of `core`.
+  void configure_pmi(unsigned core, std::uint8_t vector, bool masked) {
+    VC2M_CHECK(core < num_cores());
+    lvt_pc_[core].vector = vector;
+    lvt_pc_[core].masked = masked;
+  }
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  bool masked(unsigned core) const {
+    VC2M_CHECK(core < num_cores());
+    return lvt_pc_[core].masked;
+  }
+
+  std::uint8_t vector(unsigned core) const {
+    VC2M_CHECK(core < num_cores());
+    return lvt_pc_[core].vector;
+  }
+
+  /// Deliver the PMI on `core`. Returns true iff the handler actually ran
+  /// (entry unmasked and a handler registered).
+  bool deliver_pmi(unsigned core) {
+    VC2M_CHECK(core < num_cores());
+    ++delivery_attempts_;
+    if (lvt_pc_[core].masked || !handler_) return false;
+    ++deliveries_;
+    handler_(core, lvt_pc_[core].vector);
+    return true;
+  }
+
+  std::uint64_t delivery_attempts() const { return delivery_attempts_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  struct LvtEntry {
+    std::uint8_t vector = 0;
+    bool masked = true;  // architectural reset state
+  };
+  std::vector<LvtEntry> lvt_pc_;
+  Handler handler_;
+  std::uint64_t delivery_attempts_ = 0;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace vc2m::hw

@@ -1,0 +1,68 @@
+// Model-specific-register (MSR) file model.
+//
+// The CAT and PMU models sit on top of this register file exactly the way
+// the real vC2M prototype sits on wrmsr/rdmsr: cache masks and perf-counter
+// programming are reads/writes of architectural MSRs. Core-scoped registers
+// (PMCs, PQR_ASSOC, LVT) are stored per core; package-scoped registers
+// (the L3 CBM array) are shared by all cores of the package.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vc2m::hw {
+
+using MsrAddr = std::uint32_t;
+
+// Architectural MSR addresses used by the vC2M prototype.
+inline constexpr MsrAddr IA32_PMC0 = 0x0C1;               // perf counter 0
+inline constexpr MsrAddr IA32_PERFEVTSEL0 = 0x186;        // event select 0
+inline constexpr MsrAddr IA32_PERF_GLOBAL_STATUS = 0x38E; // overflow status
+inline constexpr MsrAddr IA32_PERF_GLOBAL_CTRL = 0x38F;   // global enable
+inline constexpr MsrAddr IA32_PERF_GLOBAL_OVF_CTRL = 0x390; // overflow clear
+inline constexpr MsrAddr IA32_PQR_ASSOC = 0xC8F;          // core -> COS binding
+inline constexpr MsrAddr IA32_L3_MASK_0 = 0xC90;          // COS 0 capacity mask
+
+class MsrFile {
+ public:
+  explicit MsrFile(unsigned num_cores) : core_regs_(num_cores) {
+    VC2M_CHECK(num_cores > 0);
+    // The L3 capacity bitmask array is package-scoped on Intel parts.
+    for (MsrAddr a = IA32_L3_MASK_0; a < IA32_L3_MASK_0 + 128; ++a)
+      package_scoped_.insert(a);
+  }
+
+  unsigned num_cores() const { return static_cast<unsigned>(core_regs_.size()); }
+
+  std::uint64_t read(unsigned core, MsrAddr addr) const {
+    VC2M_CHECK(core < num_cores());
+    const auto& regs = package_scoped_.count(addr) ? package_regs_ : core_regs_[core];
+    const auto it = regs.find(addr);
+    return it == regs.end() ? 0 : it->second;
+  }
+
+  void write(unsigned core, MsrAddr addr, std::uint64_t value) {
+    VC2M_CHECK(core < num_cores());
+    auto& regs = package_scoped_.count(addr) ? package_regs_ : core_regs_[core];
+    regs[addr] = value;
+  }
+
+  /// Set/clear individual bits (models read-modify-write sequences).
+  void set_bits(unsigned core, MsrAddr addr, std::uint64_t mask) {
+    write(core, addr, read(core, addr) | mask);
+  }
+  void clear_bits(unsigned core, MsrAddr addr, std::uint64_t mask) {
+    write(core, addr, read(core, addr) & ~mask);
+  }
+
+ private:
+  std::vector<std::unordered_map<MsrAddr, std::uint64_t>> core_regs_;
+  std::unordered_map<MsrAddr, std::uint64_t> package_regs_;
+  std::unordered_set<MsrAddr> package_scoped_;
+};
+
+}  // namespace vc2m::hw

@@ -1,0 +1,89 @@
+// Performance-monitoring-unit (PMU) model.
+//
+// vC2M's bandwidth regulator programs an unused perf counter on each core to
+// count last-level-cache misses (treated as memory requests [18]) and presets
+// it so that it overflows exactly when the core exhausts its per-period
+// bandwidth budget. This model reproduces the architectural behaviour the
+// prototype relies on:
+//   - 48-bit counters that wrap at 2^48;
+//   - preset-to-overflow: writing (2^48 - budget) makes the counter overflow
+//     after `budget` further events;
+//   - an overflow sets the counter's bit in IA32_PERF_GLOBAL_STATUS;
+//   - overflow bits are sticky until cleared via IA32_PERF_GLOBAL_OVF_CTRL.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/msr.h"
+
+namespace vc2m::hw {
+
+/// Width of an architectural general-purpose counter.
+inline constexpr unsigned kPmcWidth = 48;
+inline constexpr std::uint64_t kPmcMask = (1ull << kPmcWidth) - 1;
+
+/// Event-select encoding for "LLC misses" (architectural event 0x2E/0x41).
+inline constexpr std::uint64_t kEvtSelLlcMisses = 0x41'2E;
+/// EN bit of IA32_PERFEVTSELx.
+inline constexpr std::uint64_t kEvtSelEnable = 1ull << 22;
+/// INT bit of IA32_PERFEVTSELx (raise PMI on overflow).
+inline constexpr std::uint64_t kEvtSelPmi = 1ull << 20;
+
+/// One core's general-purpose counter 0, as used by the BW regulator.
+class PerfCounter {
+ public:
+  PerfCounter(MsrFile& msr, unsigned core) : msr_(msr), core_(core) {
+    VC2M_CHECK(core < msr.num_cores());
+  }
+
+  /// Program the event selector; enables counting and the overflow PMI.
+  void program_llc_misses() {
+    msr_.write(core_, IA32_PERFEVTSEL0,
+               kEvtSelLlcMisses | kEvtSelEnable | kEvtSelPmi);
+    msr_.set_bits(core_, IA32_PERF_GLOBAL_CTRL, 1ull << 0);
+  }
+
+  bool enabled() const {
+    return (msr_.read(core_, IA32_PERFEVTSEL0) & kEvtSelEnable) &&
+           (msr_.read(core_, IA32_PERF_GLOBAL_CTRL) & 1ull);
+  }
+
+  /// Preset so the counter overflows after exactly `budget` events.
+  void preset_for_budget(std::uint64_t budget) {
+    VC2M_CHECK_MSG(budget > 0 && budget <= kPmcMask, "budget out of range");
+    msr_.write(core_, IA32_PMC0, (kPmcMask + 1 - budget) & kPmcMask);
+  }
+
+  std::uint64_t value() const { return msr_.read(core_, IA32_PMC0) & kPmcMask; }
+
+  /// Events still allowed before the counter overflows (in [1, 2^48]).
+  std::uint64_t remaining_before_overflow() const {
+    return kPmcMask + 1 - value();
+  }
+
+  /// Account `events` occurrences. Returns true iff the counter crossed the
+  /// overflow boundary (and sets the sticky status bit accordingly).
+  bool count(std::uint64_t events) {
+    if (!enabled()) return false;
+    const std::uint64_t before = value();
+    msr_.write(core_, IA32_PMC0, (before + events) & kPmcMask);
+    const bool overflowed = events >= kPmcMask + 1 - before;
+    if (overflowed) msr_.set_bits(core_, IA32_PERF_GLOBAL_STATUS, 1ull << 0);
+    return overflowed;
+  }
+
+  bool overflow_pending() const {
+    return msr_.read(core_, IA32_PERF_GLOBAL_STATUS) & 1ull;
+  }
+
+  /// Clear the sticky overflow bit (write to IA32_PERF_GLOBAL_OVF_CTRL).
+  void clear_overflow() {
+    msr_.clear_bits(core_, IA32_PERF_GLOBAL_STATUS, 1ull << 0);
+  }
+
+ private:
+  MsrFile& msr_;
+  unsigned core_;
+};
+
+}  // namespace vc2m::hw

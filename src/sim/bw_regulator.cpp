@@ -1,0 +1,135 @@
+#include "sim/bw_regulator.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace vc2m::sim {
+
+namespace {
+constexpr std::uint8_t kPmiVector = 0xEE;  // vector used by the prototype
+}
+
+BwRegulator::BwRegulator(EventQueue& queue, Trace& trace, Config cfg)
+    : queue_(queue),
+      trace_(trace),
+      cfg_(std::move(cfg)),
+      msr_(static_cast<unsigned>(cfg_.bw_alloc.size())),
+      lapic_(static_cast<unsigned>(cfg_.bw_alloc.size())),
+      used_(cfg_.bw_alloc.size(), 0.0),
+      lifetime_(cfg_.bw_alloc.size(), 0.0),
+      throttled_(cfg_.bw_alloc.size(), false) {
+  VC2M_CHECK(!cfg_.bw_alloc.empty());
+  VC2M_CHECK(cfg_.regulation_period > util::Time::zero());
+  VC2M_CHECK(cfg_.requests_per_partition > 0);
+  pcs_.reserve(cfg_.bw_alloc.size());
+  for (unsigned core = 0; core < cfg_.bw_alloc.size(); ++core)
+    pcs_.emplace_back(msr_, core);
+}
+
+void BwRegulator::set_callbacks(CoreFn on_throttle, CoreFn on_unthrottle,
+                                std::function<void()> account_all) {
+  on_throttle_ = std::move(on_throttle);
+  on_unthrottle_ = std::move(on_unthrottle);
+  account_all_ = std::move(account_all);
+}
+
+double BwRegulator::budget(unsigned core) const {
+  return static_cast<double>(cfg_.bw_alloc.at(core)) *
+         cfg_.requests_per_partition;
+}
+
+void BwRegulator::start() {
+  if (!cfg_.enabled) return;
+  // Setup (i)–(iv) of §3.2: program + preset the counters, route the PMI,
+  // arm the periodic refill timer, clear overflow status.
+  lapic_.set_handler(
+      [this](unsigned core, std::uint8_t) { enforcer_handler(core); });
+  for (unsigned core = 0; core < pcs_.size(); ++core) {
+    pcs_[core].program_llc_misses();
+    pcs_[core].preset_for_budget(
+        std::max<std::uint64_t>(1, static_cast<std::uint64_t>(budget(core))));
+    pcs_[core].clear_overflow();
+    lapic_.configure_pmi(core, kPmiVector, /*masked=*/false);
+  }
+  queue_.schedule_after(cfg_.regulation_period, [this] { refill_all(); });
+}
+
+void BwRegulator::add_requests(unsigned core, double requests) {
+  VC2M_CHECK(requests >= 0);
+  if (requests == 0) return;
+  used_.at(core) += requests;
+  lifetime_.at(core) += requests;
+  // Mirror whole requests into the architectural counter (the authoritative
+  // continuous count keeps the fraction).
+  const auto whole = static_cast<std::uint64_t>(requests);
+  if (whole > 0 && cfg_.enabled) pcs_[core].count(whole);
+}
+
+util::Time BwRegulator::predict_overflow_delay(unsigned core,
+                                               double rate) const {
+  if (!cfg_.enabled || rate <= 0 || throttled_.at(core))
+    return util::Time::max();
+  const double remaining = budget(core) - used_.at(core);
+  if (remaining <= 0) return util::Time::zero();
+  const double delay_ns = remaining / rate;
+  constexpr double kMaxNs = 9.0e18;
+  if (delay_ns >= kMaxNs) return util::Time::max();
+  return util::Time::ns(static_cast<std::int64_t>(std::ceil(delay_ns)));
+}
+
+void BwRegulator::trigger_overflow(unsigned core) {
+  VC2M_CHECK(cfg_.enabled);
+  VC2M_CHECK(!throttled_.at(core));
+  // Saturate the PMC so the sticky overflow bit is set exactly as the
+  // hardware would, then deliver the PMI (steps 1–2 of Fig. 1).
+  pcs_[core].count(pcs_[core].remaining_before_overflow());
+  const bool delivered = lapic_.deliver_pmi(core);
+  VC2M_CHECK_MSG(delivered, "PMI masked or no handler installed");
+}
+
+void BwRegulator::enforcer_handler(unsigned core) {
+  // Step 3 of Fig. 1: de-schedule the current VCPU and mark the core
+  // throttled; the scheduler keeps it idle until the next refill.
+  ScopedProbe probe(probe_ ? &probe_->throttle : nullptr);
+  throttled_[core] = true;
+  pcs_[core].clear_overflow();
+  trace_.record({queue_.now(), TraceKind::kCoreThrottle,
+                 static_cast<std::int32_t>(core)});
+  if (on_throttle_) on_throttle_(core);
+}
+
+void BwRegulator::refill_all() {
+  // Charge in-flight execution segments to the period that is ending.
+  if (account_all_) account_all_();
+  // Step 4 of Fig. 1: replenish every core's budget; invoke the scheduler
+  // on each throttled core.
+  {
+    ScopedProbe probe(probe_ ? &probe_->refill : nullptr);
+    for (unsigned core = 0; core < pcs_.size(); ++core) {
+      used_[core] = 0;
+      pcs_[core].preset_for_budget(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(budget(core))));
+      pcs_[core].clear_overflow();
+    }
+  }
+  ++refills_;
+  trace_.record({queue_.now(), TraceKind::kBwRefill});
+  for (unsigned core = 0; core < pcs_.size(); ++core) {
+    if (throttled_[core]) {
+      throttled_[core] = false;
+      trace_.record({queue_.now(), TraceKind::kCoreUnthrottle,
+                     static_cast<std::int32_t>(core)});
+      if (on_unthrottle_) on_unthrottle_(core);
+    }
+  }
+  queue_.schedule_after(cfg_.regulation_period, [this] { refill_all(); });
+}
+
+double BwRegulator::total_requests() const {
+  double t = 0;
+  for (const double r : lifetime_) t += r;
+  return t;
+}
+
+}  // namespace vc2m::sim

@@ -1,0 +1,108 @@
+// The memory-bandwidth regulator of §3.2 (Fig. 1).
+//
+// Setup: an unused perf counter on each core is programmed to count LLC
+// misses (≈ memory requests) and preset so it overflows exactly when the
+// core exhausts its bandwidth budget; the LAPIC is configured to deliver the
+// PC-overflow interrupt to the core; a periodic timer replenishes every
+// core's budget each regulation period.
+//
+// Regulation: on overflow, the BW enforcer handler asks the hypervisor's
+// scheduler to de-schedule the core's current VCPU and leave the core idle —
+// *idle*, not busy-spinning as MemGuard does — until the BW refiller
+// replenishes the budget at the next period boundary and re-invokes the
+// scheduler.
+//
+// The regulator keeps an authoritative continuous request count per core
+// (the DES integrates request rates over execution segments exactly) and
+// mirrors it into the architectural PMC/LAPIC models so the hardware
+// programming sequence is exercised end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hw/lapic.h"
+#include "hw/msr.h"
+#include "hw/perf_counter.h"
+#include "sim/event_queue.h"
+#include "sim/probe.h"
+#include "sim/trace.h"
+
+namespace vc2m::sim {
+
+class BwRegulator {
+ public:
+  struct Config {
+    bool enabled = true;
+    util::Time regulation_period = util::Time::ms(1);
+    /// Budget units: memory requests one bandwidth partition may issue per
+    /// regulation period.
+    double requests_per_partition = 1000.0;
+    /// Bandwidth partitions allocated to each core.
+    std::vector<unsigned> bw_alloc;
+  };
+
+  using CoreFn = std::function<void(unsigned core)>;
+
+  BwRegulator(EventQueue& queue, Trace& trace, Config cfg);
+
+  /// De-schedule / re-schedule callbacks into the hypervisor scheduler,
+  /// plus a pre-refill hook that forces execution accounting on all cores
+  /// so requests issued before a period boundary are charged to the old
+  /// period.
+  void set_callbacks(CoreFn on_throttle, CoreFn on_unthrottle,
+                     std::function<void()> account_all);
+
+  /// Setup component: program PCs + LAPIC and arm the refill timer.
+  void start();
+
+  bool enabled() const { return cfg_.enabled; }
+  bool throttled(unsigned core) const { return throttled_.at(core); }
+  double budget(unsigned core) const;
+  double used(unsigned core) const { return used_.at(core); }
+
+  /// Account `requests` issued by `core` during a finished execution
+  /// segment. The caller bounds segments so a segment never crosses the
+  /// budget boundary by more than rounding slop.
+  void add_requests(unsigned core, double requests);
+
+  /// Time until the core's counter overflows if requests accrue at `rate`
+  /// (requests per nanosecond); Time::max() when regulation is off, the
+  /// rate is zero, or the core is already throttled.
+  util::Time predict_overflow_delay(unsigned core, double rate) const;
+
+  /// Fire the PC-overflow path for `core`: saturate the PMC, deliver the
+  /// PMI through the LAPIC, run the BW enforcer handler (throttle).
+  void trigger_overflow(unsigned core);
+
+  std::uint64_t refills() const { return refills_; }
+  double total_requests() const;
+  double requests_on(unsigned core) const { return lifetime_.at(core); }
+
+  /// Optional host-overhead probe (Table 1).
+  void set_probe(HostProbe* probe) { probe_ = probe; }
+
+  const hw::MsrFile& msr() const { return msr_; }
+
+ private:
+  void refill_all();
+  void enforcer_handler(unsigned core);
+
+  EventQueue& queue_;
+  Trace& trace_;
+  Config cfg_;
+  hw::MsrFile msr_;
+  hw::Lapic lapic_;
+  std::vector<hw::PerfCounter> pcs_;
+  std::vector<double> used_;      ///< requests this period (authoritative)
+  std::vector<double> lifetime_;  ///< requests since start
+  std::vector<bool> throttled_;
+  CoreFn on_throttle_;
+  CoreFn on_unthrottle_;
+  std::function<void()> account_all_;
+  std::uint64_t refills_ = 0;
+  HostProbe* probe_ = nullptr;
+};
+
+}  // namespace vc2m::sim

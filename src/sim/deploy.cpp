@@ -1,0 +1,75 @@
+#include "sim/deploy.h"
+
+#include "util/error.h"
+
+namespace vc2m::sim {
+
+SimConfig deploy(const model::Taskset& tasks,
+                 const std::vector<model::Vcpu>& vcpus,
+                 const core::HvAllocResult& mapping,
+                 const model::PlatformSpec& platform,
+                 const DeployConfig& cfg) {
+  VC2M_CHECK_MSG(mapping.schedulable, "only schedulable mappings deploy");
+  VC2M_CHECK(mapping.vcpus_on_core.size() == mapping.cores_used);
+  if (cfg.exec == ExecModel::kPhysical)
+    VC2M_CHECK_MSG(cfg.workloads.size() == tasks.size(),
+                   "kPhysical needs one WorkloadModel per task");
+
+  SimConfig sim;
+  sim.num_cores = mapping.cores_used;
+  sim.cache_partitions = platform.total_cache();
+  sim.cache_alloc.assign(mapping.cache.begin(), mapping.cache.end());
+  sim.bw_alloc.assign(mapping.bw.begin(), mapping.bw.end());
+  sim.bw_regulation = cfg.exec == ExecModel::kPhysical;
+  sim.bus_contention = cfg.exec == ExecModel::kPhysical;
+  sim.regulation_period = cfg.regulation_period;
+  sim.requests_per_partition = cfg.requests_per_partition;
+  sim.release_sync = cfg.release_sync;
+  sim.capture_trace = cfg.capture_trace;
+
+  for (unsigned k = 0; k < mapping.cores_used; ++k) {
+    const unsigned c = mapping.cache[k];
+    const unsigned b = mapping.bw[k];
+    for (const std::size_t vi : mapping.vcpus_on_core[k]) {
+      VC2M_CHECK(vi < vcpus.size());
+      const model::Vcpu& v = vcpus[vi];
+
+      SimVcpuSpec vs;
+      vs.period = v.period;
+      vs.budget = v.budget.at(c, b);
+      VC2M_CHECK_MSG(vs.budget <= vs.period,
+                     "VCPU budget exceeds its period at the landing core's "
+                     "allocation — the mapping cannot be schedulable");
+      vs.core = k;
+      vs.vm = v.vm;
+      vs.idling_server = true;  // periodic servers (well-regulated execution)
+      sim.vcpus.push_back(vs);
+      const std::size_t sim_vcpu = sim.vcpus.size() - 1;
+
+      for (const std::size_t ti : v.tasks) {
+        VC2M_CHECK(ti < tasks.size());
+        const model::Task& t = tasks[ti];
+        SimTaskSpec ts;
+        ts.period = t.period;
+        ts.vcpu = sim_vcpu;
+        if (cfg.exec == ExecModel::kCpuOnly) {
+          // The job's requirement is its WCET at the landing allocation;
+          // miss_amp = 1 keeps the simulator's cache scaling inert.
+          ts.cpu_work = t.wcet.at(c, b);
+          ts.miss_amp = 1.0;
+        } else {
+          const WorkloadModel& w = cfg.workloads[ti];
+          ts.cpu_work = w.cpu_work;
+          ts.mem_work_ref = w.mem_work_ref;
+          ts.miss_amp = w.miss_amp;
+          ts.ws_decay = w.ws_decay;
+          ts.mem_requests_ref = w.mem_requests_ref;
+        }
+        sim.tasks.push_back(ts);
+      }
+    }
+  }
+  return sim;
+}
+
+}  // namespace vc2m::sim

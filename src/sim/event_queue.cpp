@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include "util/error.h"
+
+namespace vc2m::sim {
+
+EventQueue::Id EventQueue::schedule(util::Time when, EventFn fn) {
+  VC2M_CHECK_MSG(when >= now_, "event scheduled in the past: " << when
+                                                               << " < " << now_);
+  VC2M_CHECK(fn != nullptr);
+  const Key key{when, next_seq_++};
+  const Id id = next_id_++;
+  events_.emplace(key, std::make_pair(id, std::move(fn)));
+  index_.emplace(id, key);
+  return id;
+}
+
+EventQueue::Id EventQueue::schedule_after(util::Time delay, EventFn fn) {
+  return schedule(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::cancel(Id id) {
+  if (id == kInvalidId) return false;
+  const auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  events_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool EventQueue::run_one() {
+  if (events_.empty()) return false;
+  auto it = events_.begin();
+  VC2M_CHECK(it->first.when >= now_);
+  now_ = it->first.when;
+  EventFn fn = std::move(it->second.second);
+  index_.erase(it->second.first);
+  events_.erase(it);
+  ++dispatched_;
+  fn();
+  return true;
+}
+
+void EventQueue::run_until(util::Time t) {
+  VC2M_CHECK(t >= now_);
+  while (!events_.empty() && events_.begin()->first.when <= t) run_one();
+  now_ = t;
+}
+
+}  // namespace vc2m::sim

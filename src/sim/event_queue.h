@@ -1,0 +1,64 @@
+// Discrete-event engine for the hypervisor simulator.
+//
+// Events fire in (time, insertion-sequence) order, so simultaneous events
+// dispatch FIFO and the simulation is fully deterministic. Events are
+// cancelable — the scheduler cancels a core's pending segment-end event
+// whenever the core is rescheduled early.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "util/time.h"
+
+namespace vc2m::sim {
+
+class EventQueue {
+ public:
+  using EventFn = std::function<void()>;
+  using Id = std::uint64_t;
+  static constexpr Id kInvalidId = 0;
+
+  /// Schedule `fn` at absolute time `when` (>= now()). Returns a handle
+  /// usable with cancel().
+  Id schedule(util::Time when, EventFn fn);
+
+  /// Convenience: schedule at now() + delay.
+  Id schedule_after(util::Time delay, EventFn fn);
+
+  /// Cancel a pending event. Safe to call with kInvalidId or an id that
+  /// already fired (no-op). Returns true iff an event was removed.
+  bool cancel(Id id);
+
+  util::Time now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+  /// Pop and dispatch the next event; advances the clock. Returns false if
+  /// the queue is empty.
+  bool run_one();
+
+  /// Dispatch every event with time <= t; the clock ends at exactly t.
+  void run_until(util::Time t);
+
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct Key {
+    util::Time when;
+    std::uint64_t seq;
+    friend bool operator<(const Key& a, const Key& b) {
+      return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    }
+  };
+  std::map<Key, std::pair<Id, EventFn>> events_;
+  std::map<Id, Key> index_;
+  util::Time now_ = util::Time::zero();
+  std::uint64_t next_seq_ = 0;
+  Id next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace vc2m::sim

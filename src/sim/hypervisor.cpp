@@ -1,0 +1,343 @@
+// Hypervisor-level scheduling: the modified-RTDS partitioned-EDF scheduler
+// over periodic-server VCPUs, with throttled-core awareness and the
+// deterministic tie-break of §3.2.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "util/error.h"
+
+namespace vc2m::sim {
+
+void Simulation::arm_vcpu_release(std::size_t vcpu_index, util::Time when) {
+  VcpuRt& v = vcpus_[vcpu_index];
+  queue_.cancel(v.release_event);
+  v.next_release = when;
+  v.release_event =
+      queue_.schedule(when, [this, vcpu_index] { vcpu_release(vcpu_index); });
+}
+
+void Simulation::schedule_vcpu_update(util::Time when,
+                                      std::size_t vcpu_index,
+                                      util::Time period, util::Time budget) {
+  VC2M_CHECK_MSG(vcpu_index < vcpus_.size(), "no such VCPU");
+  VC2M_CHECK(period > util::Time::zero());
+  VC2M_CHECK(budget > util::Time::zero() && budget <= period);
+  queue_.schedule(when, [this, vcpu_index, period, budget] {
+    VcpuRt& v = vcpus_[vcpu_index];
+    v.pending_update = true;
+    v.pending_period = period;
+    v.pending_budget = budget;
+  });
+}
+
+void Simulation::vcpu_release(std::size_t vcpu_index) {
+  VcpuRt& v = vcpus_[vcpu_index];
+  // Close the running segment against the *old* budget before replenishing
+  // (the release instant can coincide with the exhaustion boundary).
+  account_core(v.spec.core);
+  if (v.pending_update) {
+    // The staged `xl sched-rtds`-style change becomes the server contract
+    // for the period that starts now.
+    v.spec.period = v.pending_period;
+    v.spec.budget = v.pending_budget;
+    v.pending_update = false;
+  }
+  {
+    // Table 2, "CPU budget replenishment": reset the server for the new
+    // period (budget, deadline, re-armed timer).
+    ScopedProbe probe(probe_ ? &probe_->replenish : nullptr);
+    v.released = true;
+    v.budget_left = v.spec.budget;
+    v.deadline = queue_.now() + v.spec.period;
+    v.release_event = EventQueue::kInvalidId;
+    ++v.stats.releases;
+  }
+  arm_vcpu_release(vcpu_index, queue_.now() + v.spec.period);
+  trace_.record({queue_.now(), TraceKind::kVcpuRelease,
+                 static_cast<std::int32_t>(v.spec.core),
+                 static_cast<std::int32_t>(vcpu_index)});
+  interrupt_core(v.spec.core);
+}
+
+void Simulation::interrupt_core(std::size_t core_index) {
+  account_core(core_index);
+  CoreRt& c = cores_[core_index];
+  queue_.cancel(c.seg_end_event);
+  c.seg_end_event = EventQueue::kInvalidId;
+  handle_boundaries(core_index);
+  defer_reschedule(core_index);
+}
+
+void Simulation::defer_reschedule(std::size_t core_index) {
+  // Defer the actual scheduling decision to the end of the current
+  // timestamp: several releases can fire at the same instant, and deciding
+  // after each one would manufacture transient zero-length schedules the
+  // real scheduler (which handles a timer tick as one batch) never makes.
+  // FIFO dispatch at equal timestamps guarantees the deferred event runs
+  // after every already-queued same-instant event.
+  CoreRt& c = cores_[core_index];
+  if (!c.resched_pending) {
+    c.resched_pending = true;
+    queue_.schedule(queue_.now(), [this, core_index] {
+      cores_[core_index].resched_pending = false;
+      reschedule_core(core_index);
+    });
+  }
+}
+
+void Simulation::handle_boundaries(std::size_t core_index) {
+  // Execution boundaries the just-finished accounting may have reached.
+  // Several can coincide (a job completing exactly as the budget runs out);
+  // each handler is idempotent.
+  CoreRt& c = cores_[core_index];
+  if (c.running_task != kNone && !tasks_[c.running_task].pending.empty() &&
+      tasks_[c.running_task].pending.front().remaining.is_zero())
+    complete_job(c.running_task);
+
+  if (c.running_vcpu != kNone) {
+    VcpuRt& v = vcpus_[c.running_vcpu];
+    if (v.released && v.budget_left.is_zero()) {
+      v.released = false;  // suspended until the next replenishment
+      ++v.stats.exhaustions;
+      trace_.record({queue_.now(), TraceKind::kVcpuBudgetExhausted,
+                     static_cast<std::int32_t>(core_index),
+                     static_cast<std::int32_t>(c.running_vcpu)});
+    }
+  }
+}
+
+void Simulation::account_core(std::size_t core_index) {
+  CoreRt& c = cores_[core_index];
+  if (c.running_vcpu == kNone) return;
+  const util::Time delta = queue_.now() - c.seg_start;
+  if (delta <= util::Time::zero()) return;
+  c.busy += delta;
+  c.seg_start = queue_.now();
+
+  VcpuRt& v = vcpus_[c.running_vcpu];
+  v.budget_left -= delta;  // budget is core occupancy, bus stalls included
+  v.stats.budget_consumed += delta;
+  VC2M_CHECK_MSG(!v.budget_left.is_negative(), "VCPU budget overrun");
+
+  if (!c.overhead_left.is_zero()) {
+    // The core is burning context-switch overhead: budget and wall time
+    // pass, the task makes no progress.
+    const util::Time burned = util::min(delta, c.overhead_left);
+    c.overhead_left -= burned;
+    VC2M_CHECK_MSG(c.running_task == kNone,
+                   "no task may run during switch overhead");
+    return;
+  }
+
+  if (c.running_task != kNone) {
+    TaskRt& t = tasks_[c.running_task];
+    VC2M_CHECK(!t.pending.empty());
+    Job& job = t.pending.front();
+    // Executed work advances at the core's bus-limited speed; clamp to the
+    // job's remaining work to absorb float rounding at segment boundaries.
+    util::Time progress = delta;
+    if (c.exec_rate < 1.0)
+      progress = util::Time::ns(static_cast<std::int64_t>(
+          static_cast<double>(delta.raw_ns()) * c.exec_rate + 0.5));
+    progress = util::min(progress, job.remaining);
+    job.remaining -= progress;
+    regulator_->add_requests(
+        static_cast<unsigned>(core_index),
+        t.req_rate * static_cast<double>(progress.raw_ns()));
+  }
+}
+
+bool Simulation::vcpu_eligible(const VcpuRt& v) const {
+  if (!v.released || v.budget_left <= util::Time::zero()) return false;
+  if (v.spec.idling_server) return true;
+  // A non-idling server suspends while it has no pending job.
+  for (const std::size_t ti : v.tasks)
+    if (!tasks_[ti].pending.empty()) return true;
+  return false;
+}
+
+std::size_t Simulation::pick_vcpu(const CoreRt& core) const {
+  // EDF with the deterministic tie-break: earliest absolute deadline, then
+  // smaller period, then smaller VCPU index (§3.2, prerequisite for
+  // well-regulated execution).
+  std::size_t best = kNone;
+  for (const std::size_t vi : core.vcpus) {
+    const VcpuRt& v = vcpus_[vi];
+    if (!vcpu_eligible(v)) continue;
+    if (best == kNone) {
+      best = vi;
+      continue;
+    }
+    const VcpuRt& b = vcpus_[best];
+    if (v.deadline != b.deadline) {
+      if (v.deadline < b.deadline) best = vi;
+    } else if (v.spec.period != b.spec.period) {
+      if (v.spec.period < b.spec.period) best = vi;
+    } else if (vi < best) {
+      best = vi;
+    }
+  }
+  return best;
+}
+
+void Simulation::reschedule_core(std::size_t core_index) {
+  CoreRt& c = cores_[core_index];
+  const auto core_u = static_cast<unsigned>(core_index);
+
+  // The core may sit exactly on its bandwidth boundary (an interrupt can
+  // land at the same instant the budget runs out). Fire the enforcer first;
+  // it throttles the core and re-enters this function with the throttled
+  // flag set.
+  if (regulator_->enabled() && !regulator_->throttled(core_u) &&
+      regulator_->used(core_u) >= regulator_->budget(core_u) - 0.5) {
+    regulator_->trigger_overflow(core_u);
+    return;
+  }
+
+  const std::size_t prev_vcpu = c.running_vcpu;
+  const std::size_t prev_task = c.running_task;
+
+  std::size_t next_vcpu = kNone;
+  std::size_t next_task = kNone;
+  {
+    // Table 2, "Scheduling": the pick itself.
+    ScopedProbe probe(probe_ ? &probe_->schedule : nullptr);
+    if (!regulator_->throttled(static_cast<unsigned>(core_index))) {
+      next_vcpu = pick_vcpu(c);
+      if (next_vcpu != kNone) next_task = pick_task(vcpus_[next_vcpu]);
+    }
+  }
+
+  if (next_vcpu != prev_vcpu) {
+    // A fresh switch (re)starts the context-switch overhead window; the
+    // incoming VCPU's task may only run once it is burned.
+    c.overhead_left = next_vcpu != kNone ? cfg_.vcpu_switch_cost
+                                         : util::Time::zero();
+    // Table 2, "Context switching": bookkeeping for the VCPU swap.
+    ScopedProbe probe(probe_ ? &probe_->context_switch : nullptr);
+    if (prev_vcpu != kNone)
+      trace_.record({queue_.now(), TraceKind::kVcpuDeschedule,
+                     static_cast<std::int32_t>(core_index),
+                     static_cast<std::int32_t>(prev_vcpu)});
+    if (next_vcpu != kNone) {
+      trace_.record({queue_.now(), TraceKind::kVcpuSchedule,
+                     static_cast<std::int32_t>(core_index),
+                     static_cast<std::int32_t>(next_vcpu)});
+      ++vcpu_switches_;
+      ++vcpus_[next_vcpu].stats.switches_in;
+    }
+  }
+  if (!c.overhead_left.is_zero()) next_task = kNone;  // overhead burns first
+  if (next_task != kNone &&
+      (next_task != prev_task || next_vcpu != prev_vcpu)) {
+    ++task_dispatches_;
+    trace_.record({queue_.now(), TraceKind::kTaskDispatch,
+                   static_cast<std::int32_t>(core_index),
+                   static_cast<std::int32_t>(next_vcpu),
+                   static_cast<std::int32_t>(next_task)});
+  }
+
+  c.running_vcpu = next_vcpu;
+  c.running_task = next_task;
+  if (next_vcpu != kNone) {
+    c.seg_start = queue_.now();
+    plan_segment(core_index);
+  }
+  // Every commit — including one that idles the core — changes the set of
+  // bus consumers, so the shared-bus shares must be refreshed.
+  if (cfg_.bus_contention) recompute_bus_rates();
+}
+
+void Simulation::plan_segment(std::size_t core_index) {
+  CoreRt& c = cores_[core_index];
+  if (c.running_vcpu == kNone) return;
+  const VcpuRt& v = vcpus_[c.running_vcpu];
+  util::Time seg = v.budget_left;  // budget exhaustion bound (wall time)
+  if (!c.overhead_left.is_zero()) {
+    // Burn the switch overhead as its own segment; the follow-up
+    // reschedule dispatches the task.
+    seg = util::min(seg, c.overhead_left);
+  }
+  if (c.running_task != kNone) {
+    const TaskRt& t = tasks_[c.running_task];
+    // Completion bound, stretched by the bus-limited execution speed.
+    util::Time completion = t.pending.front().remaining;
+    if (c.exec_rate < 1.0)
+      completion = util::Time::ns(static_cast<std::int64_t>(std::ceil(
+          static_cast<double>(completion.raw_ns()) / c.exec_rate)));
+    seg = util::min(seg, completion);
+    const util::Time ovf = regulator_->predict_overflow_delay(
+        static_cast<unsigned>(core_index), t.req_rate * c.exec_rate);
+    if (ovf != util::Time::max()) seg = util::min(seg, ovf);
+  }
+  VC2M_CHECK_MSG(seg > util::Time::zero(), "zero-length execution segment");
+  c.seg_end_event = queue_.schedule(
+      queue_.now() + seg, [this, core_index] { segment_end(core_index); });
+}
+
+void Simulation::recompute_bus_rates() {
+  // Proportional bus sharing: an oversubscribed memory bus serves each
+  // core's requests in proportion to its issue rate (FR-FCFS-like), so a
+  // saturated bus slows *every* memory-active core by the common factor
+  // capacity/Σdemand — this is exactly the cross-core interference the
+  // paper's regulation removes (a heavy streamer degrades even light
+  // victims, as the MemGuard experiments show).
+  const double period_ns =
+      static_cast<double>(cfg_.regulation_period.raw_ns());
+  const double capacity = (cfg_.bus_requests_per_period > 0
+                               ? cfg_.bus_requests_per_period
+                               : static_cast<double>(cfg_.cache_partitions) *
+                                     cfg_.requests_per_partition) /
+                          period_ns;  // requests per ns
+
+  std::vector<double> new_rate(cores_.size(), 1.0);
+  double total_demand = 0;
+  for (std::size_t k = 0; k < cores_.size(); ++k)
+    if (cores_[k].running_task != kNone)
+      total_demand += tasks_[cores_[k].running_task].req_rate;
+  if (total_demand > capacity) {
+    const double f = capacity / total_demand;
+    for (std::size_t k = 0; k < cores_.size(); ++k)
+      if (cores_[k].running_task != kNone &&
+          tasks_[cores_[k].running_task].req_rate > 0)
+        new_rate[k] = f;
+  }
+
+  for (std::size_t k = 0; k < cores_.size(); ++k) {
+    if (std::abs(new_rate[k] - cores_[k].exec_rate) < 1e-12) continue;
+    // Charge the elapsed part of the segment at the old speed, then let the
+    // core re-decide (the accounting may land exactly on a budget or
+    // completion boundary, so the full interrupt path is required).
+    account_core(k);
+    cores_[k].exec_rate = new_rate[k];
+    queue_.cancel(cores_[k].seg_end_event);
+    cores_[k].seg_end_event = EventQueue::kInvalidId;
+    handle_boundaries(k);
+    defer_reschedule(k);
+  }
+}
+
+void Simulation::segment_end(std::size_t core_index) {
+  // Identical to an interrupt; the pending-event id is already consumed.
+  // A bandwidth overflow coinciding with this boundary is handled by the
+  // guard at the top of reschedule_core.
+  cores_[core_index].seg_end_event = EventQueue::kInvalidId;
+  interrupt_core(core_index);
+}
+
+void Simulation::on_throttle(unsigned core_index) {
+  // The BW enforcer handler asked the scheduler to de-schedule the core's
+  // VCPU; reschedule_core sees the throttled flag and leaves the core idle.
+  cores_[core_index].throttle_start = queue_.now();
+  interrupt_core(core_index);
+}
+
+void Simulation::on_unthrottle(unsigned core_index) {
+  CoreRt& c = cores_[core_index];
+  c.throttled_time += queue_.now() - c.throttle_start;
+  interrupt_core(core_index);
+}
+
+}  // namespace vc2m::sim

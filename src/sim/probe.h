@@ -1,0 +1,49 @@
+// Host-time probes for the overhead tables.
+//
+// Tables 1 and 2 of the paper report the wall-clock cost of the prototype's
+// hot handlers (BW throttle, BW refill, VCPU budget replenishment,
+// scheduling decision, context switch). The simulator optionally times its
+// own implementations of those handlers with the host's steady clock; the
+// bench binaries aggregate the samples into min/avg/max rows. Absolute
+// values reflect this machine, not a Xen testbed — the comparison of
+// interest is the relative shape (refill >> throttle; slow growth with VCPU
+// count), which the handlers' algorithmic structure preserves.
+#pragma once
+
+#include <chrono>
+
+#include "util/stats.h"
+
+namespace vc2m::sim {
+
+struct HostProbe {
+  util::SampleStats throttle;        ///< BW enforcer handler body (µs)
+  util::SampleStats refill;          ///< BW refiller handler body (µs)
+  util::SampleStats replenish;       ///< VCPU budget replenishment (µs)
+  util::SampleStats schedule;        ///< scheduler pick (µs)
+  util::SampleStats context_switch;  ///< VCPU context-switch bookkeeping (µs)
+};
+
+/// RAII timer feeding one SampleStats in microseconds; no-op when the
+/// stats pointer is null.
+class ScopedProbe {
+ public:
+  explicit ScopedProbe(util::SampleStats* stats) : stats_(stats) {
+    if (stats_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedProbe() {
+    if (stats_) {
+      const auto end = std::chrono::steady_clock::now();
+      stats_->add(std::chrono::duration<double, std::micro>(end - start_)
+                      .count());
+    }
+  }
+  ScopedProbe(const ScopedProbe&) = delete;
+  ScopedProbe& operator=(const ScopedProbe&) = delete;
+
+ private:
+  util::SampleStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vc2m::sim

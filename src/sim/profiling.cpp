@@ -1,0 +1,99 @@
+#include "sim/profiling.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace vc2m::sim {
+
+WorkloadModel workload_from_profile(const workload::ParsecProfile& profile,
+                                    util::Time ref_wcet,
+                                    const ProfilingConfig& cfg) {
+  VC2M_CHECK(ref_wcet > util::Time::zero());
+  WorkloadModel w;
+  const double ref_ns = static_cast<double>(ref_wcet.raw_ns());
+  w.cpu_work = util::Time::ns(
+      static_cast<std::int64_t>((1.0 - profile.mem_frac) * ref_ns + 0.5));
+  w.mem_work_ref = ref_wcet - w.cpu_work;
+  w.miss_amp = profile.miss_amp;
+  w.ws_decay = profile.ws_decay;
+  // The profile saturates bw_sat partitions at the reference miss rate:
+  // while executing it issues bw_sat partitions' worth of requests per
+  // regulation period, i.e. ref_wcet/P periods' worth per job.
+  const double periods_per_job =
+      ref_ns / static_cast<double>(cfg.regulation_period.raw_ns());
+  w.mem_requests_ref =
+      profile.bw_sat * cfg.requests_per_partition * periods_per_job;
+  return w;
+}
+
+util::Time profile_wcet(const WorkloadModel& w, unsigned c, unsigned b,
+                        const ProfilingConfig& cfg) {
+  VC2M_CHECK(c >= 1 && c <= cfg.cache_partitions);
+  VC2M_CHECK(b >= 1);
+
+  // Upper-bound the per-job completion time to size the measurement period:
+  // requirement at c, inflated by the worst throttling ratio, plus slack.
+  const double miss = workload::miss_curve(
+      static_cast<double>(c), static_cast<double>(cfg.cache_partitions),
+      w.miss_amp, w.ws_decay);
+  const double req_ns = static_cast<double>(w.cpu_work.raw_ns()) +
+                        static_cast<double>(w.mem_work_ref.raw_ns()) * miss;
+  const double requests = w.mem_requests_ref * miss;
+  const double budget_per_period =
+      static_cast<double>(b) * cfg.requests_per_partition;
+  const double periods_needed = requests / budget_per_period;
+  const double bound_ns =
+      req_ns +
+      (periods_needed + 2.0) *
+          static_cast<double>(cfg.regulation_period.raw_ns());
+
+  // A period slightly past the bound and misaligned with the regulation
+  // period, so successive jobs start at drifting throttle phases.
+  const auto period = util::Time::ns(
+      static_cast<std::int64_t>(bound_ns * 2.0) + 7'777'777);
+
+  SimConfig sim_cfg;
+  sim_cfg.num_cores = 1;
+  sim_cfg.cache_partitions = cfg.cache_partitions;
+  sim_cfg.cache_alloc = {c};
+  sim_cfg.bw_alloc = {b};
+  sim_cfg.bw_regulation = true;
+  sim_cfg.regulation_period = cfg.regulation_period;
+  sim_cfg.requests_per_partition = cfg.requests_per_partition;
+
+  SimVcpuSpec vcpu;  // dedicated VCPU on a dedicated core
+  vcpu.period = period;
+  vcpu.budget = period;
+  vcpu.core = 0;
+  sim_cfg.vcpus = {vcpu};
+
+  SimTaskSpec task;
+  task.period = period;
+  task.cpu_work = w.cpu_work;
+  task.mem_work_ref = w.mem_work_ref;
+  task.miss_amp = w.miss_amp;
+  task.ws_decay = w.ws_decay;
+  task.mem_requests_ref = w.mem_requests_ref;
+  task.vcpu = 0;
+  sim_cfg.tasks = {task};
+
+  Simulation sim(sim_cfg);
+  sim.run(period * static_cast<std::int64_t>(cfg.jobs));
+  const auto stats = sim.stats();
+  VC2M_CHECK_MSG(stats.jobs_completed >= cfg.jobs - 1,
+                 "profiling run failed to complete its jobs");
+  return stats.per_task[0].max_response;
+}
+
+model::WcetFn profile_surface(const WorkloadModel& w,
+                              const model::ResourceGrid& grid,
+                              const ProfilingConfig& cfg) {
+  model::WcetFn f(grid);
+  for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
+    for (unsigned b = grid.b_min; b <= grid.b_max; ++b)
+      f.set(c, b, profile_wcet(w, c, b, cfg));
+  return f;
+}
+
+}  // namespace vc2m::sim

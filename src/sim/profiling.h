@@ -1,0 +1,54 @@
+// WCET profiling on the simulated prototype — the §3.3 / §5.1 methodology.
+//
+// The paper obtains each benchmark's e(c,b) surface by running it on a
+// dedicated VCPU on a dedicated core under every (cache, bandwidth)
+// allocation and measuring execution times. This module reproduces that
+// procedure against the simulator: a WorkloadModel (the physical description
+// a ParsecProfile induces) is run alone under an allocation and the largest
+// observed response time is the measured WCET. Job periods are deliberately
+// misaligned with the regulation period so the measurement sweeps the
+// throttling phase and captures the worst case.
+#pragma once
+
+#include "model/surface.h"
+#include "model/task.h"
+#include "sim/simulation.h"
+#include "workload/parsec.h"
+
+namespace vc2m::sim {
+
+/// Physical description of one benchmark workload: the inputs the simulator
+/// needs (split of CPU vs memory time, miss curve, request volume).
+struct WorkloadModel {
+  util::Time cpu_work;          ///< pure-CPU time per job
+  util::Time mem_work_ref;      ///< memory time per job at full cache
+  double miss_amp = 1.0;
+  double ws_decay = 4.0;
+  double mem_requests_ref = 0;  ///< requests per job at full cache
+};
+
+struct ProfilingConfig {
+  unsigned cache_partitions = 20;  ///< platform C (miss-curve reference)
+  util::Time regulation_period = util::Time::ms(1);
+  double requests_per_partition = 1000.0;
+  unsigned jobs = 25;  ///< runs per allocation, as in §5.1 (25 runs)
+};
+
+/// Derive a WorkloadModel from a ParsecProfile scaled to `ref_wcet` (the
+/// execution time at the full allocation), consistent with the profiling
+/// configuration's bandwidth unit.
+WorkloadModel workload_from_profile(const workload::ParsecProfile& profile,
+                                    util::Time ref_wcet,
+                                    const ProfilingConfig& cfg);
+
+/// Measured WCET of the workload running alone on a dedicated VCPU on a
+/// dedicated core with c cache and b bandwidth partitions.
+util::Time profile_wcet(const WorkloadModel& w, unsigned c, unsigned b,
+                        const ProfilingConfig& cfg);
+
+/// The full measured surface over a resource grid.
+model::WcetFn profile_surface(const WorkloadModel& w,
+                              const model::ResourceGrid& grid,
+                              const ProfilingConfig& cfg);
+
+}  // namespace vc2m::sim

@@ -1,0 +1,216 @@
+#include "sim/simulation.h"
+
+#include "util/error.h"
+#include "workload/parsec.h"
+
+namespace vc2m::sim {
+
+Simulation::Simulation(SimConfig cfg)
+    : cfg_(std::move(cfg)),
+      trace_(cfg_.capture_trace),
+      jitter_rng_(cfg_.jitter_seed) {
+  setup();
+}
+
+Simulation::~Simulation() = default;
+
+void Simulation::setup() {
+  VC2M_CHECK(cfg_.num_cores >= 1);
+  VC2M_CHECK(cfg_.cache_partitions >= 2);
+  if (cfg_.cache_alloc.empty())
+    cfg_.cache_alloc.assign(cfg_.num_cores, cfg_.cache_partitions);
+  if (cfg_.bw_alloc.empty())
+    cfg_.bw_alloc.assign(cfg_.num_cores, cfg_.cache_partitions);
+  VC2M_CHECK(cfg_.cache_alloc.size() == cfg_.num_cores);
+  VC2M_CHECK(cfg_.bw_alloc.size() == cfg_.num_cores);
+
+  cores_.resize(cfg_.num_cores);
+  for (unsigned k = 0; k < cfg_.num_cores; ++k) {
+    cores_[k].cache = cfg_.cache_alloc[k];
+    cores_[k].bw = cfg_.bw_alloc[k];
+    VC2M_CHECK_MSG(cores_[k].cache >= 1 &&
+                       cores_[k].cache <= cfg_.cache_partitions,
+                   "core cache allocation out of range");
+  }
+
+  vcpus_.reserve(cfg_.vcpus.size());
+  for (const auto& vs : cfg_.vcpus) {
+    VC2M_CHECK(vs.period > util::Time::zero());
+    VC2M_CHECK(vs.budget >= util::Time::zero() && vs.budget <= vs.period);
+    VC2M_CHECK_MSG(vs.core < cfg_.num_cores, "VCPU pinned to missing core");
+    VcpuRt v;
+    v.spec = vs;
+    vcpus_.push_back(std::move(v));
+    cores_[vs.core].vcpus.push_back(vcpus_.size() - 1);
+  }
+
+  tasks_.reserve(cfg_.tasks.size());
+  for (const auto& ts : cfg_.tasks) {
+    VC2M_CHECK(ts.period > util::Time::zero());
+    VC2M_CHECK_MSG(ts.vcpu < vcpus_.size(), "task pinned to missing VCPU");
+    TaskRt t;
+    t.spec = ts;
+    tasks_.push_back(std::move(t));
+    vcpus_[ts.vcpu].tasks.push_back(tasks_.size() - 1);
+    refresh_task_model(tasks_.size() - 1);
+    VC2M_CHECK_MSG(tasks_.back().requirement <= ts.period,
+                   "job requirement exceeds the task period");
+  }
+
+  // Bandwidth regulator (constructed even when disabled so that throttled()
+  // queries are uniform).
+  BwRegulator::Config rc;
+  rc.enabled = cfg_.bw_regulation;
+  rc.regulation_period = cfg_.regulation_period;
+  rc.requests_per_partition = cfg_.requests_per_partition;
+  rc.bw_alloc = cfg_.bw_alloc;
+  regulator_ = std::make_unique<BwRegulator>(queue_, trace_, rc);
+  regulator_->set_callbacks(
+      [this](unsigned core) { on_throttle(core); },
+      [this](unsigned core) { on_unthrottle(core); },
+      [this] {
+        for (std::size_t k = 0; k < cores_.size(); ++k) account_core(k);
+      });
+  regulator_->start();
+
+  // Initial releases. Tasks always release at their offset. VCPUs release
+  // at their own offset unless release synchronization is on, in which case
+  // the first hypercall arms them.
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const util::Time offset = tasks_[i].spec.offset;
+    queue_.schedule(offset, [this, i] { task_release(i); });
+    if (cfg_.release_sync) issue_release_sync(i);
+  }
+  if (!cfg_.release_sync)
+    for (std::size_t j = 0; j < vcpus_.size(); ++j)
+      arm_vcpu_release(j, vcpus_[j].spec.offset);
+}
+
+void Simulation::refresh_task_model(std::size_t task_index) {
+  // Execution model: R(c) = cpu + mem·miss(c) and the uniform request rate
+  // on the task's (pinned) core under its *current* cache allocation.
+  TaskRt& t = tasks_[task_index];
+  const SimTaskSpec& ts = t.spec;
+  const unsigned c = cores_[vcpus_[ts.vcpu].spec.core].cache;
+  const double miss = workload::miss_curve(
+      static_cast<double>(c), static_cast<double>(cfg_.cache_partitions),
+      ts.miss_amp, ts.ws_decay);
+  const double mem_ns = static_cast<double>(ts.mem_work_ref.raw_ns()) * miss;
+  t.requirement =
+      ts.cpu_work + util::Time::ns(static_cast<std::int64_t>(mem_ns + 0.5));
+  VC2M_CHECK_MSG(t.requirement > util::Time::zero(),
+                 "job requirement must be positive");
+  const double requests = ts.mem_requests_ref * miss;
+  t.req_rate = requests / static_cast<double>(t.requirement.raw_ns());
+}
+
+void Simulation::schedule_cache_update(util::Time when,
+                                       std::size_t core_index,
+                                       unsigned ways) {
+  VC2M_CHECK_MSG(core_index < cores_.size(), "no such core");
+  VC2M_CHECK_MSG(ways >= 1 && ways <= cfg_.cache_partitions,
+                 "cache ways out of range");
+  queue_.schedule(when, [this, core_index, ways] {
+    apply_cache_update(core_index, ways);
+  });
+}
+
+void Simulation::apply_cache_update(std::size_t core_index, unsigned ways) {
+  // Close the running segment under the old model, then re-derive every
+  // affected task. In-flight jobs keep their *executed* share: the
+  // remaining fraction of the job is re-scaled to the new requirement.
+  account_core(core_index);
+  CoreRt& c = cores_[core_index];
+  const unsigned old_ways = c.cache;
+  if (old_ways == ways) return;
+  c.cache = ways;
+
+  for (const std::size_t vi : c.vcpus) {
+    for (const std::size_t ti : vcpus_[vi].tasks) {
+      TaskRt& t = tasks_[ti];
+      const util::Time old_req = t.requirement;
+      refresh_task_model(ti);
+      for (auto& job : t.pending) {
+        const double frac = static_cast<double>(job.remaining.raw_ns()) /
+                            static_cast<double>(old_req.raw_ns());
+        job.remaining = util::Time::ns(static_cast<std::int64_t>(
+            frac * static_cast<double>(t.requirement.raw_ns()) + 0.5));
+        if (job.remaining.is_zero()) job.remaining = util::Time::ns(1);
+      }
+    }
+  }
+  interrupt_core(core_index);
+}
+
+void Simulation::issue_release_sync(std::size_t task_index) {
+  // The guest computes L = vt_r − vt_0 in VM time at initialization (t=0
+  // wall, vt_0 = skew in VM time); only this *interval* crosses the
+  // hypercall, so differing VM/hypervisor clock bases cancel out. The
+  // hypercall executes after its delay and the hypervisor re-arms the
+  // VCPU's first release at xt_0 + L.
+  //
+  // The kAbsoluteTime mode models the naive protocol the paper rejects:
+  // the guest passes its release time vt_r = vt_0 + L *in VM time* and the
+  // hypervisor mistakes it for its own timeline — the VCPU is mis-armed by
+  // exactly the clock skew.
+  const util::Time L = tasks_[task_index].spec.offset;
+  queue_.schedule(cfg_.hypercall_delay, [this, task_index, L] {
+    const std::size_t vi = tasks_[task_index].spec.vcpu;
+    trace_.record({queue_.now(), TraceKind::kHypercall,
+                   static_cast<std::int32_t>(vcpus_[vi].spec.core),
+                   static_cast<std::int32_t>(vi),
+                   static_cast<std::int32_t>(task_index)});
+    VcpuRt& v = vcpus_[vi];
+    if (v.sync_applied) return;  // first task's hypercall wins
+    v.sync_applied = true;
+    util::Time release;
+    if (cfg_.sync_mode == SimConfig::SyncMode::kInterval) {
+      release = queue_.now() + L;
+    } else {
+      // vt_r in VM time, misread as hypervisor time (never in the past).
+      release = util::max(queue_.now(), cfg_.vm_clock_skew + L);
+    }
+    arm_vcpu_release(vi, release);
+  });
+}
+
+void Simulation::set_probe(HostProbe* probe) {
+  probe_ = probe;
+  regulator_->set_probe(probe);
+}
+
+void Simulation::run(util::Time duration) {
+  VC2M_CHECK(duration > util::Time::zero());
+  duration_ = duration;
+  queue_.run_until(duration);
+}
+
+SimStats Simulation::stats() const {
+  SimStats s;
+  for (const auto& t : tasks_) {
+    s.jobs_released += t.stats.released;
+    s.jobs_completed += t.stats.completed;
+    s.deadline_misses += t.stats.deadline_misses;
+    s.max_tardiness = util::max(s.max_tardiness, t.stats.max_tardiness);
+    s.per_task.push_back(t.stats);
+  }
+  s.vcpu_context_switches = vcpu_switches_;
+  s.task_dispatches = task_dispatches_;
+  s.throttles = trace_.count(TraceKind::kCoreThrottle);
+  s.refills = regulator_->refills();
+  s.total_mem_requests = regulator_->total_requests();
+  const double horizon = static_cast<double>(
+      (duration_.is_zero() ? queue_.now() : duration_).raw_ns());
+  for (const auto& c : cores_) {
+    util::Time busy = c.busy;
+    // Include the still-open segment so stats() can be called mid-run.
+    if (c.running_vcpu != kNone) busy += queue_.now() - c.seg_start;
+    s.core_busy_fraction.push_back(
+        horizon > 0 ? static_cast<double>(busy.raw_ns()) / horizon : 0.0);
+    s.core_throttled_time.push_back(c.throttled_time);
+  }
+  for (const auto& v : vcpus_) s.per_vcpu.push_back(v.stats);
+  return s;
+}
+
+}  // namespace vc2m::sim

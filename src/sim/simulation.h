@@ -1,0 +1,296 @@
+// The vC2M prototype as a discrete-event simulation.
+//
+// Reproduces the runtime behaviour of the paper's Xen + LITMUS^RT prototype:
+//   - a hypervisor-level partitioned-EDF scheduler (the modified RTDS) over
+//     periodic-server VCPUs, with the deterministic tie-break of §3.2
+//     (absolute deadline, then smaller period, then smaller VCPU index) and
+//     throttled-core awareness;
+//   - a guest-level EDF scheduler running each VM's tasks on its VCPUs
+//     (tasks are pinned to VCPUs — partitioned at both levels);
+//   - the memory-bandwidth regulator (BwRegulator), driven by the per-task
+//     memory request rates the execution model derives from the core's
+//     cache allocation;
+//   - task↔VCPU release synchronization via the customized hypercall, with
+//     independent VM/hypervisor clock bases (the protocol transfers only
+//     the interval L, so it is immune to clock skew);
+//   - per-job deadline-miss detection and a full scheduling trace.
+//
+// Execution model: a job's requirement on a core with c cache partitions is
+//   R(c) = cpu_work + mem_work_ref · miss(c)
+// and it issues memory requests uniformly at rate
+//   ρ(c) = mem_requests_ref · miss(c) / R(c)
+// while it executes, where miss(c) is the workload::miss_curve. Restricted
+// bandwidth does NOT change R(c); it manifests through regulator throttling,
+// exactly as on the real machine — the simulator *produces* e(c,b) rather
+// than consuming it (profile with sim::profile_wcet to obtain surfaces).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/bw_regulator.h"
+#include "sim/event_queue.h"
+#include "sim/probe.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace vc2m::sim {
+
+inline constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+struct SimTaskSpec {
+  util::Time period;
+  /// First release, in VM time, relative to task initialization (t = 0).
+  util::Time offset = util::Time::zero();
+  /// Pure-CPU portion of one job.
+  util::Time cpu_work = util::Time::zero();
+  /// Memory-stall portion of one job at the full cache allocation.
+  util::Time mem_work_ref = util::Time::zero();
+  /// Miss-curve parameters (see workload::miss_curve).
+  double miss_amp = 1.0;
+  double ws_decay = 4.0;
+  /// Memory requests one job issues at the full cache allocation.
+  double mem_requests_ref = 0.0;
+  /// Sporadic arrivals: each release is delayed by a uniform random amount
+  /// in [0, arrival_jitter] beyond the minimum inter-arrival `period`
+  /// (zero = strictly periodic, the paper's model). Seeded by
+  /// SimConfig::jitter_seed, so runs are reproducible.
+  util::Time arrival_jitter = util::Time::zero();
+  /// VCPU (index into SimConfig::vcpus) this task is pinned to.
+  std::size_t vcpu = 0;
+};
+
+struct SimVcpuSpec {
+  util::Time period;   ///< Π
+  util::Time budget;   ///< Θ as provisioned for this VCPU's core
+  std::size_t core = 0;
+  int vm = 0;
+  /// First release relative to t = 0 (ignored when release_sync is on —
+  /// the hypercall then sets the first release).
+  util::Time offset = util::Time::zero();
+  /// Periodic (idling) server: consume budget even with no pending job.
+  /// Required for well-regulated execution (Theorem 2); a non-idling
+  /// (deferrable-style) server suspends when idle.
+  bool idling_server = true;
+};
+
+struct SimConfig {
+  unsigned num_cores = 1;
+  /// Total cache partitions C (the miss curves need the reference point).
+  unsigned cache_partitions = 20;
+  /// Cache partitions allocated per core (size num_cores; defaults to C).
+  std::vector<unsigned> cache_alloc;
+  /// Bandwidth partitions allocated per core (size num_cores; defaults to
+  /// the regulator being effectively unconstrained).
+  std::vector<unsigned> bw_alloc;
+  bool bw_regulation = false;
+  util::Time regulation_period = util::Time::ms(1);
+  double requests_per_partition = 1000.0;
+  /// Shared-memory-bus contention model for *unregulated* interference
+  /// studies (§3.3): when the aggregate delivered request rate of the
+  /// running tasks exceeds the bus capacity, memory-active cores slow down
+  /// (proportional bus shares). With BW regulation enabled and per-core
+  /// budgets that sum to at most the capacity, the bus cannot saturate —
+  /// which is precisely the isolation vC2M provides.
+  bool bus_contention = false;
+  /// Bus capacity in requests per regulation period; 0 means "the total
+  /// bandwidth partitions' worth" (B · requests_per_partition).
+  double bus_requests_per_period = 0;
+  /// Task↔VCPU release synchronization (§3.2).
+  bool release_sync = false;
+  util::Time hypercall_delay = util::Time::us(1);
+  /// How the release time crosses the VM/hypervisor boundary. The paper's
+  /// design passes the *interval* L = vt_r − vt_0 precisely because the two
+  /// clocks need not agree; passing the absolute VM-clock release time
+  /// (kAbsoluteTime) mis-arms the VCPU by the clock skew.
+  enum class SyncMode { kInterval, kAbsoluteTime };
+  SyncMode sync_mode = SyncMode::kInterval;
+  /// Offset of the VM's clock relative to the hypervisor's (wall) clock:
+  /// VM time = wall time + skew. Only observable through kAbsoluteTime.
+  util::Time vm_clock_skew = util::Time::zero();
+  /// Cost charged (as budget + wall time) whenever a core switches to a
+  /// different VCPU — models context-switch/cache-reload overhead. The
+  /// analysis accounts for it by inflating VCPU budgets (§4.1 Remarks).
+  util::Time vcpu_switch_cost = util::Time::zero();
+  /// Record full event traces (counters are always on).
+  bool capture_trace = false;
+  /// Seed for sporadic arrival jitter.
+  std::uint64_t jitter_seed = 1;
+
+  std::vector<SimVcpuSpec> vcpus;
+  std::vector<SimTaskSpec> tasks;
+};
+
+struct TaskStats {
+  std::uint64_t released = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  util::Time max_tardiness = util::Time::zero();
+  /// Largest observed response time (completion − release) — the measured
+  /// WCET in the §3.3 profiling methodology.
+  util::Time max_response = util::Time::zero();
+  /// Streaming response-time statistics in milliseconds (mean/stddev/min).
+  util::OnlineStats response_ms;
+};
+
+struct VcpuStats {
+  std::uint64_t releases = 0;      ///< budget replenishments
+  std::uint64_t exhaustions = 0;   ///< periods that ran the budget dry
+  std::uint64_t switches_in = 0;   ///< times scheduled onto the core
+  util::Time budget_consumed = util::Time::zero();
+};
+
+struct SimStats {
+  std::uint64_t jobs_released = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t deadline_misses = 0;
+  util::Time max_tardiness = util::Time::zero();
+  std::uint64_t vcpu_context_switches = 0;
+  std::uint64_t task_dispatches = 0;
+  std::uint64_t throttles = 0;
+  std::uint64_t refills = 0;
+  double total_mem_requests = 0;
+  std::vector<double> core_busy_fraction;
+  /// Wall time each core spent throttled by the BW regulator.
+  std::vector<util::Time> core_throttled_time;
+  std::vector<TaskStats> per_task;
+  std::vector<VcpuStats> per_vcpu;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimConfig cfg);
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Run the simulation for `duration` of simulated time (from t = 0).
+  void run(util::Time duration);
+
+  const Trace& trace() const { return trace_; }
+  SimStats stats() const;
+  const SimConfig& config() const { return cfg_; }
+  const BwRegulator& regulator() const { return *regulator_; }
+
+  /// Host-overhead probe for the Table 1/2 benches (owned by the caller,
+  /// must outlive the simulation).
+  void set_probe(HostProbe* probe);
+
+  /// Dynamic cache repartitioning (the vCAT capability): at `when`, core
+  /// `core_index` switches to `ways` cache partitions. In-flight jobs keep
+  /// their executed progress; the *remaining* work is re-scaled to the new
+  /// miss rate, and memory request rates follow. Call before or during
+  /// run() with `when` in the future.
+  void schedule_cache_update(util::Time when, std::size_t core_index,
+                             unsigned ways);
+
+  /// Runtime VCPU parameter change (the `xl sched-rtds` operation): the
+  /// new (period, budget) take effect at the VCPU's next replenishment —
+  /// the current server period runs out under the old contract, so budget
+  /// accounting is never broken mid-period.
+  void schedule_vcpu_update(util::Time when, std::size_t vcpu_index,
+                            util::Time period, util::Time budget);
+
+ private:
+  // ----- runtime state -----
+  struct Job {
+    std::int64_t seq = 0;
+    util::Time release;
+    util::Time deadline;
+    util::Time remaining;
+    bool missed = false;
+  };
+  struct TaskRt {
+    SimTaskSpec spec;
+    util::Time requirement;  // R(c) on its VCPU's core
+    double req_rate = 0;     // requests per ns while executing
+    std::deque<Job> pending; // released, incomplete jobs (FIFO = EDF here)
+    std::int64_t next_seq = 0;
+    TaskStats stats;
+  };
+  struct VcpuRt {
+    SimVcpuSpec spec;
+    std::vector<std::size_t> tasks;   // indices into tasks_
+    bool released = false;            // in an active period with budget
+    bool sync_applied = false;        // first hypercall already taken
+    util::Time next_release = util::Time::max();
+    util::Time deadline = util::Time::zero();
+    util::Time budget_left = util::Time::zero();
+    EventQueue::Id release_event = EventQueue::kInvalidId;
+    /// Parameter change staged by schedule_vcpu_update; applied at the
+    /// next replenishment.
+    bool pending_update = false;
+    util::Time pending_period = util::Time::zero();
+    util::Time pending_budget = util::Time::zero();
+    VcpuStats stats;
+  };
+  struct CoreRt {
+    std::vector<std::size_t> vcpus;   // indices into vcpus_
+    std::size_t running_vcpu = kNone;
+    std::size_t running_task = kNone; // kNone while burning idle budget
+    util::Time seg_start = util::Time::zero();
+    EventQueue::Id seg_end_event = EventQueue::kInvalidId;
+    bool resched_pending = false;
+    util::Time busy = util::Time::zero();
+    /// Remaining context-switch overhead to burn before the incoming
+    /// VCPU's task may execute (consumes budget and wall time).
+    util::Time overhead_left = util::Time::zero();
+    util::Time throttled_time = util::Time::zero();
+    util::Time throttle_start = util::Time::zero();
+    unsigned cache = 0;
+    unsigned bw = 0;
+    /// Execution speed in (0, 1]: below 1 only when the shared bus is
+    /// saturated and this core's memory requests are being stalled.
+    double exec_rate = 1.0;
+  };
+
+  // ----- setup (simulation.cpp) -----
+  void setup();
+  void issue_release_sync(std::size_t task_index);
+  /// (Re)derive a task's requirement R(c) and request rate from its
+  /// landing core's current cache allocation.
+  void refresh_task_model(std::size_t task_index);
+  void apply_cache_update(std::size_t core_index, unsigned ways);
+
+  // ----- hypervisor level (hypervisor.cpp) -----
+  void defer_reschedule(std::size_t core_index);
+  void plan_segment(std::size_t core_index);
+  void recompute_bus_rates();
+  void vcpu_release(std::size_t vcpu_index);
+  void arm_vcpu_release(std::size_t vcpu_index, util::Time when);
+  void interrupt_core(std::size_t core_index);
+  void handle_boundaries(std::size_t core_index);
+  void account_core(std::size_t core_index);
+  void reschedule_core(std::size_t core_index);
+  void segment_end(std::size_t core_index);
+  std::size_t pick_vcpu(const CoreRt& core) const;
+  bool vcpu_eligible(const VcpuRt& v) const;
+  void on_throttle(unsigned core_index);
+  void on_unthrottle(unsigned core_index);
+
+  // ----- guest level (guest.cpp) -----
+  void task_release(std::size_t task_index);
+  void job_deadline_check(std::size_t task_index, std::int64_t seq);
+  void complete_job(std::size_t task_index);
+  std::size_t pick_task(const VcpuRt& v) const;
+
+  SimConfig cfg_;
+  EventQueue queue_;
+  Trace trace_;
+  std::unique_ptr<BwRegulator> regulator_;
+  std::vector<TaskRt> tasks_;
+  std::vector<VcpuRt> vcpus_;
+  std::vector<CoreRt> cores_;
+  util::Time duration_ = util::Time::zero();
+  util::Rng jitter_rng_{1};
+  std::uint64_t vcpu_switches_ = 0;
+  std::uint64_t task_dispatches_ = 0;
+  HostProbe* probe_ = nullptr;
+};
+
+}  // namespace vc2m::sim

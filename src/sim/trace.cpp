@@ -1,0 +1,31 @@
+#include "sim/trace.h"
+
+namespace vc2m::sim {
+
+std::string to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kJobRelease: return "job-release";
+    case TraceKind::kJobComplete: return "job-complete";
+    case TraceKind::kDeadlineMiss: return "deadline-miss";
+    case TraceKind::kVcpuRelease: return "vcpu-release";
+    case TraceKind::kVcpuBudgetExhausted: return "vcpu-budget-exhausted";
+    case TraceKind::kVcpuSchedule: return "vcpu-schedule";
+    case TraceKind::kVcpuDeschedule: return "vcpu-deschedule";
+    case TraceKind::kTaskDispatch: return "task-dispatch";
+    case TraceKind::kCoreThrottle: return "core-throttle";
+    case TraceKind::kCoreUnthrottle: return "core-unthrottle";
+    case TraceKind::kBwRefill: return "bw-refill";
+    case TraceKind::kHypercall: return "hypercall";
+    case TraceKind::kCount_: break;
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Trace::events_of(TraceKind k) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_)
+    if (ev.kind == k) out.push_back(ev);
+  return out;
+}
+
+}  // namespace vc2m::sim

@@ -1,0 +1,71 @@
+// Scheduling trace and counters produced by the simulator.
+//
+// Mirrors the instrumentation of the prototype: every scheduling decision,
+// budget event, throttle/refill, release and completion can be recorded with
+// its timestamp for offline inspection; cheap counters are always on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace vc2m::sim {
+
+enum class TraceKind : std::uint8_t {
+  kJobRelease,
+  kJobComplete,
+  kDeadlineMiss,
+  kVcpuRelease,          // budget replenished at a period boundary
+  kVcpuBudgetExhausted,
+  kVcpuSchedule,         // VCPU starts running on a core
+  kVcpuDeschedule,
+  kTaskDispatch,         // guest-level task switch within a VCPU
+  kCoreThrottle,
+  kCoreUnthrottle,
+  kBwRefill,
+  kHypercall,            // release-synchronization hypercall executed
+  kCount_,
+};
+
+std::string to_string(TraceKind k);
+
+struct TraceEvent {
+  util::Time when;
+  TraceKind kind;
+  std::int32_t core = -1;
+  std::int32_t vcpu = -1;
+  std::int32_t task = -1;
+  std::int64_t job = -1;  ///< job sequence number within the task
+};
+
+class Trace {
+ public:
+  /// When capture is off (default) only the counters are maintained.
+  explicit Trace(bool capture = false) : capture_(capture) {}
+
+  void record(TraceEvent ev) {
+    ++counts_[static_cast<std::size_t>(ev.kind)];
+    if (capture_) events_.push_back(ev);
+  }
+
+  std::uint64_t count(TraceKind k) const {
+    return counts_[static_cast<std::size_t>(k)];
+  }
+
+  bool capturing() const { return capture_; }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Events of one kind, in time order (requires capture).
+  std::vector<TraceEvent> events_of(TraceKind k) const;
+
+ private:
+  bool capture_;
+  std::vector<TraceEvent> events_;
+  std::array<std::uint64_t, static_cast<std::size_t>(TraceKind::kCount_)>
+      counts_{};
+};
+
+}  // namespace vc2m::sim

@@ -1,0 +1,40 @@
+// Assertion and error-reporting helpers.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vc2m::util {
+
+/// Thrown on violated preconditions and invariants across the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace vc2m::util
+
+/// Precondition/invariant check that is always on (these guard algorithm
+/// correctness, not hot loops; the DES and analyses rely on them in tests).
+#define VC2M_CHECK(expr)                                                    \
+  do {                                                                      \
+    if (!(expr)) ::vc2m::util::detail::fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define VC2M_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::vc2m::util::detail::fail(#expr, __FILE__, __LINE__,              \
+                                 (::std::ostringstream{} << msg).str()); \
+  } while (0)

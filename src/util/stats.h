@@ -1,0 +1,95 @@
+// Summary statistics used by the overhead tables and experiment reports.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vc2m::util {
+
+/// Accumulates samples and reports min/avg/max/stddev and percentiles.
+/// Keeps all samples (overhead tables need exact min/max and percentiles
+/// over bounded-size runs, so memory is not a concern).
+class SampleStats {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const {
+    VC2M_CHECK(!empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+  }
+  double max() const {
+    VC2M_CHECK(!empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+  double mean() const {
+    VC2M_CHECK(!empty());
+    double s = 0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+  double stddev() const {
+    VC2M_CHECK(!empty());
+    const double m = mean();
+    double s = 0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size()));
+  }
+  /// p in [0, 1]; nearest-rank percentile.
+  double percentile(double p) const {
+    VC2M_CHECK(!empty());
+    sort();
+    const double idx = p * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const auto hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sort() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Streaming mean/variance (Welford) for high-volume counters in the DES.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace vc2m::util

@@ -1,0 +1,97 @@
+// Strong integer time type used throughout vC2M.
+//
+// All scheduling math (releases, deadlines, budgets, demand/supply bounds)
+// is performed on integer nanoseconds so that discrete-event ordering and
+// harmonic-period arithmetic are exact. Floating point appears only at the
+// presentation boundary (to_ms/to_us) and in utilization ratios.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+namespace vc2m::util {
+
+/// A point in time or a span of time, in integer nanoseconds.
+///
+/// `Time` is deliberately a single type for both instants and durations:
+/// the scheduling literature freely mixes the two (release + period,
+/// deadline - now) and a separate duration type adds noise without catching
+/// real bugs in this domain.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors; prefer these over the raw-ns constructor.
+  static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+
+  /// Largest representable time; used as "never" in the event queue.
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+  static constexpr Time zero() { return Time{0}; }
+
+  constexpr std::int64_t raw_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  constexpr Time operator-() const { return Time{-ns_}; }
+
+  /// Integer division: how many whole `b` fit in `a`.
+  friend constexpr std::int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+  /// Remainder of the integer division above.
+  friend constexpr Time operator%(Time a, Time b) { return Time{a.ns_ % b.ns_}; }
+
+  /// Exact ratio as a double (utilizations, bandwidth fractions).
+  constexpr double ratio(Time denom) const {
+    return static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_{v} {}
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.raw_ns() << "ns";
+}
+
+constexpr Time min(Time a, Time b) { return a < b ? a : b; }
+constexpr Time max(Time a, Time b) { return a > b ? a : b; }
+
+/// Least common multiple of two periods (hyperperiod building block).
+constexpr Time lcm(Time a, Time b) {
+  const std::int64_t g = std::gcd(a.raw_ns(), b.raw_ns());
+  return Time::ns(a.raw_ns() / g * b.raw_ns());
+}
+
+/// Round `t` up to the next multiple of `step` (step > 0).
+constexpr Time round_up(Time t, Time step) {
+  const std::int64_t q = (t.raw_ns() + step.raw_ns() - 1) / step.raw_ns();
+  return Time::ns(q * step.raw_ns());
+}
+
+/// True iff one of the two periods divides the other (harmonic pair).
+constexpr bool harmonic_pair(Time a, Time b) {
+  if (a.is_zero() || b.is_zero()) return false;
+  return (a.raw_ns() % b.raw_ns() == 0) || (b.raw_ns() % a.raw_ns() == 0);
+}
+
+}  // namespace vc2m::util

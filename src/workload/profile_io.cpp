@@ -1,0 +1,85 @@
+#include "workload/profile_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace vc2m::workload {
+
+void write_surface_csv(std::ostream& os, const model::WcetFn& surface) {
+  VC2M_CHECK(!surface.empty());
+  const auto& g = surface.grid();
+  os << "c,b,wcet_ms\n";
+  for (unsigned c = g.c_min; c <= g.c_max; ++c)
+    for (unsigned b = g.b_min; b <= g.b_max; ++b)
+      os << c << ',' << b << ',' << surface.at(c, b).to_ms() << '\n';
+}
+
+void write_surface_csv(const std::string& path,
+                       const model::WcetFn& surface) {
+  std::ofstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  write_surface_csv(f, surface);
+}
+
+model::WcetFn read_surface_csv(std::istream& is,
+                               const model::ResourceGrid& grid) {
+  grid.validate();
+  model::WcetFn surface(grid);
+  std::vector<bool> seen(grid.size(), false);
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find("wcet_ms") != std::string::npos) continue;  // header
+
+    std::istringstream ss(line);
+    std::string c_s, b_s, w_s;
+    if (!std::getline(ss, c_s, ',') || !std::getline(ss, b_s, ',') ||
+        !std::getline(ss, w_s))
+      throw util::Error("malformed surface CSV line: " + line);
+
+    unsigned c = 0, b = 0;
+    double wcet_ms = 0;
+    try {
+      c = static_cast<unsigned>(std::stoul(c_s));
+      b = static_cast<unsigned>(std::stoul(b_s));
+      wcet_ms = std::stod(w_s);
+    } catch (const std::exception&) {
+      throw util::Error("non-numeric field in surface CSV line: " + line);
+    }
+    if (!grid.contains(c, b))
+      throw util::Error("surface point outside the grid: " + line);
+    if (wcet_ms <= 0)
+      throw util::Error("non-positive WCET in surface CSV line: " + line);
+    const std::size_t idx = grid.index(c, b);
+    if (seen[idx])
+      throw util::Error("duplicate surface point: " + line);
+    seen[idx] = true;
+    surface.set(c, b,
+                util::Time::ns(static_cast<std::int64_t>(wcet_ms * 1e6 + 0.5)));
+  }
+
+  for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
+    for (unsigned b = grid.b_min; b <= grid.b_max; ++b)
+      if (!seen[grid.index(c, b)])
+        throw util::Error("surface CSV missing point (" + std::to_string(c) +
+                          "," + std::to_string(b) + ")");
+
+  if (!surface.monotone_nonincreasing())
+    throw util::Error(
+        "surface is not monotone non-increasing in cache/bandwidth — "
+        "measurement noise must be smoothed before import");
+  return surface;
+}
+
+model::WcetFn read_surface_csv(const std::string& path,
+                               const model::ResourceGrid& grid) {
+  std::ifstream f(path);
+  if (!f.good()) throw util::Error("cannot open " + path);
+  return read_surface_csv(f, grid);
+}
+
+}  // namespace vc2m::workload

@@ -1,0 +1,33 @@
+// Measured WCET-surface exchange format.
+//
+// The intended production workflow mirrors §3.3/§5.1: profile each task on
+// the real machine under every (cache, bandwidth) allocation — vC2M itself
+// is the measurement harness — then feed the dense e(c,b) tables to the
+// allocator. This module serializes such surfaces as CSV
+// (`c,b,wcet_ms` rows, one per grid point) so measurements from any
+// toolchain can be imported.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/resource_grid.h"
+#include "model/surface.h"
+
+namespace vc2m::workload {
+
+/// Write the dense surface, one `c,b,wcet_ms` row per grid point.
+void write_surface_csv(std::ostream& os, const model::WcetFn& surface);
+void write_surface_csv(const std::string& path,
+                       const model::WcetFn& surface);
+
+/// Parse a dense surface over `grid`. Every grid point must appear exactly
+/// once; values must be positive and (physically) monotone non-increasing
+/// in both resources. Throws util::Error otherwise. '#' lines and the
+/// header are ignored.
+model::WcetFn read_surface_csv(std::istream& is,
+                               const model::ResourceGrid& grid);
+model::WcetFn read_surface_csv(const std::string& path,
+                               const model::ResourceGrid& grid);
+
+}  // namespace vc2m::workload

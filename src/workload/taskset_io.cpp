@@ -1,0 +1,76 @@
+#include "workload/taskset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "workload/parsec.h"
+
+namespace vc2m::workload {
+
+void write_taskset_csv(std::ostream& os, const model::Taskset& tasks) {
+  os << "vm,period_ms,ref_wcet_ms,benchmark\n";
+  for (const auto& t : tasks) {
+    VC2M_CHECK_MSG(!t.label.empty(), "task lacks a benchmark label");
+    os << t.vm << ',' << t.period.to_ms() << ','
+       << t.reference_wcet().to_ms() << ',' << t.label << '\n';
+  }
+}
+
+void write_taskset_csv(const std::string& path, const model::Taskset& tasks) {
+  std::ofstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  write_taskset_csv(f, tasks);
+}
+
+model::Taskset read_taskset_csv(std::istream& is,
+                                const model::ResourceGrid& grid) {
+  grid.validate();
+  model::Taskset tasks;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.find("period_ms") != std::string::npos) continue;  // header
+
+    std::istringstream ss(line);
+    std::string vm_s, period_s, wcet_s, bench;
+    if (!std::getline(ss, vm_s, ',') || !std::getline(ss, period_s, ',') ||
+        !std::getline(ss, wcet_s, ',') || !std::getline(ss, bench))
+      throw util::Error("malformed taskset CSV line: " + line);
+
+    double period_ms = 0, wcet_ms = 0;
+    int vm = 0;
+    try {
+      vm = std::stoi(vm_s);
+      period_ms = std::stod(period_s);
+      wcet_ms = std::stod(wcet_s);
+    } catch (const std::exception&) {
+      throw util::Error("non-numeric field in taskset CSV line: " + line);
+    }
+    if (period_ms <= 0 || wcet_ms <= 0 || wcet_ms > period_ms)
+      throw util::Error("implausible task parameters in line: " + line);
+
+    const auto& profile = find_profile(bench);
+    model::Task t;
+    t.vm = vm;
+    t.period = util::Time::ns(static_cast<std::int64_t>(period_ms * 1e6));
+    const auto ref =
+        util::Time::ns(static_cast<std::int64_t>(wcet_ms * 1e6 + 0.5));
+    t.wcet = model::WcetFn::from_slowdown(ref, profile.surface(grid));
+    t.max_wcet = util::Time::ns(static_cast<std::int64_t>(
+        static_cast<double>(ref.raw_ns()) * profile.max_slowdown(grid)));
+    t.label = bench;
+    tasks.push_back(std::move(t));
+  }
+  if (tasks.empty()) throw util::Error("taskset CSV contained no tasks");
+  return tasks;
+}
+
+model::Taskset read_taskset_csv(const std::string& path,
+                                const model::ResourceGrid& grid) {
+  std::ifstream f(path);
+  if (!f.good()) throw util::Error("cannot open " + path);
+  return read_taskset_csv(f, grid);
+}
+
+}  // namespace vc2m::workload

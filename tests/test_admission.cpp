@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "analysis/schedulability.h"
+#include "core/admission.h"
+#include "core/solutions.h"
+#include "model/platform.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vc2m::core {
+namespace {
+
+using model::PlatformSpec;
+using model::Taskset;
+using util::Rng;
+
+Taskset vm_taskset(double util, int vm_id, std::uint64_t seed) {
+  workload::GeneratorConfig cfg;
+  cfg.grid = PlatformSpec::A().grid;
+  cfg.target_ref_utilization = util;
+  Rng rng(seed);
+  auto tasks = workload::generate_taskset(cfg, rng);
+  for (auto& t : tasks) t.vm = vm_id;
+  return tasks;
+}
+
+AdmissionState boot_system(double util, std::uint64_t seed) {
+  const auto platform = PlatformSpec::A();
+  const auto tasks = vm_taskset(util, 0, seed);
+  Rng rng(seed + 1);
+  const auto res =
+      solve(Solution::kHeuristicOverheadFree, tasks, platform, {}, rng);
+  AdmissionState state;
+  state.vcpus = res.vcpus;
+  state.mapping = res.mapping;
+  return state;
+}
+
+void expect_consistent(const AdmissionState& st,
+                       const PlatformSpec& platform) {
+  EXPECT_LE(st.mapping.total_cache(), platform.total_cache());
+  EXPECT_LE(st.mapping.total_bw(), platform.total_bw());
+  EXPECT_LE(st.mapping.cores_used, platform.cores);
+  std::size_t placed = 0;
+  for (unsigned k = 0; k < st.mapping.cores_used; ++k) {
+    placed += st.mapping.vcpus_on_core[k].size();
+    EXPECT_TRUE(analysis::core_schedulable(st.vcpus,
+                                           st.mapping.vcpus_on_core[k],
+                                           st.mapping.cache[k],
+                                           st.mapping.bw[k]))
+        << "core " << k;
+  }
+  EXPECT_EQ(placed, st.vcpus.size());
+}
+
+TEST(Admission, SmallVmJoinsRunningSystem) {
+  const auto platform = PlatformSpec::A();
+  const auto base = boot_system(0.8, 10);
+  ASSERT_TRUE(base.mapping.schedulable);
+
+  const auto newcomer = vm_taskset(0.3, 1, 11);
+  Rng rng(12);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  const auto res = admit_vm(base, newcomer, 1, platform, vm, rng);
+  ASSERT_TRUE(res.admitted);
+  expect_consistent(res.state, platform);
+  EXPECT_GT(res.state.vcpus.size(), base.vcpus.size());
+}
+
+TEST(Admission, ExistingVcpusAreNeverMovedOrShrunk) {
+  const auto platform = PlatformSpec::A();
+  const auto base = boot_system(0.9, 20);
+  const auto newcomer = vm_taskset(0.4, 1, 21);
+  Rng rng(22);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  const auto res = admit_vm(base, newcomer, 1, platform, vm, rng);
+  if (!res.admitted) GTEST_SKIP();
+
+  // Every pre-existing VCPU stays on its core; its core never lost
+  // partitions.
+  for (unsigned k = 0; k < base.mapping.cores_used; ++k) {
+    EXPECT_GE(res.state.mapping.cache[k], base.mapping.cache[k]);
+    EXPECT_GE(res.state.mapping.bw[k], base.mapping.bw[k]);
+    for (const std::size_t v : base.mapping.vcpus_on_core[k]) {
+      const auto& now = res.state.mapping.vcpus_on_core[k];
+      EXPECT_NE(std::find(now.begin(), now.end(), v), now.end());
+    }
+  }
+}
+
+TEST(Admission, OverloadIsRejectedAtomically) {
+  const auto platform = PlatformSpec::A();
+  const auto base = boot_system(1.2, 30);
+  ASSERT_TRUE(base.mapping.schedulable);
+  const auto monster = vm_taskset(3.5, 1, 31);
+  Rng rng(32);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  const auto res = admit_vm(base, monster, 1, platform, vm, rng);
+  EXPECT_FALSE(res.admitted);
+  // Rejection leaves no partial state behind.
+  EXPECT_TRUE(res.state.vcpus.empty());
+}
+
+TEST(Admission, DuplicateVmIdRejected) {
+  const auto platform = PlatformSpec::A();
+  const auto base = boot_system(0.5, 40);
+  const auto dup = vm_taskset(0.2, 0, 41);  // vm id 0 already running
+  Rng rng(42);
+  EXPECT_THROW(admit_vm(base, dup, 0, platform, {}, rng), util::Error);
+}
+
+TEST(Admission, RemoveVmCompactsState) {
+  const auto platform = PlatformSpec::A();
+  auto base = boot_system(0.7, 50);
+  const auto newcomer = vm_taskset(0.3, 1, 51);
+  Rng rng(52);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  const auto admitted = admit_vm(base, newcomer, 1, platform, vm, rng);
+  ASSERT_TRUE(admitted.admitted);
+
+  const auto after = remove_vm(admitted.state, 1);
+  EXPECT_EQ(after.vcpus.size(), base.vcpus.size());
+  for (const auto& v : after.vcpus) EXPECT_NE(v.vm, 1);
+  expect_consistent(after, platform);
+}
+
+TEST(Admission, RemoveUnknownVmThrows) {
+  const auto base = boot_system(0.5, 60);
+  EXPECT_THROW(remove_vm(base, 77), util::Error);
+}
+
+TEST(Admission, AdmitRemoveCycleIsStable) {
+  // Admit and remove a sequence of VMs; the system must stay consistent
+  // and end with only the original VM.
+  const auto platform = PlatformSpec::A();
+  AdmissionState state = boot_system(0.6, 70);
+  const std::size_t original = state.vcpus.size();
+  Rng rng(71);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  for (int round = 1; round <= 4; ++round) {
+    const auto tasks = vm_taskset(0.25, round, 72 + round);
+    const auto res = admit_vm(state, tasks, round, platform, vm, rng);
+    if (res.admitted) {
+      state = res.state;
+      expect_consistent(state, platform);
+    }
+  }
+  for (int round = 1; round <= 4; ++round) {
+    const bool present = std::any_of(
+        state.vcpus.begin(), state.vcpus.end(),
+        [&](const model::Vcpu& v) { return v.vm == round; });
+    if (present) state = remove_vm(state, round);
+  }
+  EXPECT_EQ(state.vcpus.size(), original);
+  expect_consistent(state, platform);
+}
+
+}  // namespace
+}  // namespace vc2m::core

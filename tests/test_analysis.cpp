@@ -1,0 +1,429 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/dbf.h"
+#include "analysis/prm.h"
+#include "analysis/regulated.h"
+#include "analysis/schedulability.h"
+#include "analysis/theorems.h"
+#include "model/task.h"
+#include "util/error.h"
+
+namespace vc2m::analysis {
+namespace {
+
+using model::ResourceGrid;
+using model::Surface;
+using model::Task;
+using model::Taskset;
+using model::WcetFn;
+using util::Time;
+
+ResourceGrid grid() { return ResourceGrid{2, 4, 1, 3}; }
+
+Surface flat_slowdown(double worst = 2.0) {
+  Surface s(grid());
+  for (unsigned c = 2; c <= 4; ++c)
+    for (unsigned b = 1; b <= 3; ++b) {
+      const double frac =
+          (static_cast<double>(4 - c) / 2.0 + static_cast<double>(3 - b) / 2.0) / 2.0;
+      s.set(c, b, 1.0 + (worst - 1.0) * frac);
+    }
+  return s;
+}
+
+Task make_task(Time period, Time ref_wcet, int vm = 0) {
+  Task t;
+  t.period = period;
+  t.wcet = WcetFn::from_slowdown(ref_wcet, flat_slowdown());
+  t.max_wcet = ref_wcet * 2;
+  t.vm = vm;
+  return t;
+}
+
+// ----------------------------------------------------------------- dbf ----
+
+TEST(Dbf, ImplicitDeadlineDemand) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(2)},
+                              {Time::ms(20), Time::ms(5)}};
+  EXPECT_EQ(dbf(ts, Time::ms(5)), Time::zero());
+  EXPECT_EQ(dbf(ts, Time::ms(10)), Time::ms(2));
+  EXPECT_EQ(dbf(ts, Time::ms(20)), Time::ms(2 * 2 + 5));
+  EXPECT_EQ(dbf(ts, Time::ms(40)), Time::ms(4 * 2 + 2 * 5));
+}
+
+TEST(Dbf, TotalUtilization) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(2)},
+                              {Time::ms(20), Time::ms(5)}};
+  EXPECT_DOUBLE_EQ(total_utilization(ts), 0.45);
+}
+
+TEST(Dbf, CheckpointsAreDeadlinesUpToHorizon) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(1)},
+                              {Time::ms(25), Time::ms(1)}};
+  const auto pts = dbf_checkpoints(ts, Time::ms(50));
+  const std::vector<Time> expected{Time::ms(10), Time::ms(20), Time::ms(25),
+                                   Time::ms(30), Time::ms(40), Time::ms(50)};
+  EXPECT_EQ(pts, expected);
+}
+
+TEST(Dbf, HyperperiodLcm) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(1)},
+                              {Time::ms(25), Time::ms(1)}};
+  EXPECT_EQ(hyperperiod(ts), Time::ms(50));
+}
+
+// ----------------------------------------------------------------- PRM ----
+
+TEST(Prm, SbfOfFullProcessorIsIdentity) {
+  const Prm prm{Time::ms(10), Time::ms(10)};
+  for (int t = 0; t <= 40; t += 3)
+    EXPECT_EQ(prm.sbf(Time::ms(t)), Time::ms(t));
+}
+
+TEST(Prm, SbfWorstCaseDelayAndRamps) {
+  // Π = 10, Θ = 4: no supply before 2(Π−Θ) = 12, then ramps of length Θ.
+  const Prm prm{Time::ms(10), Time::ms(4)};
+  EXPECT_EQ(prm.sbf(Time::ms(6)), Time::zero());
+  EXPECT_EQ(prm.sbf(Time::ms(12)), Time::zero());
+  EXPECT_EQ(prm.sbf(Time::ms(14)), Time::ms(2));
+  EXPECT_EQ(prm.sbf(Time::ms(16)), Time::ms(4));  // one full chunk
+  EXPECT_EQ(prm.sbf(Time::ms(22)), Time::ms(4));  // plateau
+  EXPECT_EQ(prm.sbf(Time::ms(26)), Time::ms(8));
+}
+
+TEST(Prm, SbfIsMonotoneAndDominatesLsbf) {
+  const Prm prm{Time::ms(10), Time::ms(55) - Time::ms(49)};  // Θ = 6ms
+  Time prev = Time::zero();
+  for (int t = 0; t <= 100; ++t) {
+    const Time s = prm.sbf(Time::ms(t));
+    EXPECT_GE(s, prev);
+    EXPECT_GE(static_cast<double>(s.raw_ns()) + 1e-6, prm.lsbf(Time::ms(t)));
+    prev = s;
+  }
+}
+
+TEST(Prm, PaperExampleTask10_1NeedsBudget5_5) {
+  // The motivating example of §1: a single task (p=10, e=1) requires a
+  // minimum PRM budget of 5.5 at Π = 10 — 55× the task's utilization.
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(1)}};
+  const auto theta = min_budget_edf(ts, Time::ms(10));
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_EQ(*theta, Time::us(5'500));
+}
+
+TEST(Prm, MinBudgetIsTightAtTheSchedulabilityBoundary) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(2)},
+                              {Time::ms(20), Time::ms(4)}};
+  const auto theta = min_budget_edf(ts, Time::ms(10));
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_TRUE(edf_schedulable_on_prm(ts, {Time::ms(10), *theta}));
+  EXPECT_FALSE(edf_schedulable_on_prm(
+      ts, {Time::ms(10), *theta - Time::ns(1)}));
+}
+
+TEST(Prm, MinBudgetAtLeastUtilizationShare) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(3)},
+                              {Time::ms(40), Time::ms(8)}};
+  const auto theta = min_budget_edf(ts, Time::ms(10));
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_GE(theta->ratio(Time::ms(10)), total_utilization(ts) - 1e-12);
+}
+
+TEST(Prm, OverloadedTasksetHasNoBudget) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(8)},
+                              {Time::ms(10), Time::ms(8)}};
+  EXPECT_FALSE(min_budget_edf(ts, Time::ms(10)).has_value());
+}
+
+TEST(Prm, EmptyTasksetNeedsNothing) {
+  const std::vector<PTask> ts;
+  EXPECT_EQ(min_budget_edf(ts, Time::ms(10)), Time::zero());
+  EXPECT_TRUE(edf_schedulable_on_prm(ts, {Time::ms(10), Time::zero()}));
+}
+
+TEST(Prm, FullBandwidthTasksetNeedsFullProcessor) {
+  // U = 1 requires Θ = Π (any supply gap breaks it).
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(10)}};
+  const auto theta = min_budget_edf(ts, Time::ms(10));
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_EQ(*theta, Time::ms(10));
+}
+
+// A parameterized sweep: the abstraction overhead (Θ/Π vs utilization) of a
+// single task (p, e) grows as utilization shrinks — the phenomenon vC2M
+// eliminates.
+class AbstractionOverheadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AbstractionOverheadTest, BudgetExceedsUtilizationShare) {
+  const Time p = Time::ms(10);
+  const Time e = Time::us(GetParam());
+  const std::vector<PTask> ts{{p, e}};
+  const auto theta = min_budget_edf(ts, p);
+  ASSERT_TRUE(theta.has_value());
+  const double bandwidth = theta->ratio(p);
+  const double util = e.ratio(p);
+  EXPECT_GE(bandwidth, util);
+  // (Π + e)/2 is the analytic minimum for a single task with Π = p:
+  // sbf(p) = 2Θ − (Π − ... ) ⇒ Θ = (p + e)/2.
+  EXPECT_EQ(*theta, Time::ns((p.raw_ns() + e.raw_ns()) / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Utilizations, AbstractionOverheadTest,
+                         ::testing::Values(100, 500, 1000, 2000, 5000, 9000));
+
+// ---------------------------------------------------- regulated supply ----
+
+TEST(RegulatedSupply, SbfExposesOneGapOnly) {
+  // Π = 10, Θ = 4: within one period the worst window loses Π−Θ = 6.
+  const RegulatedSupply wr{Time::ms(10), Time::ms(4)};
+  EXPECT_EQ(wr.sbf(Time::ms(6)), Time::zero());
+  EXPECT_EQ(wr.sbf(Time::ms(8)), Time::ms(2));
+  EXPECT_EQ(wr.sbf(Time::ms(10)), Time::ms(4));  // full period: exactly Θ
+  EXPECT_EQ(wr.sbf(Time::ms(20)), Time::ms(8));
+  EXPECT_EQ(wr.sbf(Time::ms(26)), Time::ms(8));  // gap inside period 3
+  EXPECT_EQ(wr.sbf(Time::ms(28)), Time::ms(10));
+}
+
+TEST(RegulatedSupply, DominatesPrmSupplyEverywhere) {
+  for (int theta_ms = 1; theta_ms <= 10; ++theta_ms) {
+    const RegulatedSupply wr{Time::ms(10), Time::ms(theta_ms)};
+    const Prm prm{Time::ms(10), Time::ms(theta_ms)};
+    for (int t = 0; t <= 100; ++t)
+      EXPECT_GE(wr.sbf(Time::ms(t)), prm.sbf(Time::ms(t)))
+          << "theta " << theta_ms << " t " << t;
+  }
+}
+
+TEST(RegulatedSupply, SbfIsMonotone) {
+  const RegulatedSupply wr{Time::ms(7), Time::ms(3)};
+  Time prev = Time::zero();
+  for (int t = 0; t < 70; ++t) {
+    const Time s = wr.sbf(Time::us(t * 500));
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+TEST(RegulatedSupply, HarmonicAlignedNeedsOnlyUtilizationBandwidth) {
+  // Theorem 2's interface passes the general regulated test: a harmonic
+  // taskset with Π = min period and Θ = Π·U is schedulable.
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(1)},
+                              {Time::ms(20), Time::ms(3)},
+                              {Time::ms(40), Time::ms(4)}};
+  const Time theta = Time::us(3'500);  // 10ms · 0.35
+  EXPECT_TRUE(edf_schedulable_on_regulated(ts, {Time::ms(10), theta}));
+  // And it is tight: one nanosecond less fails at the hyperperiod.
+  EXPECT_FALSE(edf_schedulable_on_regulated(
+      ts, {Time::ms(10), theta - Time::ns(1)}));
+}
+
+TEST(RegulatedSupply, MinBudgetNeverExceedsPrmMinBudget) {
+  const std::vector<std::vector<PTask>> cases = {
+      {{Time::ms(10), Time::ms(1)}},
+      {{Time::ms(10), Time::ms(2)}, {Time::ms(20), Time::ms(4)}},
+      {{Time::ms(15), Time::ms(3)}, {Time::ms(10), Time::ms(1)}},
+  };
+  for (const auto& ts : cases) {
+    const auto wr = min_budget_regulated(ts, Time::ms(10));
+    const auto prm = min_budget_edf(ts, Time::ms(10));
+    ASSERT_TRUE(wr.has_value());
+    ASSERT_TRUE(prm.has_value());
+    EXPECT_LE(*wr, *prm);
+  }
+}
+
+TEST(RegulatedSupply, MotivatingExampleNeedsLessThanPrm) {
+  // (p=10, e=1): PRM needs Θ = 5.5; a well-regulated VCPU needs only
+  // Θ with sbf(10) = Θ − ... : 10 − (10−Θ) ≥ 1 → Θ ≥ 1... but dbf at
+  // 10 requires sbf(10) = Θ ≥ 1, so Θ = 1: fully overhead-free.
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(1)}};
+  const auto wr = min_budget_regulated(ts, Time::ms(10));
+  ASSERT_TRUE(wr.has_value());
+  EXPECT_EQ(*wr, Time::ms(1));
+}
+
+TEST(RegulatedSupply, NonHarmonicTasksStillBenefit) {
+  // Periods 10 and 15 are not harmonic, so Theorem 2 does not apply, but
+  // the regulated supply still beats the PRM abstraction.
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(2)},
+                              {Time::ms(15), Time::ms(3)}};
+  const auto wr = min_budget_regulated(ts, Time::ms(5));
+  const auto prm = min_budget_edf(ts, Time::ms(5));
+  ASSERT_TRUE(wr.has_value());
+  ASSERT_TRUE(prm.has_value());
+  EXPECT_LT(*wr, *prm);
+}
+
+TEST(RegulatedSupply, OverloadRejected) {
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(6)},
+                              {Time::ms(10), Time::ms(6)}};
+  EXPECT_FALSE(min_budget_regulated(ts, Time::ms(10)).has_value());
+}
+
+// ------------------------------------------------------------ theorems ----
+
+TEST(Theorem1, FlattenedVcpuMirrorsTask) {
+  const auto t = make_task(Time::ms(10), Time::ms(1));
+  const auto v = flattened_vcpu(t, 7);
+  EXPECT_EQ(v.period, t.period);
+  EXPECT_EQ(v.tasks, (std::vector<std::size_t>{7}));
+  for (unsigned c = 2; c <= 4; ++c)
+    for (unsigned b = 1; b <= 3; ++b)
+      EXPECT_EQ(v.budget.at(c, b), t.wcet.at(c, b));
+  // Zero abstraction overhead: bandwidth equals utilization everywhere.
+  EXPECT_DOUBLE_EQ(v.reference_utilization(), t.reference_utilization());
+}
+
+TEST(Theorem1, FlattenWholeTaskset) {
+  const Taskset ts{make_task(Time::ms(10), Time::ms(1)),
+                   make_task(Time::ms(20), Time::ms(2))};
+  const auto vs = flatten(ts);
+  ASSERT_EQ(vs.size(), 2u);
+  EXPECT_EQ(vs[0].tasks[0], 0u);
+  EXPECT_EQ(vs[1].tasks[0], 1u);
+}
+
+TEST(Theorem2, RegulatedVcpuBandwidthEqualsUtilization) {
+  const Taskset ts{make_task(Time::ms(10), Time::ms(1)),
+                   make_task(Time::ms(20), Time::ms(3)),
+                   make_task(Time::ms(40), Time::ms(4))};
+  const std::vector<std::size_t> idx{0, 1, 2};
+  const auto v = regulated_vcpu(ts, idx);
+  EXPECT_EQ(v.period, Time::ms(10));  // min period
+  // Θ* = Π · (1/10 + 3/20 + 4/40) = 10 · 0.35 = 3.5ms.
+  EXPECT_EQ(v.reference_budget(), Time::us(3'500));
+  // And the same identity holds at every grid point.
+  for (unsigned c = 2; c <= 4; ++c)
+    for (unsigned b = 1; b <= 3; ++b) {
+      double u = 0;
+      for (const auto& t : ts) u += t.utilization(c, b);
+      EXPECT_NEAR(v.utilization(c, b), u, 1e-6);
+      // Rounded up, never down.
+      EXPECT_GE(v.utilization(c, b), u - 1e-12);
+    }
+}
+
+TEST(Theorem2, SingleTaskReducesToFlattening) {
+  const Taskset ts{make_task(Time::ms(10), Time::ms(2))};
+  const std::vector<std::size_t> idx{0};
+  const auto v = regulated_vcpu(ts, idx);
+  EXPECT_EQ(v.period, Time::ms(10));
+  EXPECT_EQ(v.reference_budget(), Time::ms(2));
+}
+
+TEST(Theorem2, RejectsNonHarmonicTasks) {
+  const Taskset ts{make_task(Time::ms(10), Time::ms(1)),
+                   make_task(Time::ms(15), Time::ms(1))};
+  const std::vector<std::size_t> idx{0, 1};
+  EXPECT_THROW(regulated_vcpu(ts, idx), util::Error);
+}
+
+TEST(Theorem2, OverheadFreeBeatsExistingCsaOnTheMotivatingExample)
+{
+  // Existing CSA needs Θ = 5.5 for the (10, 1) task; Theorem 2 needs 1.
+  const Taskset ts{make_task(Time::ms(10), Time::ms(1))};
+  const std::vector<std::size_t> idx{0};
+  const auto v = regulated_vcpu(ts, idx);
+  EXPECT_EQ(v.reference_budget(), Time::ms(1));
+  const std::vector<PTask> pt{{Time::ms(10), Time::ms(1)}};
+  const auto theta = min_budget_edf(pt, Time::ms(10));
+  ASSERT_TRUE(theta.has_value());
+  EXPECT_EQ(*theta / v.reference_budget(), 5);  // 5.5ms vs 1ms
+}
+
+// ------------------------------------------------------ harmonic chains ----
+
+TEST(HarmonicGroups, FullyHarmonicStaysOneGroup) {
+  const Taskset ts{make_task(Time::ms(100), Time::ms(1)),
+                   make_task(Time::ms(400), Time::ms(1)),
+                   make_task(Time::ms(200), Time::ms(1))};
+  const std::vector<std::size_t> idx{0, 1, 2};
+  const auto groups = harmonic_groups(ts, idx);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 3u);
+}
+
+TEST(HarmonicGroups, MixedPeriodsSplitIntoChains) {
+  const Taskset ts{make_task(Time::ms(100), Time::ms(1)),   // chain A
+                   make_task(Time::ms(150), Time::ms(1)),   // chain B
+                   make_task(Time::ms(200), Time::ms(1)),   // chain A
+                   make_task(Time::ms(300), Time::ms(1))};  // chain B
+  const std::vector<std::size_t> idx{0, 1, 2, 3};
+  const auto groups = harmonic_groups(ts, idx);
+  ASSERT_EQ(groups.size(), 2u);
+  // Every group is internally harmonic and the groups partition the input.
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    total += g.size();
+    for (std::size_t a = 0; a < g.size(); ++a)
+      for (std::size_t b = a + 1; b < g.size(); ++b)
+        EXPECT_TRUE(util::harmonic_pair(ts[g[a]].period, ts[g[b]].period));
+  }
+  EXPECT_EQ(total, idx.size());
+}
+
+TEST(HarmonicGroups, PairwiseCoprimePeriodsAllSeparate) {
+  const Taskset ts{make_task(Time::ms(7), Time::ms(1)),
+                   make_task(Time::ms(11), Time::ms(1)),
+                   make_task(Time::ms(13), Time::ms(1))};
+  const std::vector<std::size_t> idx{0, 1, 2};
+  EXPECT_EQ(harmonic_groups(ts, idx).size(), 3u);
+}
+
+// ------------------------------------------------------ schedulability ----
+
+std::vector<model::Vcpu> two_vcpus(Time ref1, Time ref2) {
+  const Taskset ts{make_task(Time::ms(10), ref1),
+                   make_task(Time::ms(10), ref2)};
+  return flatten(ts);
+}
+
+TEST(CoreSched, UtilizationSumsAcrossVcpus) {
+  const auto vs = two_vcpus(Time::ms(3), Time::ms(4));
+  EXPECT_DOUBLE_EQ(core_utilization(vs, 4, 3), 0.7);
+  EXPECT_TRUE(core_schedulable(vs, 4, 3));
+}
+
+TEST(CoreSched, ExactBoundaryIsSchedulable) {
+  const auto vs = two_vcpus(Time::ms(5), Time::ms(5));
+  EXPECT_TRUE(core_schedulable(vs, 4, 3));   // exactly 1.0
+  const auto over = two_vcpus(Time::ms(5), Time::ms(5) + Time::ns(1));
+  EXPECT_FALSE(core_schedulable(over, 4, 3));
+}
+
+TEST(CoreSched, SubsetSelection) {
+  const auto vs = two_vcpus(Time::ms(6), Time::ms(6));
+  const std::vector<std::size_t> only_first{0};
+  EXPECT_FALSE(core_schedulable(vs, 4, 3));  // 1.2 together
+  EXPECT_TRUE(core_schedulable(vs, only_first, 4, 3));
+}
+
+TEST(CoreSched, ResourceStarvedAllocationRaisesUtilization) {
+  const auto vs = two_vcpus(Time::ms(3), Time::ms(3));
+  EXPECT_GT(core_utilization(vs, 2, 1), core_utilization(vs, 4, 3));
+}
+
+TEST(Inflation, AddsConstantEverywhere) {
+  Taskset ts{make_task(Time::ms(10), Time::ms(1))};
+  const Time before_max = ts[0].max_wcet;
+  inflate_tasks(ts, Time::us(50));
+  EXPECT_EQ(ts[0].wcet.at(4, 3), Time::ms(1) + Time::us(50));
+  EXPECT_EQ(ts[0].max_wcet, before_max + Time::us(50));
+
+  auto vs = flatten(ts);
+  const Time theta_before = vs[0].budget.at(2, 1);
+  inflate_vcpus(vs, Time::us(25));
+  EXPECT_EQ(vs[0].budget.at(2, 1), theta_before + Time::us(25));
+}
+
+TEST(Inflation, ZeroIsNoOp) {
+  Taskset ts{make_task(Time::ms(10), Time::ms(1))};
+  const Time before = ts[0].wcet.at(3, 2);
+  inflate_tasks(ts, Time::zero());
+  EXPECT_EQ(ts[0].wcet.at(3, 2), before);
+}
+
+}  // namespace
+}  // namespace vc2m::analysis

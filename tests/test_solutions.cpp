@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/solutions.h"
+#include "model/platform.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace vc2m::core {
+namespace {
+
+using model::PlatformSpec;
+using model::Taskset;
+using util::Rng;
+
+Taskset generated(double util, std::uint64_t seed = 1, int vms = 1) {
+  workload::GeneratorConfig cfg;
+  cfg.grid = PlatformSpec::A().grid;
+  cfg.target_ref_utilization = util;
+  cfg.num_vms = vms;
+  Rng rng(seed);
+  return workload::generate_taskset(cfg, rng);
+}
+
+TEST(Solutions, NamesMatchThePaperLegend) {
+  EXPECT_EQ(to_string(Solution::kHeuristicFlattening),
+            "Heuristic (flattening)");
+  EXPECT_EQ(to_string(Solution::kBaselineExistingCsa),
+            "Baseline (existing CSA)");
+  EXPECT_EQ(all_solutions().size(), 5u);
+}
+
+class AllSolutionsTest : public ::testing::TestWithParam<Solution> {};
+
+TEST_P(AllSolutionsTest, LightWorkloadIsSchedulableEverywhere) {
+  const auto ts = generated(0.25, 2);
+  Rng rng(3);
+  const auto res = solve(GetParam(), ts, PlatformSpec::A(), {}, rng);
+  EXPECT_TRUE(res.schedulable) << to_string(GetParam());
+  EXPECT_GE(res.seconds, 0.0);
+}
+
+TEST_P(AllSolutionsTest, ObviouslyImpossibleWorkloadFailsEverywhere) {
+  const auto ts = generated(4.5, 4);
+  Rng rng(5);
+  const auto res = solve(GetParam(), ts, PlatformSpec::A(), {}, rng);
+  EXPECT_FALSE(res.schedulable) << to_string(GetParam());
+}
+
+TEST_P(AllSolutionsTest, SchedulableResultHasConsistentMapping) {
+  const auto ts = generated(0.9, 6);
+  Rng rng(7);
+  const auto res = solve(GetParam(), ts, PlatformSpec::A(), {}, rng);
+  if (!res.schedulable) return;
+  ASSERT_FALSE(res.vcpus.empty());
+  std::size_t placed = 0;
+  for (const auto& core : res.mapping.vcpus_on_core) placed += core.size();
+  EXPECT_EQ(placed, res.vcpus.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiveSolutions, AllSolutionsTest,
+    ::testing::ValuesIn(all_solutions()),
+    [](const auto& info) {
+      switch (info.param) {
+        case Solution::kHeuristicFlattening: return "HeuristicFlattening";
+        case Solution::kHeuristicOverheadFree: return "HeuristicOverheadFree";
+        case Solution::kHeuristicExistingCsa: return "HeuristicExistingCsa";
+        case Solution::kEvenPartitionOverheadFree: return "EvenPartition";
+        case Solution::kBaselineExistingCsa: return "Baseline";
+      }
+      return "Unknown";
+    });
+
+TEST(Solutions, Vc2mSchedulesWorkloadsTheBaselineCannot) {
+  // The headline claim: at moderate utilization the baseline collapses
+  // under abstraction overhead + worst-case WCETs while vC2M succeeds.
+  int flattening = 0, baseline = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto ts = generated(1.0, 100 + seed);
+    Rng r1(seed), r2(seed);
+    flattening +=
+        solve(Solution::kHeuristicFlattening, ts, PlatformSpec::A(), {}, r1)
+            .schedulable;
+    baseline +=
+        solve(Solution::kBaselineExistingCsa, ts, PlatformSpec::A(), {}, r2)
+            .schedulable;
+  }
+  EXPECT_GT(flattening, baseline);
+  EXPECT_GE(flattening, 6);  // vC2M handles util 1.0 comfortably (Fig. 2a)
+}
+
+TEST(Solutions, MultiVmWorkloadsSupported) {
+  const auto ts = generated(0.8, 9, /*vms=*/3);
+  Rng rng(10);
+  const auto res =
+      solve(Solution::kHeuristicOverheadFree, ts, PlatformSpec::A(), {}, rng);
+  EXPECT_TRUE(res.schedulable);
+  for (const auto& v : res.vcpus)
+    for (const auto t : v.tasks) EXPECT_EQ(ts[t].vm, v.vm);
+}
+
+TEST(Solutions, BaselineBudgetsIgnoreResources) {
+  const auto ts = generated(0.4, 11);
+  Rng rng(12);
+  const auto res =
+      solve(Solution::kBaselineExistingCsa, ts, PlatformSpec::A(), {}, rng);
+  for (const auto& v : res.vcpus) {
+    const auto& g = v.budget.grid();
+    EXPECT_EQ(v.budget.at(g.c_min, g.b_min), v.budget.at(g.c_max, g.b_max));
+  }
+}
+
+// ---------------------------------------------------------- experiment ----
+
+TEST(Experiment, SmallSweepProducesOrderedFractions) {
+  ExperimentConfig cfg;
+  cfg.platform = PlatformSpec::A();
+  cfg.util_lo = 0.4;
+  cfg.util_hi = 1.2;
+  cfg.util_step = 0.4;
+  cfg.tasksets_per_point = 6;
+  cfg.seed = 99;
+  const auto result = run_schedulability_experiment(cfg);
+  ASSERT_EQ(result.points.size(), 3u);
+  for (const auto& pt : result.points) {
+    ASSERT_EQ(pt.per_solution.size(), 5u);
+    for (const auto& sp : pt.per_solution) {
+      EXPECT_EQ(sp.total, 6);
+      EXPECT_GE(sp.fraction(), 0.0);
+      EXPECT_LE(sp.fraction(), 1.0);
+    }
+  }
+  // At 0.4 every solution should do well; flattening at least as well as
+  // the baseline at every point.
+  for (const auto& pt : result.points)
+    EXPECT_GE(pt.per_solution[0].fraction() + 1e-12,
+              pt.per_solution[4].fraction());
+}
+
+TEST(Experiment, BreakdownUtilizationIsMonotoneInThreshold) {
+  ExperimentConfig cfg;
+  cfg.platform = PlatformSpec::A();
+  cfg.util_lo = 0.3;
+  cfg.util_hi = 0.9;
+  cfg.util_step = 0.3;
+  cfg.tasksets_per_point = 4;
+  cfg.solutions = {Solution::kHeuristicFlattening};
+  cfg.seed = 7;
+  const auto result = run_schedulability_experiment(cfg);
+  EXPECT_GE(result.breakdown_utilization(0, 0.5),
+            result.breakdown_utilization(0, 0.999));
+}
+
+TEST(Experiment, TableHasHeaderAndAllRows) {
+  ExperimentConfig cfg;
+  cfg.platform = PlatformSpec::A();
+  cfg.util_lo = 0.5;
+  cfg.util_hi = 0.5;
+  cfg.util_step = 0.1;
+  cfg.tasksets_per_point = 2;
+  cfg.solutions = {Solution::kHeuristicOverheadFree,
+                   Solution::kBaselineExistingCsa};
+  cfg.seed = 3;
+  const auto result = run_schedulability_experiment(cfg);
+  std::ostringstream os;
+  result.to_table(/*runtimes=*/true).print(os);
+  EXPECT_NE(os.str().find("0.50"), std::string::npos);
+  EXPECT_NE(os.str().find("Baseline (existing CSA)"), std::string::npos);
+}
+
+TEST(Experiment, ProgressCallbackInvokedPerPoint) {
+  ExperimentConfig cfg;
+  cfg.platform = PlatformSpec::A();
+  cfg.util_lo = 0.2;
+  cfg.util_hi = 0.6;
+  cfg.util_step = 0.2;
+  cfg.tasksets_per_point = 1;
+  cfg.solutions = {Solution::kHeuristicFlattening};
+  cfg.seed = 5;
+  int calls = 0;
+  run_schedulability_experiment(cfg, [&](int done, int total) {
+    ++calls;
+    EXPECT_EQ(total, 3);
+    EXPECT_EQ(done, calls);
+  });
+  EXPECT_EQ(calls, 3);
+}
+
+}  // namespace
+}  // namespace vc2m::core

@@ -1,0 +1,237 @@
+// vc2m — command-line front end to the allocator.
+//
+//   vc2m profiles
+//       List the PARSEC profile library and key slowdown figures.
+//
+//   vc2m generate --util U [--dist uniform|light|medium|heavy] [--vms N]
+//                 [--seed S] [--platform A|B|C]
+//       Emit a random §5.1 taskset as CSV (vm,period_ms,ref_wcet_ms,benchmark).
+//
+//   vc2m solve --file tasks.csv [--platform A|B|C] [--solution flat|ovf|
+//              existing|even|baseline] [--seed S]
+//       Read a taskset CSV, run the chosen solution, print the allocation
+//       (VCPUs, cores, cache/BW partitions and the CAT capacity bitmasks).
+//
+//   vc2m simulate --file tasks.csv [--platform P] [--solution S] [--seed S]
+//       Solve as above, then deploy the allocation onto the simulated
+//       hypervisor and execute three hyperperiods, reporting deadline
+//       misses and core utilization.
+//
+// CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
+// from the profile's slowdown vectors scaled to the given reference WCET.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solutions.h"
+#include "hw/cat.h"
+#include "sim/deploy.h"
+#include "sim/simulation.h"
+#include "model/platform.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/parsec.h"
+#include "workload/taskset_io.h"
+
+namespace {
+
+using namespace vc2m;
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::string platform = "A";
+  std::string solution = "flat";
+  std::string dist = "uniform";
+  double util = 1.0;
+  int vms = 1;
+  std::uint64_t seed = 42;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cerr << "usage: vc2m profiles\n"
+               "       vc2m generate --util U [--dist D] [--vms N] [--seed S]"
+               " [--platform P]\n"
+               "       vc2m solve --file tasks.csv [--platform P] "
+               "[--solution S] [--seed S]\n";
+  std::exit(code);
+}
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage(2);
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--file") a.file = next();
+    else if (arg == "--platform") a.platform = next();
+    else if (arg == "--solution") a.solution = next();
+    else if (arg == "--dist") a.dist = next();
+    else if (arg == "--util") a.util = std::stod(next());
+    else if (arg == "--vms") a.vms = std::stoi(next());
+    else if (arg == "--seed") a.seed = std::stoull(next());
+    else usage(2);
+  }
+  return a;
+}
+
+model::PlatformSpec platform_of(const std::string& name) {
+  if (name == "A" || name == "a") return model::PlatformSpec::A();
+  if (name == "B" || name == "b") return model::PlatformSpec::B();
+  if (name == "C" || name == "c") return model::PlatformSpec::C();
+  throw util::Error("unknown platform '" + name + "' (A, B, or C)");
+}
+
+core::Solution solution_of(const std::string& name) {
+  if (name == "flat") return core::Solution::kHeuristicFlattening;
+  if (name == "ovf") return core::Solution::kHeuristicOverheadFree;
+  if (name == "existing") return core::Solution::kHeuristicExistingCsa;
+  if (name == "even") return core::Solution::kEvenPartitionOverheadFree;
+  if (name == "baseline") return core::Solution::kBaselineExistingCsa;
+  throw util::Error("unknown solution '" + name +
+                    "' (flat|ovf|existing|even|baseline)");
+}
+
+workload::UtilDist dist_of(const std::string& name) {
+  if (name == "uniform") return workload::UtilDist::kUniform;
+  if (name == "light") return workload::UtilDist::kBimodalLight;
+  if (name == "medium") return workload::UtilDist::kBimodalMedium;
+  if (name == "heavy") return workload::UtilDist::kBimodalHeavy;
+  throw util::Error("unknown distribution '" + name + "'");
+}
+
+int cmd_profiles() {
+  const auto grid = model::PlatformSpec::A().grid;
+  util::Table table({"benchmark", "mem share", "s(Cmin,Bmin)", "s(C/4,B/4)",
+                     "s_max"});
+  table.set_precision(2);
+  for (const auto& p : workload::parsec_suite())
+    table.add_row(p.name, p.mem_frac,
+                  p.slowdown(grid.c_min, grid.b_min, grid),
+                  p.slowdown(grid.c_max / 4.0, grid.b_max / 4.0, grid),
+                  p.max_slowdown(grid));
+  table.print(std::cout, "PARSEC profile library (Platform A grid)");
+  return 0;
+}
+
+int cmd_generate(const Args& a) {
+  workload::GeneratorConfig cfg;
+  cfg.grid = platform_of(a.platform).grid;
+  cfg.target_ref_utilization = a.util;
+  cfg.dist = dist_of(a.dist);
+  cfg.num_vms = a.vms;
+  util::Rng rng(a.seed);
+  workload::write_taskset_csv(std::cout,
+                              workload::generate_taskset(cfg, rng));
+  return 0;
+}
+
+int cmd_solve(const Args& a) {
+  if (a.file.empty()) usage(2);
+  const auto platform = platform_of(a.platform);
+  const auto tasks = workload::read_taskset_csv(a.file, platform.grid);
+  std::cout << "Loaded " << tasks.size() << " tasks (reference utilization "
+            << model::total_reference_utilization(tasks) << ") onto "
+            << platform.name << "\n";
+
+  util::Rng rng(a.seed);
+  const auto res =
+      core::solve(solution_of(a.solution), tasks, platform, {}, rng);
+  if (!res.schedulable) {
+    std::cout << "NOT schedulable under "
+              << core::to_string(solution_of(a.solution)) << "\n";
+    return 1;
+  }
+
+  std::cout << "Schedulable on " << res.mapping.cores_used
+            << " core(s) with " << core::to_string(solution_of(a.solution))
+            << " (" << res.seconds << " s analysis)\n\n";
+  util::Table table({"core", "cache", "bw", "CBM", "VCPUs (Pi/Theta ms)"});
+  hw::MsrFile msr(platform.cores);
+  hw::Cat cat(msr, platform.total_cache(), 16, platform.grid.c_min);
+  std::vector<unsigned> ways(platform.cores, 0);
+  for (unsigned k = 0; k < res.mapping.cores_used; ++k)
+    ways[k] = res.mapping.cache[k];
+  cat.program_disjoint_plan(ways);
+
+  for (unsigned k = 0; k < res.mapping.cores_used; ++k) {
+    std::ostringstream vcpus;
+    for (const auto vi : res.mapping.vcpus_on_core[k]) {
+      const auto& v = res.vcpus[vi];
+      char buf[48];
+      std::snprintf(buf, sizeof buf, " [%.0f/%.2f]", v.period.to_ms(),
+                    v.budget.at(res.mapping.cache[k], res.mapping.bw[k])
+                        .to_ms());
+      vcpus << buf;
+    }
+    char cbm[24];
+    std::snprintf(cbm, sizeof cbm, "0x%05llx",
+                  static_cast<unsigned long long>(cat.effective_mask(k)));
+    table.add_row(static_cast<int>(k), static_cast<int>(res.mapping.cache[k]),
+                  static_cast<int>(res.mapping.bw[k]), cbm, vcpus.str());
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  if (a.file.empty()) usage(2);
+  const auto platform = platform_of(a.platform);
+  const auto tasks = workload::read_taskset_csv(a.file, platform.grid);
+  util::Rng rng(a.seed);
+  const auto res =
+      core::solve(solution_of(a.solution), tasks, platform, {}, rng);
+  if (!res.schedulable) {
+    std::cout << "NOT schedulable under "
+              << core::to_string(solution_of(a.solution))
+              << " — nothing to simulate\n";
+    return 1;
+  }
+
+  sim::DeployConfig dc;
+  dc.release_sync =
+      solution_of(a.solution) == core::Solution::kHeuristicFlattening;
+  sim::Simulation s(
+      sim::deploy(tasks, res.vcpus, res.mapping, platform, dc));
+  const auto horizon = model::hyperperiod(tasks) * 3;
+  s.run(horizon);
+  const auto st = s.stats();
+
+  std::cout << "Simulated " << horizon.to_ms() << " ms on "
+            << res.mapping.cores_used << " core(s)\n";
+  util::Table table({"metric", "value"});
+  table.add_row("jobs released", static_cast<int>(st.jobs_released));
+  table.add_row("jobs completed", static_cast<int>(st.jobs_completed));
+  table.add_row("deadline misses", static_cast<int>(st.deadline_misses));
+  table.add_row("VCPU context switches",
+                static_cast<int>(st.vcpu_context_switches));
+  for (std::size_t k = 0; k < st.core_busy_fraction.size(); ++k)
+    table.add_row("core " + std::to_string(k) + " busy",
+                  st.core_busy_fraction[k]);
+  table.print(std::cout);
+  return st.deadline_misses == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "profiles") return cmd_profiles();
+    if (a.command == "generate") return cmd_generate(a);
+    if (a.command == "solve") return cmd_solve(a);
+    if (a.command == "simulate") return cmd_simulate(a);
+    usage(2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
