@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_platforms.dir/bench_fig2_platforms.cpp.o"
+  "CMakeFiles/bench_fig2_platforms.dir/bench_fig2_platforms.cpp.o.d"
+  "bench_fig2_platforms"
+  "bench_fig2_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vm_count.dir/bench_vm_count.cpp.o"
+  "CMakeFiles/bench_vm_count.dir/bench_vm_count.cpp.o.d"
+  "bench_vm_count"
+  "bench_vm_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vm_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wcet_isolation.dir/bench_wcet_isolation.cpp.o"
+  "CMakeFiles/bench_wcet_isolation.dir/bench_wcet_isolation.cpp.o.d"
+  "bench_wcet_isolation"
+  "bench_wcet_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcet_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

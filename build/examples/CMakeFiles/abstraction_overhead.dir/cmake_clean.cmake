@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abstraction_overhead.dir/abstraction_overhead.cpp.o"
+  "CMakeFiles/abstraction_overhead.dir/abstraction_overhead.cpp.o.d"
+  "abstraction_overhead"
+  "abstraction_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abstraction_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_consolidation.dir/automotive_consolidation.cpp.o"
+  "CMakeFiles/automotive_consolidation.dir/automotive_consolidation.cpp.o.d"
+  "automotive_consolidation"
+  "automotive_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_regulation_demo.dir/bw_regulation_demo.cpp.o"
+  "CMakeFiles/bw_regulation_demo.dir/bw_regulation_demo.cpp.o.d"
+  "bw_regulation_demo"
+  "bw_regulation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_regulation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dynamic_repartition.cpp" "examples/CMakeFiles/dynamic_repartition.dir/dynamic_repartition.cpp.o" "gcc" "examples/CMakeFiles/dynamic_repartition.dir/dynamic_repartition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vc2m_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vc2m_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vc2m_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vc2m_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vc2m_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vc2m_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

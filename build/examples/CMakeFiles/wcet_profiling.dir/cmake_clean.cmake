@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcet_profiling.dir/wcet_profiling.cpp.o"
+  "CMakeFiles/wcet_profiling.dir/wcet_profiling.cpp.o.d"
+  "wcet_profiling"
+  "wcet_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcet_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dbf.cpp" "src/analysis/CMakeFiles/vc2m_analysis.dir/dbf.cpp.o" "gcc" "src/analysis/CMakeFiles/vc2m_analysis.dir/dbf.cpp.o.d"
+  "/root/repo/src/analysis/prm.cpp" "src/analysis/CMakeFiles/vc2m_analysis.dir/prm.cpp.o" "gcc" "src/analysis/CMakeFiles/vc2m_analysis.dir/prm.cpp.o.d"
+  "/root/repo/src/analysis/regulated.cpp" "src/analysis/CMakeFiles/vc2m_analysis.dir/regulated.cpp.o" "gcc" "src/analysis/CMakeFiles/vc2m_analysis.dir/regulated.cpp.o.d"
+  "/root/repo/src/analysis/schedulability.cpp" "src/analysis/CMakeFiles/vc2m_analysis.dir/schedulability.cpp.o" "gcc" "src/analysis/CMakeFiles/vc2m_analysis.dir/schedulability.cpp.o.d"
+  "/root/repo/src/analysis/theorems.cpp" "src/analysis/CMakeFiles/vc2m_analysis.dir/theorems.cpp.o" "gcc" "src/analysis/CMakeFiles/vc2m_analysis.dir/theorems.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/vc2m_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m_analysis.dir/dbf.cpp.o"
+  "CMakeFiles/vc2m_analysis.dir/dbf.cpp.o.d"
+  "CMakeFiles/vc2m_analysis.dir/prm.cpp.o"
+  "CMakeFiles/vc2m_analysis.dir/prm.cpp.o.d"
+  "CMakeFiles/vc2m_analysis.dir/regulated.cpp.o"
+  "CMakeFiles/vc2m_analysis.dir/regulated.cpp.o.d"
+  "CMakeFiles/vc2m_analysis.dir/schedulability.cpp.o"
+  "CMakeFiles/vc2m_analysis.dir/schedulability.cpp.o.d"
+  "CMakeFiles/vc2m_analysis.dir/theorems.cpp.o"
+  "CMakeFiles/vc2m_analysis.dir/theorems.cpp.o.d"
+  "libvc2m_analysis.a"
+  "libvc2m_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

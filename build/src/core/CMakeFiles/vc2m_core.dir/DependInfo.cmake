@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/vc2m_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/core/CMakeFiles/vc2m_core.dir/exact.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/exact.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/vc2m_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/hv_alloc.cpp" "src/core/CMakeFiles/vc2m_core.dir/hv_alloc.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/hv_alloc.cpp.o.d"
+  "/root/repo/src/core/kmeans.cpp" "src/core/CMakeFiles/vc2m_core.dir/kmeans.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/kmeans.cpp.o.d"
+  "/root/repo/src/core/solutions.cpp" "src/core/CMakeFiles/vc2m_core.dir/solutions.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/solutions.cpp.o.d"
+  "/root/repo/src/core/vm_alloc.cpp" "src/core/CMakeFiles/vc2m_core.dir/vm_alloc.cpp.o" "gcc" "src/core/CMakeFiles/vc2m_core.dir/vm_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/vc2m_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vc2m_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vc2m_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m_core.dir/admission.cpp.o"
+  "CMakeFiles/vc2m_core.dir/admission.cpp.o.d"
+  "CMakeFiles/vc2m_core.dir/exact.cpp.o"
+  "CMakeFiles/vc2m_core.dir/exact.cpp.o.d"
+  "CMakeFiles/vc2m_core.dir/experiment.cpp.o"
+  "CMakeFiles/vc2m_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/vc2m_core.dir/hv_alloc.cpp.o"
+  "CMakeFiles/vc2m_core.dir/hv_alloc.cpp.o.d"
+  "CMakeFiles/vc2m_core.dir/kmeans.cpp.o"
+  "CMakeFiles/vc2m_core.dir/kmeans.cpp.o.d"
+  "CMakeFiles/vc2m_core.dir/solutions.cpp.o"
+  "CMakeFiles/vc2m_core.dir/solutions.cpp.o.d"
+  "CMakeFiles/vc2m_core.dir/vm_alloc.cpp.o"
+  "CMakeFiles/vc2m_core.dir/vm_alloc.cpp.o.d"
+  "libvc2m_core.a"
+  "libvc2m_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

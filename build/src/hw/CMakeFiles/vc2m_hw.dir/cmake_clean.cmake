@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m_hw.dir/cat.cpp.o"
+  "CMakeFiles/vc2m_hw.dir/cat.cpp.o.d"
+  "CMakeFiles/vc2m_hw.dir/vcat.cpp.o"
+  "CMakeFiles/vc2m_hw.dir/vcat.cpp.o.d"
+  "libvc2m_hw.a"
+  "libvc2m_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m_model.dir/task.cpp.o"
+  "CMakeFiles/vc2m_model.dir/task.cpp.o.d"
+  "libvc2m_model.a"
+  "libvc2m_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bw_regulator.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/bw_regulator.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/bw_regulator.cpp.o.d"
+  "/root/repo/src/sim/deploy.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/deploy.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/deploy.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/guest.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/guest.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/guest.cpp.o.d"
+  "/root/repo/src/sim/hypervisor.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/hypervisor.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/sim/profiling.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/profiling.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/profiling.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/simulation.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/simulation.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/vc2m_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/vc2m_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vc2m_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vc2m_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/vc2m_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vc2m_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vc2m_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m_sim.dir/bw_regulator.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/bw_regulator.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/deploy.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/deploy.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/guest.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/guest.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/hypervisor.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/profiling.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/profiling.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/simulation.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/vc2m_sim.dir/trace.cpp.o"
+  "CMakeFiles/vc2m_sim.dir/trace.cpp.o.d"
+  "libvc2m_sim.a"
+  "libvc2m_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvc2m_sim.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vc2m_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/vc2m_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/vc2m_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/parsec.cpp" "src/workload/CMakeFiles/vc2m_workload.dir/parsec.cpp.o" "gcc" "src/workload/CMakeFiles/vc2m_workload.dir/parsec.cpp.o.d"
+  "/root/repo/src/workload/profile_io.cpp" "src/workload/CMakeFiles/vc2m_workload.dir/profile_io.cpp.o" "gcc" "src/workload/CMakeFiles/vc2m_workload.dir/profile_io.cpp.o.d"
+  "/root/repo/src/workload/taskset_io.cpp" "src/workload/CMakeFiles/vc2m_workload.dir/taskset_io.cpp.o" "gcc" "src/workload/CMakeFiles/vc2m_workload.dir/taskset_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/vc2m_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

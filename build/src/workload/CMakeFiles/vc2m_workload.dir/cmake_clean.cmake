@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m_workload.dir/generator.cpp.o"
+  "CMakeFiles/vc2m_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/vc2m_workload.dir/parsec.cpp.o"
+  "CMakeFiles/vc2m_workload.dir/parsec.cpp.o.d"
+  "CMakeFiles/vc2m_workload.dir/profile_io.cpp.o"
+  "CMakeFiles/vc2m_workload.dir/profile_io.cpp.o.d"
+  "CMakeFiles/vc2m_workload.dir/taskset_io.cpp.o"
+  "CMakeFiles/vc2m_workload.dir/taskset_io.cpp.o.d"
+  "libvc2m_workload.a"
+  "libvc2m_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_admission.cpp" "tests/CMakeFiles/test_core.dir/test_admission.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_admission.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/test_core.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_exact.cpp" "tests/CMakeFiles/test_core.dir/test_exact.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_exact.cpp.o.d"
+  "/root/repo/tests/test_solutions.cpp" "tests/CMakeFiles/test_core.dir/test_solutions.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_solutions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vc2m_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vc2m_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vc2m_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vc2m_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_admission.cpp.o"
+  "CMakeFiles/test_core.dir/test_admission.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core.cpp.o"
+  "CMakeFiles/test_core.dir/test_core.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_exact.cpp.o"
+  "CMakeFiles/test_core.dir/test_exact.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_solutions.cpp.o"
+  "CMakeFiles/test_core.dir/test_solutions.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

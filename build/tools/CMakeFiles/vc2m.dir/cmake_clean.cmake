@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc2m.dir/vc2m_cli.cpp.o"
+  "CMakeFiles/vc2m.dir/vc2m_cli.cpp.o.d"
+  "vc2m"
+  "vc2m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc2m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
