@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under ASan and UBSan.
+#
+#   scripts/check.sh            # both sanitizers
+#   scripts/check.sh address    # just one
+#
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/) so the
+# regular build/ stays untouched. Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+sanitizers=("${@:-address undefined}")
+[ $# -eq 0 ] && sanitizers=(address undefined)
+
+for san in "${sanitizers[@]}"; do
+  case "$san" in
+    address)   dir=build-asan ;;
+    undefined) dir=build-ubsan ;;
+    *)         dir="build-$san" ;;
+  esac
+  echo "=== ${san}: configure (${dir}/) ==="
+  cmake -B "$dir" -S . -DVC2M_SANITIZE="$san" >/dev/null
+  echo "=== ${san}: build ==="
+  cmake --build "$dir" -j "$(nproc)"
+  echo "=== ${san}: ctest ==="
+  (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+done
+
+echo "All sanitizer runs passed."

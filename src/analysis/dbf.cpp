@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "util/error.h"
+#include "util/instrument.h"
 
 namespace vc2m::analysis {
 
 util::Time dbf(std::span<const PTask> tasks, util::Time t) {
+  if (auto* ctr = util::alloc_counters()) ++ctr->dbf_evaluations;
   util::Time demand = util::Time::zero();
   for (const auto& tk : tasks) {
     VC2M_CHECK(tk.period > util::Time::zero());

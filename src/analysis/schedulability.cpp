@@ -1,6 +1,7 @@
 #include "analysis/schedulability.h"
 
 #include "util/error.h"
+#include "util/instrument.h"
 #include "util/time.h"
 
 namespace vc2m::analysis {
@@ -62,7 +63,12 @@ double core_utilization(std::span<const model::Vcpu> vcpus, unsigned c,
 bool core_schedulable(std::span<const model::Vcpu> vcpus,
                       std::span<const std::size_t> on_core, unsigned c,
                       unsigned b) {
-  return utilization_at_most_one(vcpus, on_core, c, b);
+  const bool ok = utilization_at_most_one(vcpus, on_core, c, b);
+  if (auto* ctr = util::alloc_counters()) {
+    ++ctr->admission_tests;
+    ctr->admission_passed += ok ? 1 : 0;
+  }
+  return ok;
 }
 
 bool core_schedulable(std::span<const model::Vcpu> vcpus, unsigned c,

@@ -1,6 +1,7 @@
 #include "core/hv_alloc.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <numeric>
 
@@ -8,6 +9,7 @@
 #include "core/kmeans.h"
 #include "core/vm_alloc.h"
 #include "util/error.h"
+#include "util/instrument.h"
 
 namespace vc2m::core {
 
@@ -119,6 +121,8 @@ bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
           --pool_b;
           granted = true;
         }
+        if (granted)
+          if (auto* ctr = util::alloc_counters()) ++ctr->partition_grants;
       }
       if (!granted) return false;  // pools dry or cores saturated
       continue;
@@ -153,6 +157,7 @@ bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
       }
     }
     if (best_core == m || best_gain <= 1e-15) return false;  // no impact
+    if (auto* ctr = util::alloc_counters()) ++ctr->partition_grants;
     if (best_is_cache) {
       ++st.cache[best_core];
       --pool_c;
@@ -213,6 +218,7 @@ bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
       st.on_core[dest].push_back(src[pos]);
       src.erase(src.begin() + static_cast<std::ptrdiff_t>(pos));
       moved_any = true;
+      if (auto* ctr = util::alloc_counters()) ++ctr->vcpu_migrations;
     }
   }
   return moved_any;
@@ -230,10 +236,34 @@ HvAllocResult to_result(CoreState&& st, bool schedulable) {
 
 }  // namespace
 
+namespace {
+
+/// RAII wall timer adding its scope's duration to an AllocCounters field.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double util::AllocCounters::* field)
+      : field_(field), start_(std::chrono::steady_clock::now()) {}
+  ~PhaseTimer() {
+    if (auto* ctr = util::alloc_counters())
+      ctr->*field_ += std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double util::AllocCounters::* field_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
                                  const model::PlatformSpec& platform,
                                  const HvAllocConfig& cfg, util::Rng& rng) {
   VC2M_CHECK(!vcpus.empty());
+  PhaseTimer timer(&util::AllocCounters::hv_alloc_seconds);
   const auto& grid = platform.grid;
 
   // Fast infeasibility screens at the full allocation (C, B).
@@ -262,6 +292,7 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
          ++perm_iter) {
       CoreState st =
           phase1_pack(vcpus, clusters, rng.permutation(k), m, grid);
+      if (auto* ctr = util::alloc_counters()) ++ctr->candidate_packings;
       for (unsigned round = 0; round < cfg.max_balance_rounds; ++round) {
         if (phase2_resources(vcpus, st, platform, cfg.phase2))
           return to_result(std::move(st), true);
@@ -276,6 +307,7 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
 HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
                                       const model::PlatformSpec& platform) {
   VC2M_CHECK(!vcpus.empty());
+  PhaseTimer timer(&util::AllocCounters::hv_alloc_seconds);
   const auto& grid = platform.grid;
   const unsigned m = platform.cores;
   const unsigned c_even =

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/instrument.h"
 
 namespace vc2m::core {
 
@@ -73,6 +74,7 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
   res.centroids = seed_centroids(points, k, rng);
   res.assignment.assign(points.size(), 0);
 
+  double last_shift = 0;  // centroid movement of the final update step
   for (unsigned iter = 0; iter < max_iters; ++iter) {
     res.iterations = iter + 1;
     // Assignment step.
@@ -127,6 +129,18 @@ KMeansResult kmeans(const std::vector<std::vector<double>>& points,
       for (std::size_t d = 0; d < dim; ++d)
         res.centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
     }
+    last_shift = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      std::vector<double> updated(dim);
+      for (std::size_t d = 0; d < dim; ++d)
+        updated[d] = sums[c][d] / static_cast<double>(counts[c]);
+      last_shift += squared_distance(res.centroids[c], updated);
+    }
+  }
+  if (auto* ctr = util::alloc_counters()) {
+    ++ctr->kmeans_runs;
+    ctr->kmeans_iterations += res.iterations;
+    ctr->kmeans_final_shift += last_shift;
   }
   return res;
 }

@@ -147,9 +147,11 @@ SolveResult solve(Solution s, const model::Taskset& tasks,
   analysis::inflate_tasks(inflated, cfg.task_inflation);
 
   const auto t0 = std::chrono::steady_clock::now();
+  util::AllocCounterScope scope;
   SolveResult res = dispatch(s, inflated, platform, cfg, rng);
   const auto t1 = std::chrono::steady_clock::now();
   res.seconds = std::chrono::duration<double>(t1 - t0).count();
+  res.counters = scope.counters();
   return res;
 }
 

@@ -22,6 +22,7 @@
 #include "core/vm_alloc.h"
 #include "model/platform.h"
 #include "model/task.h"
+#include "util/instrument.h"
 #include "util/rng.h"
 
 namespace vc2m::core {
@@ -54,6 +55,10 @@ struct SolveResult {
   std::vector<model::Vcpu> vcpus;
   HvAllocResult mapping;
   double seconds = 0;  ///< wall-clock analysis + allocation time
+  /// What the allocator did: clustering effort, admission tests, dbf
+  /// evaluations, search coverage, per-phase wall time (src/obs reports
+  /// these through the metrics registry).
+  util::AllocCounters counters;
 };
 
 /// Run one solution on one taskset. Tasks must share the platform's

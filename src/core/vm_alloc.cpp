@@ -1,6 +1,7 @@
 #include "core/vm_alloc.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <numeric>
@@ -10,6 +11,7 @@
 #include "analysis/theorems.h"
 #include "core/kmeans.h"
 #include "util/error.h"
+#include "util/instrument.h"
 
 namespace vc2m::core {
 
@@ -210,12 +212,17 @@ std::vector<model::Vcpu> allocate_vm_heuristic(
 std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
                                                 const VmAllocConfig& cfg,
                                                 util::Rng& rng) {
+  const auto t0 = std::chrono::steady_clock::now();
   std::vector<model::Vcpu> all;
   for (const auto& vm_idx : tasks_by_vm(tasks)) {
     auto vcpus = allocate_vm_heuristic(tasks, vm_idx, cfg, rng);
     all.insert(all.end(), std::make_move_iterator(vcpus.begin()),
                std::make_move_iterator(vcpus.end()));
   }
+  if (auto* ctr = util::alloc_counters())
+    ctr->vm_alloc_seconds += std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
   return all;
 }
 

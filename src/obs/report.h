@@ -1,0 +1,30 @@
+// Human-readable metrics report for `vc2m simulate --report`.
+//
+// Renders the end-of-run picture as aligned tables (util::Table): per-core
+// utilization / throttle / idle fractions, per-task response-time ratios
+// (max and registry-histogram quantiles), per-VCPU server behaviour, and —
+// when an allocator produced the deployment — the allocator effort
+// counters. write_metrics_dump() is the raw alternative: every metric in
+// the registry, name-sorted, one per line.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/metrics.h"
+#include "sim/simulation.h"
+#include "util/instrument.h"
+
+namespace vc2m::obs {
+
+/// The full report. `registry` may carry the MetricsRecorder's histograms
+/// (used for response-ratio quantiles); pass an empty registry to skip the
+/// quantile columns. `alloc` is optional.
+void write_report(std::ostream& os, const sim::SimConfig& cfg,
+                  const sim::SimStats& stats, const MetricsRegistry& registry,
+                  util::Time duration,
+                  const util::AllocCounters* alloc = nullptr);
+
+/// Raw dump: one `name value` line per metric, deterministic order.
+void write_metrics_dump(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace vc2m::obs

@@ -1,0 +1,260 @@
+#include "obs/trace_check.h"
+
+#include <map>
+#include <sstream>
+
+namespace vc2m::obs {
+
+namespace {
+
+struct CoreState {
+  std::int32_t running = -1;      // VCPU index, -1 = idle
+  util::Time run_start;
+  bool throttled = false;
+  util::Time throttle_start;
+};
+
+struct VcpuState {
+  util::Time consumed;            // occupancy in the current server period
+  bool seen_release = false;      // budget check starts at the first one
+};
+
+struct JobState {
+  util::Time release;
+  bool completed = false;
+  bool missed = false;
+};
+
+class Checker {
+ public:
+  Checker(const TraceCheckConfig& cfg) : cfg_(cfg) {}
+
+  TraceCheckResult run(std::span<const sim::TraceEvent> events) {
+    for (const auto& ev : events) {
+      ++res_.events;
+      switch (ev.kind) {
+        case sim::TraceKind::kVcpuSchedule: handle_schedule(ev); break;
+        case sim::TraceKind::kVcpuDeschedule: handle_deschedule(ev); break;
+        case sim::TraceKind::kCoreThrottle: handle_throttle(ev); break;
+        case sim::TraceKind::kCoreUnthrottle: handle_unthrottle(ev); break;
+        case sim::TraceKind::kVcpuRelease: handle_vcpu_release(ev); break;
+        case sim::TraceKind::kTaskDispatch: handle_dispatch(ev); break;
+        case sim::TraceKind::kJobRelease: handle_job_release(ev); break;
+        case sim::TraceKind::kJobComplete: handle_job_complete(ev); break;
+        case sim::TraceKind::kDeadlineMiss: handle_miss(ev); break;
+        case sim::TraceKind::kVcpuBudgetExhausted:
+        case sim::TraceKind::kBwRefill:
+        case sim::TraceKind::kHypercall:
+        case sim::TraceKind::kCount_:
+          break;
+      }
+    }
+    finish();
+    return std::move(res_);
+  }
+
+ private:
+  CoreState& core(std::int32_t c) {
+    if (static_cast<std::size_t>(c) >= cores_.size())
+      cores_.resize(static_cast<std::size_t>(c) + 1);
+    return cores_[static_cast<std::size_t>(c)];
+  }
+  VcpuState& vcpu(std::int32_t v) {
+    if (static_cast<std::size_t>(v) >= vcpus_.size())
+      vcpus_.resize(static_cast<std::size_t>(v) + 1);
+    return vcpus_[static_cast<std::size_t>(v)];
+  }
+
+  template <typename... Parts>
+  void violation(util::Time when, Parts&&... parts) {
+    ++res_.total_violations;
+    if (res_.violations.size() >= cfg_.max_violations) return;
+    std::ostringstream os;
+    (os << ... << parts);
+    res_.violations.push_back({when, os.str()});
+  }
+
+  /// Close the running VCPU's occupancy segment at `now` and charge it
+  /// against the budget (config-gated).
+  void charge(CoreState& c, util::Time now) {
+    if (c.running < 0) return;
+    VcpuState& v = vcpu(c.running);
+    v.consumed += now - c.run_start;
+    c.run_start = now;
+    const auto vi = static_cast<std::size_t>(c.running);
+    if (v.seen_release && vi < cfg_.vcpu_budgets.size() &&
+        v.consumed > cfg_.vcpu_budgets[vi])
+      violation(now, "vcpu ", c.running, " overdrew its budget: consumed ",
+                v.consumed.raw_ns(), " ns of ",
+                cfg_.vcpu_budgets[vi].raw_ns(), " ns");
+  }
+
+  void handle_schedule(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (c.running >= 0)
+      violation(ev.when, "vcpu ", ev.vcpu, " scheduled on core ", ev.core,
+                " while vcpu ", c.running, " still occupies it");
+    if (c.throttled)
+      violation(ev.when, "vcpu ", ev.vcpu, " scheduled on core ", ev.core,
+                " while it is throttled");
+    const auto vi = static_cast<std::size_t>(ev.vcpu);
+    if (vi < cfg_.vcpu_cores.size() && cfg_.vcpu_cores[vi] != ev.core)
+      violation(ev.when, "vcpu ", ev.vcpu, " scheduled on core ", ev.core,
+                " but is partitioned to core ", cfg_.vcpu_cores[vi]);
+    c.running = ev.vcpu;
+    c.run_start = ev.when;
+  }
+
+  void handle_deschedule(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (c.running != ev.vcpu) {
+      violation(ev.when, "deschedule of vcpu ", ev.vcpu, " on core ",
+                ev.core, " but ",
+                (c.running < 0 ? std::string("the core is idle")
+                               : "vcpu " + std::to_string(c.running) +
+                                     " is running"));
+      return;
+    }
+    const util::Time run_start = c.run_start;  // charge() advances it
+    charge(c, ev.when);
+    // Invariant 2: any overlap of this run segment with an open throttle
+    // window means the VCPU executed on a throttled core. The legal
+    // same-instant throttle→deschedule sequence yields zero overlap.
+    if (c.throttled && ev.when > util::max(run_start, c.throttle_start))
+      violation(ev.when, "vcpu ", ev.vcpu, " ran on core ", ev.core,
+                " during a throttle window");
+    c.running = -1;
+  }
+
+  void handle_throttle(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (c.throttled)
+      violation(ev.when, "core ", ev.core, " throttled twice");
+    c.throttled = true;
+    c.throttle_start = ev.when;
+  }
+
+  void handle_unthrottle(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (!c.throttled) {
+      violation(ev.when, "core ", ev.core, " unthrottled but not throttled");
+      return;
+    }
+    if (c.running >= 0 && ev.when > util::max(c.run_start, c.throttle_start))
+      violation(ev.when, "vcpu ", c.running, " ran on core ", ev.core,
+                " during a throttle window");
+    c.throttled = false;
+  }
+
+  void handle_vcpu_release(const sim::TraceEvent& ev) {
+    // Server period boundary: occupancy since the previous release must fit
+    // the old budget (charge checks), then the meter resets.
+    if (ev.core >= 0) {
+      CoreState& c = core(ev.core);
+      if (c.running == ev.vcpu) charge(c, ev.when);
+    }
+    VcpuState& v = vcpu(ev.vcpu);
+    v.consumed = util::Time::zero();
+    v.seen_release = true;
+  }
+
+  void handle_dispatch(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (c.throttled)
+      violation(ev.when, "task ", ev.task, " dispatched on core ", ev.core,
+                " while it is throttled");
+    if (c.running != ev.vcpu)
+      violation(ev.when, "task ", ev.task, " dispatched on vcpu ", ev.vcpu,
+                " which is not running on core ", ev.core);
+  }
+
+  void handle_job_release(const sim::TraceEvent& ev) {
+    ++res_.releases;
+    const auto key = std::make_pair(ev.task, ev.job);
+    if (!jobs_.emplace(key, JobState{ev.when}).second)
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " released twice");
+  }
+
+  void handle_job_complete(const sim::TraceEvent& ev) {
+    ++res_.completions;
+    const auto it = jobs_.find({ev.task, ev.job});
+    if (it == jobs_.end()) {
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " completed but was never released");
+      return;
+    }
+    if (it->second.completed)
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " completed twice");
+    it->second.completed = true;
+  }
+
+  void handle_miss(const sim::TraceEvent& ev) {
+    ++res_.misses;
+    const auto it = jobs_.find({ev.task, ev.job});
+    if (it == jobs_.end()) {
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " missed its deadline but was never released");
+      return;
+    }
+    if (it->second.completed)
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " missed its deadline after completing");
+    it->second.missed = true;
+  }
+
+  void finish() {
+    if (cfg_.task_periods.empty() || cfg_.horizon.is_zero()) return;
+    // Invariant 5: a release whose implicit deadline lies inside the
+    // horizon must have been completed or declared missed.
+    for (const auto& [key, job] : jobs_) {
+      if (job.completed || job.missed) continue;
+      const auto task = static_cast<std::size_t>(key.first);
+      if (task >= cfg_.task_periods.size()) continue;
+      if (job.release + cfg_.task_periods[task] <= cfg_.horizon)
+        violation(job.release, "task ", key.first, " job ", key.second,
+                  " released but neither completed nor missed by the "
+                  "horizon");
+    }
+  }
+
+  const TraceCheckConfig& cfg_;
+  TraceCheckResult res_;
+  std::vector<CoreState> cores_;
+  std::vector<VcpuState> vcpus_;
+  std::map<std::pair<std::int32_t, std::int64_t>, JobState> jobs_;
+};
+
+}  // namespace
+
+TraceCheckConfig TraceCheckConfig::from_sim(const sim::SimConfig& cfg,
+                                            util::Time horizon) {
+  TraceCheckConfig out;
+  out.horizon = horizon;
+  out.vcpu_budgets.reserve(cfg.vcpus.size());
+  out.vcpu_cores.reserve(cfg.vcpus.size());
+  for (const auto& v : cfg.vcpus) {
+    out.vcpu_budgets.push_back(v.budget);
+    out.vcpu_cores.push_back(static_cast<int>(v.core));
+  }
+  out.task_periods.reserve(cfg.tasks.size());
+  for (const auto& t : cfg.tasks) out.task_periods.push_back(t.period);
+  return out;
+}
+
+TraceCheckResult check_trace(std::span<const sim::TraceEvent> events,
+                             const TraceCheckConfig& cfg) {
+  return Checker(cfg).run(events);
+}
+
+std::string TraceCheckResult::summary() const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "FAIL") << ": " << events << " events, " << releases
+     << " releases, " << completions << " completions, " << misses
+     << " misses, " << total_violations << " violation"
+     << (total_violations == 1 ? "" : "s");
+  return os.str();
+}
+
+}  // namespace vc2m::obs

@@ -1,0 +1,348 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vc2m::obs {
+
+namespace {
+
+constexpr int kCorePid = 1;   ///< Chrome "process" grouping the core tracks
+constexpr int kVcpuPid = 2;   ///< ... and the VCPU tracks
+
+/// Chrome `ts` is in microseconds; three decimals keep ns precision.
+std::string ts_us(util::Time t) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f",
+                static_cast<double>(t.raw_ns()) / 1e3);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct JsonWriter {
+  std::ostream& os;
+  bool first = true;
+  void line(const std::string& s) {
+    os << (first ? "" : ",\n") << s;
+    first = false;
+  }
+};
+
+void meta_event(JsonWriter& w, int pid, int tid, const char* key,
+                const std::string& name) {
+  std::ostringstream os;
+  os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"name\":\"" << key << "\",\"args\":{\"name\":\""
+     << json_escape(name) << "\"}}";
+  w.line(os.str());
+}
+
+void complete_event(JsonWriter& w, int pid, int tid, const char* cat,
+                    const std::string& name, util::Time start,
+                    util::Time end) {
+  std::ostringstream os;
+  os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << ts_us(start) << ",\"dur\":" << ts_us(end - start)
+     << ",\"cat\":\"" << cat << "\",\"name\":\"" << json_escape(name)
+     << "\"}";
+  w.line(os.str());
+}
+
+void instant_event(JsonWriter& w, int pid, int tid, const char* scope,
+                   const char* cat, const std::string& name, util::Time at,
+                   std::int32_t task = -1, std::int64_t job = -1) {
+  std::ostringstream os;
+  os << "{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"ts\":" << ts_us(at) << ",\"s\":\"" << scope << "\",\"cat\":\""
+     << cat << "\",\"name\":\"" << json_escape(name) << "\"";
+  if (task >= 0) {
+    os << ",\"args\":{\"task\":" << task;
+    if (job >= 0) os << ",\"job\":" << job;
+    os << "}";
+  }
+  os << "}";
+  w.line(os.str());
+}
+
+std::string task_label(const TraceMeta& meta, std::int32_t task) {
+  if (task >= 0 && static_cast<std::size_t>(task) < meta.task_labels.size() &&
+      !meta.task_labels[static_cast<std::size_t>(task)].empty())
+    return meta.task_labels[static_cast<std::size_t>(task)];
+  return "task " + std::to_string(task);
+}
+
+}  // namespace
+
+TraceMeta TraceMeta::from_config(const sim::SimConfig& cfg) {
+  TraceMeta m;
+  m.num_cores = cfg.num_cores;
+  m.vcpu_core.reserve(cfg.vcpus.size());
+  m.vcpu_vm.reserve(cfg.vcpus.size());
+  for (const auto& v : cfg.vcpus) {
+    m.vcpu_core.push_back(static_cast<int>(v.core));
+    m.vcpu_vm.push_back(v.vm);
+  }
+  return m;
+}
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const sim::TraceEvent> events,
+                        const TraceMeta& meta) {
+  // Track counts: declared sizes, widened by whatever the events mention.
+  std::size_t num_cores = meta.num_cores;
+  std::size_t num_vcpus = meta.vcpu_core.size();
+  util::Time end = util::Time::zero();
+  for (const auto& ev : events) {
+    if (ev.core >= 0)
+      num_cores = std::max(num_cores, static_cast<std::size_t>(ev.core) + 1);
+    if (ev.vcpu >= 0)
+      num_vcpus = std::max(num_vcpus, static_cast<std::size_t>(ev.vcpu) + 1);
+    end = util::max(end, ev.when);
+  }
+
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {\"generator\": "
+        "\"vc2m\", \"events\": \""
+     << events.size() << "\"},\n\"vc2mEvents\": [\n";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = events[i];
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "{\"t\":%" PRId64 ",\"k\":%d,\"c\":%d,\"v\":%d,\"x\":%d,"
+                  "\"j\":%" PRId64 "}",
+                  ev.when.raw_ns(), static_cast<int>(ev.kind), ev.core,
+                  ev.vcpu, ev.task, ev.job);
+    os << buf << (i + 1 < events.size() ? ",\n" : "\n");
+  }
+  os << "],\n\"traceEvents\": [\n";
+
+  JsonWriter w{os};
+  meta_event(w, kCorePid, 0, "process_name", "cores");
+  meta_event(w, kVcpuPid, 0, "process_name", "VCPUs");
+  for (std::size_t k = 0; k < num_cores; ++k)
+    meta_event(w, kCorePid, static_cast<int>(k), "thread_name",
+               "core " + std::to_string(k));
+  for (std::size_t j = 0; j < num_vcpus; ++j) {
+    std::string name = "vcpu " + std::to_string(j);
+    if (j < meta.vcpu_vm.size() && meta.vcpu_vm[j] >= 0)
+      name += " (vm " + std::to_string(meta.vcpu_vm[j]) + ")";
+    meta_event(w, kVcpuPid, static_cast<int>(j), "thread_name", name);
+  }
+
+  // Single pass: pair schedule/deschedule and throttle/unthrottle into
+  // complete ("X") events, task dispatches into VCPU-track segments, the
+  // rest into instants. Events are in recorded (causal) order.
+  struct Open {
+    bool active = false;
+    util::Time start;
+    std::int32_t id = -1;  // vcpu on core tracks, task on vcpu tracks
+  };
+  std::vector<Open> core_run(num_cores), core_throttle(num_cores),
+      vcpu_task(num_vcpus);
+
+  auto close_task_segment = [&](std::int32_t vcpu, util::Time at) {
+    Open& o = vcpu_task[static_cast<std::size_t>(vcpu)];
+    if (!o.active) return;
+    complete_event(w, kVcpuPid, vcpu, "task", task_label(meta, o.id),
+                   o.start, at);
+    o.active = false;
+  };
+
+  for (const auto& ev : events) {
+    switch (ev.kind) {
+      case sim::TraceKind::kVcpuSchedule: {
+        Open& o = core_run[static_cast<std::size_t>(ev.core)];
+        o = {true, ev.when, ev.vcpu};
+        break;
+      }
+      case sim::TraceKind::kVcpuDeschedule: {
+        Open& o = core_run[static_cast<std::size_t>(ev.core)];
+        if (o.active)
+          complete_event(w, kCorePid, ev.core, "sched",
+                         "vcpu " + std::to_string(o.id), o.start, ev.when);
+        o.active = false;
+        if (ev.vcpu >= 0) close_task_segment(ev.vcpu, ev.when);
+        break;
+      }
+      case sim::TraceKind::kTaskDispatch: {
+        close_task_segment(ev.vcpu, ev.when);
+        vcpu_task[static_cast<std::size_t>(ev.vcpu)] = {true, ev.when,
+                                                        ev.task};
+        break;
+      }
+      case sim::TraceKind::kCoreThrottle:
+        core_throttle[static_cast<std::size_t>(ev.core)] = {true, ev.when,
+                                                            ev.core};
+        break;
+      case sim::TraceKind::kCoreUnthrottle: {
+        Open& o = core_throttle[static_cast<std::size_t>(ev.core)];
+        if (o.active)
+          complete_event(w, kCorePid, ev.core, "bw", "throttled", o.start,
+                         ev.when);
+        o.active = false;
+        break;
+      }
+      case sim::TraceKind::kJobRelease:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "job",
+                      "release " + task_label(meta, ev.task), ev.when,
+                      ev.task, ev.job);
+        break;
+      case sim::TraceKind::kJobComplete:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "job",
+                      "complete " + task_label(meta, ev.task), ev.when,
+                      ev.task, ev.job);
+        break;
+      case sim::TraceKind::kDeadlineMiss:
+        instant_event(w, kVcpuPid, ev.vcpu, "g", "job",
+                      "MISS " + task_label(meta, ev.task), ev.when, ev.task,
+                      ev.job);
+        break;
+      case sim::TraceKind::kVcpuRelease:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "server", "replenish",
+                      ev.when);
+        break;
+      case sim::TraceKind::kVcpuBudgetExhausted:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "server",
+                      "budget-exhausted", ev.when);
+        break;
+      case sim::TraceKind::kHypercall:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "sync", "hypercall",
+                      ev.when, ev.task);
+        break;
+      case sim::TraceKind::kBwRefill:
+        instant_event(w, kCorePid, 0, "p", "bw", "bw-refill", ev.when);
+        break;
+      case sim::TraceKind::kCount_:
+        break;
+    }
+  }
+
+  // Close whatever is still open at the last event's timestamp so the
+  // viewer shows the full extent of the run.
+  for (std::size_t k = 0; k < num_cores; ++k) {
+    if (core_run[k].active)
+      complete_event(w, kCorePid, static_cast<int>(k), "sched",
+                     "vcpu " + std::to_string(core_run[k].id),
+                     core_run[k].start, end);
+    if (core_throttle[k].active)
+      complete_event(w, kCorePid, static_cast<int>(k), "bw", "throttled",
+                     core_throttle[k].start, end);
+  }
+  for (std::size_t j = 0; j < num_vcpus; ++j)
+    if (vcpu_task[j].active)
+      complete_event(w, kVcpuPid, static_cast<int>(j), "task",
+                     task_label(meta, vcpu_task[j].id), vcpu_task[j].start,
+                     end);
+
+  os << "\n]\n}\n";
+}
+
+void write_trace_csv(std::ostream& os,
+                     std::span<const sim::TraceEvent> events) {
+  os << "time_ns,kind,core,vcpu,task,job\n";
+  for (const auto& ev : events)
+    os << ev.when.raw_ns() << ',' << sim::to_string(ev.kind) << ','
+       << ev.core << ',' << ev.vcpu << ',' << ev.task << ',' << ev.job
+       << '\n';
+}
+
+std::vector<sim::TraceEvent> read_trace_csv(std::istream& is) {
+  std::vector<sim::TraceEvent> out;
+  std::string line;
+  std::getline(is, line);  // header
+  VC2M_CHECK_MSG(line.rfind("time_ns,", 0) == 0,
+                 "not a vc2m trace CSV (missing header)");
+  std::size_t lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string cell;
+    std::vector<std::string> cells;
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    VC2M_CHECK_MSG(cells.size() == 6,
+                   "trace CSV line " << lineno << ": expected 6 fields");
+    const auto kind = sim::trace_kind_from_string(cells[1]);
+    VC2M_CHECK_MSG(kind.has_value(), "trace CSV line "
+                                         << lineno << ": unknown kind '"
+                                         << cells[1] << "'");
+    sim::TraceEvent ev;
+    ev.when = util::Time::ns(std::stoll(cells[0]));
+    ev.kind = *kind;
+    ev.core = std::stoi(cells[2]);
+    ev.vcpu = std::stoi(cells[3]);
+    ev.task = std::stoi(cells[4]);
+    ev.job = std::stoll(cells[5]);
+    out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<sim::TraceEvent> read_chrome_trace(std::istream& is) {
+  std::vector<sim::TraceEvent> out;
+  std::string line;
+  bool in_events = false, found = false;
+  while (std::getline(is, line)) {
+    if (!in_events) {
+      if (line.rfind("\"vc2mEvents\"", 0) == 0) in_events = found = true;
+      continue;
+    }
+    if (line.rfind("]", 0) == 0) break;
+    std::int64_t t = 0, j = -1;
+    int k = 0, core = -1, vcpu = -1, task = -1;
+    const int matched = std::sscanf(
+        line.c_str(),
+        "{\"t\":%" SCNd64 ",\"k\":%d,\"c\":%d,\"v\":%d,\"x\":%d,\"j\":%" SCNd64
+        "}",
+        &t, &k, &core, &vcpu, &task, &j);
+    VC2M_CHECK_MSG(matched == 6, "malformed vc2mEvents record: " << line);
+    VC2M_CHECK_MSG(
+        k >= 0 && k < static_cast<int>(sim::TraceKind::kCount_),
+        "vc2mEvents record with unknown kind " << k);
+    out.push_back({util::Time::ns(t), static_cast<sim::TraceKind>(k), core,
+                   vcpu, task, j});
+  }
+  VC2M_CHECK_MSG(found, "no vc2mEvents array (not a vc2m-written trace?)");
+  return out;
+}
+
+namespace {
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+}  // namespace
+
+void write_trace_file(const std::string& path,
+                      std::span<const sim::TraceEvent> events,
+                      const TraceMeta& meta) {
+  std::ofstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  if (has_suffix(path, ".csv"))
+    write_trace_csv(f, events);
+  else
+    write_chrome_trace(f, events, meta);
+}
+
+std::vector<sim::TraceEvent> read_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  return has_suffix(path, ".csv") ? read_trace_csv(f) : read_chrome_trace(f);
+}
+
+}  // namespace vc2m::obs

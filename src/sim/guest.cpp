@@ -82,6 +82,9 @@ void Simulation::complete_job(std::size_t task_index) {
                      vcpus_[t.spec.vcpu].spec.core),
                  static_cast<std::int32_t>(t.spec.vcpu),
                  static_cast<std::int32_t>(task_index), job.seq});
+  if (observer_)
+    observer_->on_job_complete(task_index, response, t.spec.period,
+                               queue_.now() > job.deadline);
 }
 
 std::size_t Simulation::pick_task(const VcpuRt& v) const {

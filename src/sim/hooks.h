@@ -1,0 +1,41 @@
+// Observer hooks the simulator fires at semantic boundaries.
+//
+// The trace records *what happened*; the observer carries the derived
+// quantities (response times, per-period budget consumption, throttle
+// durations) that a metrics layer wants without re-deriving them from the
+// event stream. Like HostProbe, the observer is owned by the caller and
+// optional — a null observer costs one pointer test per event.
+#pragma once
+
+#include <cstddef>
+
+#include "util/time.h"
+
+namespace vc2m::sim {
+
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  /// A job finished: its response time (completion − release), the task's
+  /// period (= relative deadline) and whether the deadline was missed.
+  virtual void on_job_complete(std::size_t task, util::Time response,
+                               util::Time period, bool missed) {
+    (void)task; (void)response; (void)period; (void)missed;
+  }
+
+  /// A VCPU's server period ended (at the replenishment closing it):
+  /// budget consumed over the period, the period's provisioned budget, and
+  /// whether the budget ran dry before the period was over.
+  virtual void on_vcpu_period_end(std::size_t vcpu, util::Time consumed,
+                                  util::Time budget, bool exhausted) {
+    (void)vcpu; (void)consumed; (void)budget; (void)exhausted;
+  }
+
+  /// A bandwidth-throttle window on `core` closed after `duration`.
+  virtual void on_throttle_end(std::size_t core, util::Time duration) {
+    (void)core; (void)duration;
+  }
+};
+
+}  // namespace vc2m::sim

@@ -37,6 +37,12 @@ void Simulation::vcpu_release(std::size_t vcpu_index) {
   // Close the running segment against the *old* budget before replenishing
   // (the release instant can coincide with the exhaustion boundary).
   account_core(v.spec.core);
+  if (observer_ && v.stats.releases > 0) {
+    // The period ending now consumed budget − remaining under the old
+    // contract; budget_left is already exact after the accounting above.
+    observer_->on_vcpu_period_end(vcpu_index, v.spec.budget - v.budget_left,
+                                  v.spec.budget, !v.released);
+  }
   if (v.pending_update) {
     // The staged `xl sched-rtds`-style change becomes the server contract
     // for the period that starts now.
@@ -336,7 +342,9 @@ void Simulation::on_throttle(unsigned core_index) {
 
 void Simulation::on_unthrottle(unsigned core_index) {
   CoreRt& c = cores_[core_index];
-  c.throttled_time += queue_.now() - c.throttle_start;
+  const util::Time window = queue_.now() - c.throttle_start;
+  c.throttled_time += window;
+  if (observer_) observer_->on_throttle_end(core_index, window);
   interrupt_core(core_index);
 }
 

@@ -33,6 +33,7 @@
 
 #include "sim/bw_regulator.h"
 #include "sim/event_queue.h"
+#include "sim/hooks.h"
 #include "sim/probe.h"
 #include "sim/trace.h"
 #include "util/rng.h"
@@ -181,6 +182,10 @@ class Simulation {
   /// must outlive the simulation).
   void set_probe(HostProbe* probe);
 
+  /// Semantic-event observer (src/obs metrics recorder; owned by the
+  /// caller, must outlive the simulation). May be null.
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
   /// Dynamic cache repartitioning (the vCAT capability): at `when`, core
   /// `core_index` switches to `ways` cache partitions. In-flight jobs keep
   /// their executed progress; the *remaining* work is re-scaled to the new
@@ -291,6 +296,7 @@ class Simulation {
   std::uint64_t vcpu_switches_ = 0;
   std::uint64_t task_dispatches_ = 0;
   HostProbe* probe_ = nullptr;
+  SimObserver* observer_ = nullptr;
 };
 
 }  // namespace vc2m::sim

@@ -21,8 +21,17 @@ std::string to_string(TraceKind k) {
   return "?";
 }
 
+std::optional<TraceKind> trace_kind_from_string(const std::string& name) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(TraceKind::kCount_);
+       ++k)
+    if (to_string(static_cast<TraceKind>(k)) == name)
+      return static_cast<TraceKind>(k);
+  return std::nullopt;
+}
+
 std::vector<TraceEvent> Trace::events_of(TraceKind k) const {
   std::vector<TraceEvent> out;
+  out.reserve(count(k));
   for (const auto& ev : events_)
     if (ev.kind == k) out.push_back(ev);
   return out;

@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@ enum class TraceKind : std::uint8_t {
 };
 
 std::string to_string(TraceKind k);
+
+/// Inverse of to_string (used when re-importing exported traces);
+/// std::nullopt for unknown names.
+std::optional<TraceKind> trace_kind_from_string(const std::string& name);
 
 struct TraceEvent {
   util::Time when;
@@ -58,7 +63,8 @@ class Trace {
   bool capturing() const { return capture_; }
   const std::vector<TraceEvent>& events() const { return events_; }
 
-  /// Events of one kind, in time order (requires capture).
+  /// Events of one kind, in recorded (time) order (requires capture).
+  /// The per-kind counter gives the exact size, so the copy allocates once.
   std::vector<TraceEvent> events_of(TraceKind k) const;
 
  private:

@@ -1,0 +1,84 @@
+// Lightweight allocator instrumentation counters.
+//
+// The analysis and allocation layers increment these counters while a
+// collection scope is active (solve(), admit_vm(), the benches); with no
+// scope the hooks are a single thread-local pointer test, so the hot paths
+// stay effectively free when nobody is measuring. The observability layer
+// (src/obs) converts a populated AllocCounters into registry metrics.
+#pragma once
+
+#include <cstdint>
+
+namespace vc2m::util {
+
+/// What the allocator actually did for one solve: clustering effort,
+/// admission tests, demand-bound evaluations, search-space coverage and
+/// per-phase wall time. All counters are cumulative over the scope.
+struct AllocCounters {
+  // KMeans clustering (VM level and hypervisor level).
+  std::uint64_t kmeans_runs = 0;
+  std::uint64_t kmeans_iterations = 0;
+  /// Total centroid movement (squared distance) of each run's final
+  /// update step — the convergence delta the iteration cap cuts off.
+  double kmeans_final_shift = 0;
+
+  // Schedulability / admission testing.
+  std::uint64_t admission_tests = 0;    ///< core_schedulable() calls
+  std::uint64_t admission_passed = 0;
+  std::uint64_t dbf_evaluations = 0;    ///< dbf(t) evaluations
+
+  // Hypervisor-level search coverage.
+  std::uint64_t candidate_packings = 0;  ///< Phase-1 packings explored
+  std::uint64_t partition_grants = 0;    ///< Phase-2 cache/BW grants
+  std::uint64_t vcpu_migrations = 0;     ///< Phase-3 moves
+
+  // Per-phase wall time (seconds).
+  double vm_alloc_seconds = 0;
+  double hv_alloc_seconds = 0;
+
+  void merge(const AllocCounters& o) {
+    kmeans_runs += o.kmeans_runs;
+    kmeans_iterations += o.kmeans_iterations;
+    kmeans_final_shift += o.kmeans_final_shift;
+    admission_tests += o.admission_tests;
+    admission_passed += o.admission_passed;
+    dbf_evaluations += o.dbf_evaluations;
+    candidate_packings += o.candidate_packings;
+    partition_grants += o.partition_grants;
+    vcpu_migrations += o.vcpu_migrations;
+    vm_alloc_seconds += o.vm_alloc_seconds;
+    hv_alloc_seconds += o.hv_alloc_seconds;
+  }
+};
+
+namespace detail {
+inline thread_local AllocCounters* g_alloc_counters = nullptr;
+}
+
+/// The active collector, or nullptr when no scope is open. Instrumented
+/// code uses `if (auto* c = alloc_counters()) ++c->...;`.
+inline AllocCounters* alloc_counters() { return detail::g_alloc_counters; }
+
+/// RAII collection scope. Scopes nest: an inner scope shadows the outer
+/// one and merges its counts into it on destruction, so a caller measuring
+/// a whole experiment still sees the totals of nested solves.
+class AllocCounterScope {
+ public:
+  AllocCounterScope() : prev_(detail::g_alloc_counters) {
+    detail::g_alloc_counters = &counters_;
+  }
+  ~AllocCounterScope() {
+    detail::g_alloc_counters = prev_;
+    if (prev_) prev_->merge(counters_);
+  }
+  AllocCounterScope(const AllocCounterScope&) = delete;
+  AllocCounterScope& operator=(const AllocCounterScope&) = delete;
+
+  const AllocCounters& counters() const { return counters_; }
+
+ private:
+  AllocCounters counters_;
+  AllocCounters* prev_;
+};
+
+}  // namespace vc2m::util

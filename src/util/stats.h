@@ -12,28 +12,38 @@
 namespace vc2m::util {
 
 /// Accumulates samples and reports min/avg/max/stddev and percentiles.
-/// Keeps all samples (overhead tables need exact min/max and percentiles
-/// over bounded-size runs, so memory is not a concern).
+/// Keeps all samples (overhead tables need exact percentiles over
+/// bounded-size runs, so memory is not a concern) but maintains running
+/// min/max/sum so the aggregate queries the bench loops hammer are O(1)
+/// instead of re-scanning the vector on every call.
 class SampleStats {
  public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(double x) {
+    if (samples_.empty()) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    sum_ += x;
+    samples_.push_back(x);
+    sorted_ = false;
+  }
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
   double min() const {
     VC2M_CHECK(!empty());
-    return *std::min_element(samples_.begin(), samples_.end());
+    return min_;
   }
   double max() const {
     VC2M_CHECK(!empty());
-    return *std::max_element(samples_.begin(), samples_.end());
+    return max_;
   }
   double mean() const {
     VC2M_CHECK(!empty());
-    double s = 0;
-    for (double x : samples_) s += x;
-    return s / static_cast<double>(samples_.size());
+    return sum_ / static_cast<double>(samples_.size());
   }
   double stddev() const {
     VC2M_CHECK(!empty());
@@ -42,7 +52,9 @@ class SampleStats {
     for (double x : samples_) s += (x - m) * (x - m);
     return std::sqrt(s / static_cast<double>(samples_.size()));
   }
-  /// p in [0, 1]; nearest-rank percentile.
+  /// p in [0, 1]; linear-interpolated percentile. The samples are sorted
+  /// at most once between additions, so a batch of percentile queries
+  /// (p50/p95/p99 rows) pays for one sort total.
   double percentile(double p) const {
     VC2M_CHECK(!empty());
     sort();
@@ -52,6 +64,8 @@ class SampleStats {
     const double frac = idx - static_cast<double>(lo);
     return samples_[lo] * (1 - frac) + samples_[hi] * frac;
   }
+  /// Shorthand: s.p(0.99) reads better in table rows.
+  double p(double q) const { return percentile(q); }
 
   const std::vector<double>& samples() const { return samples_; }
 
@@ -64,6 +78,9 @@ class SampleStats {
   }
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+  double min_ = 0;
+  double max_ = 0;
+  double sum_ = 0;
 };
 
 /// Streaming mean/variance (Welford) for high-volume counters in the DES.

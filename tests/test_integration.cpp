@@ -7,6 +7,7 @@
 
 #include "core/solutions.h"
 #include "model/platform.h"
+#include "obs/trace_check.h"
 #include "sim/deploy.h"
 #include "sim/profiling.h"
 #include "sim/simulation.h"
@@ -33,6 +34,19 @@ Time sim_horizon(const model::Taskset& tasks) {
   return model::hyperperiod(tasks) * 2;
 }
 
+/// Every captured trace must satisfy the scheduling invariants (single
+/// occupancy, no execution while throttled, budget compliance, release /
+/// completion matching).
+void expect_trace_invariants(const sim::Simulation& simulation,
+                             Time horizon) {
+  const auto res = obs::check_trace(
+      simulation.trace().events(),
+      obs::TraceCheckConfig::from_sim(simulation.config(), horizon));
+  EXPECT_TRUE(res.ok()) << (res.violations.empty()
+                                ? res.summary()
+                                : res.violations[0].what);
+}
+
 // ---------------- certified mappings execute without misses ----------------
 
 class CertifiedExecutionTest
@@ -48,12 +62,14 @@ TEST_P(CertifiedExecutionTest, NoDeadlineMissesUnderCpuOnlyExecution) {
 
   sim::DeployConfig dc;
   dc.exec = sim::ExecModel::kCpuOnly;
+  dc.capture_trace = true;
   sim::Simulation simulation(
       sim::deploy(tasks, res.vcpus, res.mapping, platform, dc));
   simulation.run(sim_horizon(tasks));
   const auto stats = simulation.stats();
   EXPECT_EQ(stats.deadline_misses, 0u) << core::to_string(solution);
   EXPECT_GT(stats.jobs_completed, 0u);
+  expect_trace_invariants(simulation, sim_horizon(tasks));
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -82,10 +98,12 @@ TEST(CertifiedExecution, MultiVmWorkloadRunsClean) {
                                platform, {}, rng);
   ASSERT_TRUE(res.schedulable);
   sim::DeployConfig dc;
+  dc.capture_trace = true;
   sim::Simulation simulation(
       sim::deploy(tasks, res.vcpus, res.mapping, platform, dc));
   simulation.run(sim_horizon(tasks));
   EXPECT_EQ(simulation.stats().deadline_misses, 0u);
+  expect_trace_invariants(simulation, sim_horizon(tasks));
 }
 
 TEST(CertifiedExecution, FlatteningWithReleaseSyncAndTaskOffsets) {
@@ -100,6 +118,7 @@ TEST(CertifiedExecution, FlatteningWithReleaseSyncAndTaskOffsets) {
 
   sim::DeployConfig dc;
   dc.release_sync = true;
+  dc.capture_trace = true;
   auto cfg = sim::deploy(tasks, res.vcpus, res.mapping, platform, dc);
   // Stagger the task releases; the VCPUs must follow via hypercalls.
   Rng offsets(11);
@@ -111,6 +130,7 @@ TEST(CertifiedExecution, FlatteningWithReleaseSyncAndTaskOffsets) {
   EXPECT_EQ(stats.deadline_misses, 0u);
   EXPECT_GE(simulation.trace().count(sim::TraceKind::kHypercall),
             tasks.size());
+  expect_trace_invariants(simulation, sim_horizon(tasks) + Time::ms(100));
 }
 
 TEST(CertifiedExecution, DeployRejectsUnschedulableMapping) {
@@ -167,12 +187,14 @@ TEST(PhysicalExecution, ProfiledSurfacesCertifyAndRunClean) {
   dc.workloads = workloads;
   dc.requests_per_partition = pc.requests_per_partition;
   dc.regulation_period = pc.regulation_period;
+  dc.capture_trace = true;
   sim::Simulation simulation(
       sim::deploy(tasks, res.vcpus, res.mapping, platform, dc));
   simulation.run(Time::sec(2));
   const auto stats = simulation.stats();
   EXPECT_EQ(stats.deadline_misses, 0u);
   EXPECT_GT(stats.jobs_completed, 10u);
+  expect_trace_invariants(simulation, Time::sec(2));
 }
 
 }  // namespace

@@ -1,0 +1,474 @@
+// Observability layer: metrics registry, trace export/import, the metrics
+// recorder, and the trace invariant checker.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
+#include "obs/trace_check.h"
+#include "obs/trace_export.h"
+#include "sim/simulation.h"
+#include "util/error.h"
+
+namespace vc2m::obs {
+namespace {
+
+using sim::TraceEvent;
+using sim::TraceKind;
+using util::Time;
+
+// ------------------------------------------------------------ metrics ----
+
+TEST(Histogram, BucketsAreInclusiveUpperEdges) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (const double x : {0.5, 1.0, 1.5, 2.0, 4.0, 5.0}) h.add(x);
+  ASSERT_EQ(h.num_buckets(), 4u);  // three finite + overflow
+  EXPECT_EQ(h.bucket_count(0), 2u);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket_count(1), 2u);  // 1.5, 2.0
+  EXPECT_EQ(h.bucket_count(2), 1u);  // 4.0
+  EXPECT_EQ(h.bucket_count(3), 1u);  // 5.0 overflows
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 14.0 / 6.0);
+}
+
+TEST(Histogram, QuantileReportsBucketUpperEdge) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 4.0);
+}
+
+TEST(Histogram, OverflowQuantileIsObservedMax) {
+  Histogram h({1.0});
+  h.add(7.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 7.5);
+}
+
+TEST(Histogram, EmptyIsZeroed) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameMetric) {
+  MetricsRegistry reg;
+  reg.counter("a").inc(2);
+  reg.counter("a").inc(3);
+  EXPECT_EQ(reg.counter("a").value(), 5u);
+  reg.gauge("g").set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 1.5);
+  reg.histogram("h", {1.0}).add(0.5);
+  reg.histogram("h", {9.0}).add(0.7);  // bounds of the first call stick
+  EXPECT_EQ(reg.histogram("h", {1.0}).count(), 2u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), util::Error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), util::Error);
+  EXPECT_EQ(reg.find_gauge("x"), nullptr);
+  EXPECT_NE(reg.find_counter("x"), nullptr);
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.gauge("zeta").set(1);
+  reg.counter("alpha").inc();
+  reg.histogram("mid", {1.0}).add(0.5);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zeta");
+  EXPECT_EQ(snap[0].kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(snap[1].kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(snap[2].kind, MetricSample::Kind::kGauge);
+}
+
+TEST(MetricsRecorder, StreamsSemanticEventsIntoRegistry) {
+  MetricsRegistry reg;
+  MetricsRecorder rec(reg);
+  rec.on_job_complete(0, Time::ms(5), Time::ms(10), false);
+  rec.on_job_complete(0, Time::ms(12), Time::ms(10), true);
+  rec.on_vcpu_period_end(1, Time::ms(3), Time::ms(4), false);
+  rec.on_vcpu_period_end(1, Time::ms(4), Time::ms(4), true);
+  rec.on_throttle_end(2, Time::us(250));
+
+  const auto* ratios = reg.find_histogram("task.0.response_ratio");
+  ASSERT_NE(ratios, nullptr);
+  EXPECT_EQ(ratios->count(), 2u);
+  EXPECT_DOUBLE_EQ(ratios->max(), 1.2);
+  EXPECT_EQ(reg.find_counter("task.0.misses")->value(), 1u);
+  EXPECT_EQ(reg.find_histogram("vcpu.1.budget_fraction")->count(), 2u);
+  EXPECT_EQ(reg.find_counter("vcpu.1.overruns")->value(), 1u);
+  EXPECT_EQ(reg.find_counter("core.2.throttles")->value(), 1u);
+  EXPECT_EQ(reg.find_counter("core.2.throttled_ns")->value(), 250'000u);
+}
+
+// ------------------------------------------------------- trace export ----
+
+std::vector<TraceEvent> tiny_trace() {
+  return {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::zero(), TraceKind::kJobRelease, 0, 0, 0, 0},
+      {Time::zero(), TraceKind::kTaskDispatch, 0, 0, 0},
+      {Time::us(1), TraceKind::kJobComplete, 0, 0, 0, 0},
+      {Time::us(2), TraceKind::kVcpuDeschedule, 0, 0},
+  };
+}
+
+TEST(TraceExport, GoldenChromeJson) {
+  // The exact serialized form is part of the contract: stable field order,
+  // microsecond timestamps with three decimals, events in recorded order.
+  const std::string expected =
+      "{\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"otherData\": {\"generator\": \"vc2m\", \"events\": \"5\"},\n"
+      "\"vc2mEvents\": [\n"
+      "{\"t\":0,\"k\":5,\"c\":0,\"v\":0,\"x\":-1,\"j\":-1},\n"
+      "{\"t\":0,\"k\":0,\"c\":0,\"v\":0,\"x\":0,\"j\":0},\n"
+      "{\"t\":0,\"k\":7,\"c\":0,\"v\":0,\"x\":0,\"j\":-1},\n"
+      "{\"t\":1000,\"k\":1,\"c\":0,\"v\":0,\"x\":0,\"j\":0},\n"
+      "{\"t\":2000,\"k\":6,\"c\":0,\"v\":0,\"x\":-1,\"j\":-1}\n"
+      "],\n"
+      "\"traceEvents\": [\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"cores\"}},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"VCPUs\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"core 0\"}},\n"
+      "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"vcpu 0\"}},\n"
+      "{\"ph\":\"i\",\"pid\":2,\"tid\":0,\"ts\":0.000,\"s\":\"t\","
+      "\"cat\":\"job\",\"name\":\"release task 0\","
+      "\"args\":{\"task\":0,\"job\":0}},\n"
+      "{\"ph\":\"i\",\"pid\":2,\"tid\":0,\"ts\":1.000,\"s\":\"t\","
+      "\"cat\":\"job\",\"name\":\"complete task 0\","
+      "\"args\":{\"task\":0,\"job\":0}},\n"
+      "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":0.000,\"dur\":2.000,"
+      "\"cat\":\"sched\",\"name\":\"vcpu 0\"},\n"
+      "{\"ph\":\"X\",\"pid\":2,\"tid\":0,\"ts\":0.000,\"dur\":2.000,"
+      "\"cat\":\"task\",\"name\":\"task 0\"}\n"
+      "]\n"
+      "}\n";
+  std::ostringstream os;
+  write_chrome_trace(os, tiny_trace());
+  EXPECT_EQ(os.str(), expected);
+}
+
+void expect_same_events(const std::vector<TraceEvent>& a,
+                        const std::vector<TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].when, b[i].when) << i;
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].core, b[i].core) << i;
+    EXPECT_EQ(a[i].vcpu, b[i].vcpu) << i;
+    EXPECT_EQ(a[i].task, b[i].task) << i;
+    EXPECT_EQ(a[i].job, b[i].job) << i;
+  }
+}
+
+TEST(TraceExport, CsvRoundTrip) {
+  const auto events = tiny_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, events);
+  expect_same_events(read_trace_csv(ss), events);
+}
+
+TEST(TraceExport, ChromeJsonRoundTripViaVc2mEvents) {
+  const auto events = tiny_trace();
+  std::stringstream ss;
+  write_chrome_trace(ss, events);
+  expect_same_events(read_chrome_trace(ss), events);
+}
+
+TEST(TraceExport, CsvRejectsGarbage) {
+  std::stringstream ss("not,a,trace\n1,2,3\n");
+  EXPECT_THROW(read_trace_csv(ss), util::Error);
+  std::stringstream js("{\"traceEvents\": []}\n");
+  EXPECT_THROW(read_chrome_trace(js), util::Error);
+}
+
+TEST(TraceKindStrings, RoundTrip) {
+  for (int k = 0; k < static_cast<int>(TraceKind::kCount_); ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    const auto back = sim::trace_kind_from_string(sim::to_string(kind));
+    ASSERT_TRUE(back.has_value()) << sim::to_string(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(sim::trace_kind_from_string("no-such-kind").has_value());
+}
+
+// ------------------------------------------------------------ checker ----
+
+TEST(TraceCheck, AcceptsWellFormedTrace) {
+  const auto res = check_trace(tiny_trace());
+  EXPECT_TRUE(res.ok()) << res.summary();
+  EXPECT_EQ(res.events, 5u);
+  EXPECT_EQ(res.releases, 1u);
+  EXPECT_EQ(res.completions, 1u);
+}
+
+TEST(TraceCheck, DetectsOverlappingVcpusOnOneCore) {
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::us(10), TraceKind::kVcpuSchedule, 0, 1},  // vcpu 0 never left
+  };
+  const auto res = check_trace(events);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("still occupies"), std::string::npos)
+      << res.violations[0].what;
+}
+
+TEST(TraceCheck, DetectsDescheduleOfIdleCore) {
+  const std::vector<TraceEvent> events = {
+      {Time::us(5), TraceKind::kVcpuDeschedule, 0, 3},
+  };
+  EXPECT_FALSE(check_trace(events).ok());
+}
+
+TEST(TraceCheck, DetectsExecutionDuringThrottleWindow) {
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(1), TraceKind::kCoreThrottle, 0},
+      // The VCPU keeps running for 1ms inside the throttle window.
+      {Time::ms(2), TraceKind::kVcpuDeschedule, 0, 0},
+      {Time::ms(3), TraceKind::kCoreUnthrottle, 0},
+  };
+  const auto res = check_trace(events);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("throttle window"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, AcceptsSameInstantThrottleDeschedule) {
+  // The simulator's causal order: the throttle fires, then the scheduler
+  // deschedules at the same timestamp — zero execution overlap.
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(1), TraceKind::kCoreThrottle, 0},
+      {Time::ms(1), TraceKind::kVcpuDeschedule, 0, 0},
+      {Time::ms(2), TraceKind::kCoreUnthrottle, 0},
+      {Time::ms(2), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(3), TraceKind::kVcpuDeschedule, 0, 0},
+  };
+  const auto res = check_trace(events);
+  EXPECT_TRUE(res.ok()) << (res.violations.empty()
+                                ? res.summary()
+                                : res.violations[0].what);
+}
+
+TEST(TraceCheck, DetectsScheduleOntoThrottledCore) {
+  const std::vector<TraceEvent> events = {
+      {Time::ms(1), TraceKind::kCoreThrottle, 0},
+      {Time::ms(1), TraceKind::kVcpuSchedule, 0, 0},
+  };
+  EXPECT_FALSE(check_trace(events).ok());
+}
+
+TEST(TraceCheck, DetectsBudgetOverdraw) {
+  TraceCheckConfig cfg;
+  cfg.vcpu_budgets = {Time::ms(4)};
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuRelease, 0, 0},
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(6), TraceKind::kVcpuDeschedule, 0, 0},  // 6ms of a 4ms budget
+  };
+  const auto res = check_trace(events, cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("overdrew"), std::string::npos);
+  // The same trace passes without the budget configuration.
+  EXPECT_TRUE(check_trace(events).ok());
+}
+
+TEST(TraceCheck, BudgetMeterResetsAtReplenishment) {
+  TraceCheckConfig cfg;
+  cfg.vcpu_budgets = {Time::ms(4)};
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuRelease, 0, 0},
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(3), TraceKind::kVcpuDeschedule, 0, 0},
+      {Time::ms(10), TraceKind::kVcpuRelease, 0, 0},
+      {Time::ms(10), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(13), TraceKind::kVcpuDeschedule, 0, 0},
+  };
+  EXPECT_TRUE(check_trace(events, cfg).ok());
+}
+
+TEST(TraceCheck, DetectsVcpuOnWrongCore) {
+  TraceCheckConfig cfg;
+  cfg.vcpu_cores = {1};  // vcpu 0 is partitioned to core 1
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+  };
+  EXPECT_FALSE(check_trace(events, cfg).ok());
+}
+
+TEST(TraceCheck, DetectsCompletionWithoutRelease) {
+  const std::vector<TraceEvent> events = {
+      {Time::ms(1), TraceKind::kJobComplete, 0, 0, 0, 0},
+  };
+  const auto res = check_trace(events);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("never released"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, DetectsUnmatchedReleaseWithinHorizon) {
+  TraceCheckConfig cfg;
+  cfg.task_periods = {Time::ms(10)};
+  cfg.horizon = Time::ms(100);
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kJobRelease, 0, 0, 0, 0},
+  };
+  const auto res = check_trace(events, cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("neither completed nor missed"),
+            std::string::npos);
+  // A release whose deadline lies beyond the horizon is legitimately open.
+  TraceCheckConfig late = cfg;
+  late.horizon = Time::ms(5);
+  EXPECT_TRUE(check_trace(events, late).ok());
+}
+
+TEST(TraceCheck, ViolationReportingIsCapped) {
+  TraceCheckConfig cfg;
+  cfg.max_violations = 3;
+  std::vector<TraceEvent> events;
+  for (int i = 0; i < 10; ++i)
+    events.push_back({Time::us(i), TraceKind::kJobComplete, 0, 0, i, 0});
+  const auto res = check_trace(events, cfg);
+  EXPECT_EQ(res.total_violations, 10u);
+  EXPECT_EQ(res.violations.size(), 3u);
+}
+
+// --------------------------------------------- end to end with the sim ----
+
+sim::SimConfig two_server_config() {
+  sim::SimConfig cfg;
+  cfg.num_cores = 1;
+  cfg.capture_trace = true;
+  sim::SimVcpuSpec v0;
+  v0.period = Time::ms(10);
+  v0.budget = Time::ms(4);
+  sim::SimVcpuSpec v1 = v0;
+  v1.budget = Time::ms(5);
+  cfg.vcpus = {v0, v1};
+  sim::SimTaskSpec t0;
+  t0.period = Time::ms(10);
+  t0.cpu_work = Time::ms(3);
+  t0.vcpu = 0;
+  sim::SimTaskSpec t1;
+  t1.period = Time::ms(20);
+  t1.cpu_work = Time::ms(8);
+  t1.vcpu = 1;
+  cfg.tasks = {t0, t1};
+  return cfg;
+}
+
+TEST(TraceCheck, SimulatorTraceSatisfiesAllInvariants) {
+  auto cfg = two_server_config();
+  sim::Simulation s(cfg);
+  const auto horizon = Time::ms(200);
+  s.run(horizon);
+  const auto res = check_trace(s.trace().events(),
+                               TraceCheckConfig::from_sim(cfg, horizon));
+  EXPECT_TRUE(res.ok()) << (res.violations.empty()
+                                ? res.summary()
+                                : res.violations[0].what);
+  EXPECT_GT(res.releases, 20u);
+}
+
+TEST(TraceCheck, RegulatedSimulatorTraceSatisfiesAllInvariants) {
+  // Bandwidth-starved workload: dozens of throttle windows; the trace must
+  // still show zero execution inside them.
+  sim::SimConfig cfg;
+  cfg.num_cores = 1;
+  cfg.capture_trace = true;
+  cfg.bw_regulation = true;
+  cfg.bw_alloc = {2};
+  cfg.regulation_period = Time::ms(1);
+  cfg.requests_per_partition = 1000;
+  sim::SimVcpuSpec v;
+  v.period = Time::ms(100);
+  v.budget = Time::ms(100);
+  cfg.vcpus = {v};
+  sim::SimTaskSpec t;
+  t.period = Time::ms(100);
+  t.cpu_work = Time::ms(5);
+  t.mem_work_ref = Time::ms(15);
+  t.mem_requests_ref = 200'000;
+  cfg.tasks = {t};
+
+  sim::Simulation s(cfg);
+  const auto horizon = Time::ms(400);
+  s.run(horizon);
+  EXPECT_GT(s.stats().throttles, 50u);
+  const auto res = check_trace(s.trace().events(),
+                               TraceCheckConfig::from_sim(cfg, horizon));
+  EXPECT_TRUE(res.ok()) << (res.violations.empty()
+                                ? res.summary()
+                                : res.violations[0].what);
+}
+
+TEST(TraceCheck, CorruptedSimulatorTraceIsRejected) {
+  auto cfg = two_server_config();
+  sim::Simulation s(cfg);
+  s.run(Time::ms(100));
+  auto events = s.trace().events();
+  // Corrupt the trace: clone a schedule event onto an occupied core.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == TraceKind::kVcpuSchedule) {
+      TraceEvent dup = events[i];
+      dup.vcpu = dup.vcpu == 0 ? 1 : 0;
+      events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                    dup);
+      break;
+    }
+  }
+  EXPECT_FALSE(check_trace(events).ok());
+}
+
+TEST(Recorder, EndToEndWithSimulator) {
+  auto cfg = two_server_config();
+  MetricsRegistry reg;
+  MetricsRecorder rec(reg);
+  sim::Simulation s(cfg);
+  s.set_observer(&rec);
+  const auto horizon = Time::ms(200);
+  s.run(horizon);
+  rec.finalize(s.stats(), horizon);
+
+  const auto* ratios = reg.find_histogram("task.0.response_ratio");
+  ASSERT_NE(ratios, nullptr);
+  EXPECT_EQ(ratios->count(), s.stats().per_task[0].completed);
+  EXPECT_GT(ratios->max(), 0.0);
+  EXPECT_LE(ratios->max(), 1.0);  // schedulable setup: no overruns
+  ASSERT_NE(reg.find_gauge("core.0.busy_fraction"), nullptr);
+  EXPECT_NEAR(reg.find_gauge("core.0.busy_fraction")->value(),
+              s.stats().core_busy_fraction[0], 1e-12);
+  EXPECT_EQ(reg.find_counter("sim.jobs_completed")->value(),
+            s.stats().jobs_completed);
+
+  std::ostringstream report;
+  write_report(report, cfg, s.stats(), reg, horizon);
+  EXPECT_NE(report.str().find("## Cores"), std::string::npos);
+  EXPECT_NE(report.str().find("## Tasks"), std::string::npos);
+  std::ostringstream dump;
+  write_metrics_dump(dump, reg);
+  EXPECT_NE(dump.str().find("sim.jobs_completed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vc2m::obs

@@ -1021,5 +1021,31 @@ TEST(Simulation, StatsAreInternallyConsistent) {
   EXPECT_EQ(s.core_busy_fraction.size(), 2u);
 }
 
+// --------------------------------------------------------------- trace ----
+
+TEST(Trace, EventsOfFiltersOneKindInTimeOrder) {
+  SimConfig cfg;
+  cfg.num_cores = 1;
+  cfg.capture_trace = true;
+  cfg.vcpus = {server(Time::ms(10), Time::ms(4)),
+               server(Time::ms(20), Time::ms(6))};
+  cfg.tasks = {cpu_task(Time::ms(10), Time::ms(3), 0),
+               cpu_task(Time::ms(20), Time::ms(5), 1)};
+  Simulation sim(cfg);
+  sim.run(Time::ms(400));
+  const auto& trace = sim.trace();
+  ASSERT_GT(trace.events().size(), 100u);
+  for (int k = 0; k < static_cast<int>(TraceKind::kCount_); ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    const auto evs = trace.events_of(kind);
+    // The per-kind counter sizes the filtered copy exactly.
+    EXPECT_EQ(evs.size(), trace.count(kind)) << to_string(kind);
+    for (const auto& ev : evs) EXPECT_EQ(ev.kind, kind);
+    // Recorded order is time order (the DES never goes backwards).
+    for (std::size_t i = 0; i + 1 < evs.size(); ++i)
+      EXPECT_LE(evs[i].when, evs[i + 1].when) << to_string(kind);
+  }
+}
+
 }  // namespace
 }  // namespace vc2m::sim

@@ -169,6 +169,22 @@ TEST(SampleStats, EmptyThrows) {
   EXPECT_THROW(s.mean(), Error);
 }
 
+TEST(SampleStats, AggregatesSurvivePercentileSortAndLaterAdds) {
+  // min/max/mean come from running accumulators; a percentile query sorts
+  // the sample buffer in place, and additions after that must keep every
+  // aggregate consistent with the full sample set.
+  SampleStats s;
+  for (const double x : {5.0, 2.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);  // forces the sort
+  s.add(1.0);
+  s.add(12.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 12.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 29.0 / 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 12.0);
+  EXPECT_DOUBLE_EQ(s.p(0.0), 1.0);  // p() shorthand
+}
+
 TEST(OnlineStats, MatchesBatchComputation) {
   OnlineStats o;
   SampleStats s;

@@ -13,9 +13,19 @@
 //       (VCPUs, cores, cache/BW partitions and the CAT capacity bitmasks).
 //
 //   vc2m simulate --file tasks.csv [--platform P] [--solution S] [--seed S]
+//                 [--trace out.json|out.csv] [--report]
 //       Solve as above, then deploy the allocation onto the simulated
 //       hypervisor and execute three hyperperiods, reporting deadline
-//       misses and core utilization.
+//       misses and core utilization. --trace writes the scheduling trace
+//       (Chrome/Perfetto JSON, or CSV by extension); --report prints the
+//       full metrics report (per-core utilization/throttle, per-task
+//       response-time ratios, allocator effort) and runs the trace
+//       invariant checker over the run.
+//
+//   vc2m check --trace out.json|out.csv
+//       Re-import an exported trace and verify the scheduling invariants
+//       (single VCPU per core, no execution while throttled, release/
+//       completion matching).
 //
 // CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
 // from the profile's slowdown vectors scaled to the given reference WCET.
@@ -27,6 +37,10 @@
 
 #include "core/solutions.h"
 #include "hw/cat.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
+#include "obs/trace_check.h"
+#include "obs/trace_export.h"
 #include "sim/deploy.h"
 #include "sim/simulation.h"
 #include "model/platform.h"
@@ -44,6 +58,8 @@ using namespace vc2m;
 struct Args {
   std::string command;
   std::string file;
+  std::string trace;
+  bool report = false;
   std::string platform = "A";
   std::string solution = "flat";
   std::string dist = "uniform";
@@ -57,7 +73,11 @@ struct Args {
                "       vc2m generate --util U [--dist D] [--vms N] [--seed S]"
                " [--platform P]\n"
                "       vc2m solve --file tasks.csv [--platform P] "
-               "[--solution S] [--seed S]\n";
+               "[--solution S] [--seed S]\n"
+               "       vc2m simulate --file tasks.csv [--platform P] "
+               "[--solution S] [--seed S]\n"
+               "                     [--trace out.json|out.csv] [--report]\n"
+               "       vc2m check --trace out.json|out.csv\n";
   std::exit(code);
 }
 
@@ -72,6 +92,8 @@ Args parse(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--file") a.file = next();
+    else if (arg == "--trace") a.trace = next();
+    else if (arg == "--report") a.report = true;
     else if (arg == "--platform") a.platform = next();
     else if (arg == "--solution") a.solution = next();
     else if (arg == "--dist") a.dist = next();
@@ -199,25 +221,66 @@ int cmd_simulate(const Args& a) {
   sim::DeployConfig dc;
   dc.release_sync =
       solution_of(a.solution) == core::Solution::kHeuristicFlattening;
-  sim::Simulation s(
-      sim::deploy(tasks, res.vcpus, res.mapping, platform, dc));
+  dc.capture_trace = !a.trace.empty() || a.report;
+  const auto sim_cfg =
+      sim::deploy(tasks, res.vcpus, res.mapping, platform, dc);
+  sim::Simulation s(sim_cfg);
+
+  obs::MetricsRegistry registry;
+  obs::MetricsRecorder recorder(registry);
+  if (a.report) s.set_observer(&recorder);
+
   const auto horizon = model::hyperperiod(tasks) * 3;
   s.run(horizon);
   const auto st = s.stats();
 
-  std::cout << "Simulated " << horizon.to_ms() << " ms on "
-            << res.mapping.cores_used << " core(s)\n";
-  util::Table table({"metric", "value"});
-  table.add_row("jobs released", static_cast<int>(st.jobs_released));
-  table.add_row("jobs completed", static_cast<int>(st.jobs_completed));
-  table.add_row("deadline misses", static_cast<int>(st.deadline_misses));
-  table.add_row("VCPU context switches",
-                static_cast<int>(st.vcpu_context_switches));
-  for (std::size_t k = 0; k < st.core_busy_fraction.size(); ++k)
-    table.add_row("core " + std::to_string(k) + " busy",
-                  st.core_busy_fraction[k]);
-  table.print(std::cout);
+  if (!a.trace.empty()) {
+    obs::write_trace_file(a.trace, s.trace().events(),
+                          obs::TraceMeta::from_config(sim_cfg));
+    std::cout << "Wrote " << s.trace().events().size() << " trace events to "
+              << a.trace << "\n";
+  }
+
+  if (a.report) {
+    recorder.finalize(st, horizon);
+    obs::record_alloc_counters(registry, res.counters);
+    obs::write_report(std::cout, sim_cfg, st, registry, horizon,
+                      &res.counters);
+    const auto check = obs::check_trace(
+        s.trace().events(),
+        obs::TraceCheckConfig::from_sim(sim_cfg, horizon));
+    std::cout << "Trace invariants: " << check.summary() << "\n";
+    for (const auto& v : check.violations)
+      std::cout << "  at " << v.when.to_ms() << " ms: " << v.what << "\n";
+    if (!check.ok()) return 1;
+  } else {
+    std::cout << "Simulated " << horizon.to_ms() << " ms on "
+              << res.mapping.cores_used << " core(s)\n";
+    util::Table table({"metric", "value"});
+    table.add_row("jobs released", static_cast<int>(st.jobs_released));
+    table.add_row("jobs completed", static_cast<int>(st.jobs_completed));
+    table.add_row("deadline misses", static_cast<int>(st.deadline_misses));
+    table.add_row("VCPU context switches",
+                  static_cast<int>(st.vcpu_context_switches));
+    for (std::size_t k = 0; k < st.core_busy_fraction.size(); ++k)
+      table.add_row("core " + std::to_string(k) + " busy",
+                    st.core_busy_fraction[k]);
+    table.print(std::cout);
+  }
   return st.deadline_misses == 0 ? 0 : 1;
+}
+
+int cmd_check(const Args& a) {
+  if (a.trace.empty()) usage(2);
+  const auto events = obs::read_trace_file(a.trace);
+  const auto res = obs::check_trace(events);
+  std::cout << a.trace << ": " << res.summary() << "\n";
+  for (const auto& v : res.violations)
+    std::cout << "  at " << v.when.to_ms() << " ms: " << v.what << "\n";
+  if (res.total_violations > res.violations.size())
+    std::cout << "  ... and "
+              << res.total_violations - res.violations.size() << " more\n";
+  return res.ok() ? 0 : 1;
 }
 
 }  // namespace
@@ -229,6 +292,7 @@ int main(int argc, char** argv) {
     if (a.command == "generate") return cmd_generate(a);
     if (a.command == "solve") return cmd_solve(a);
     if (a.command == "simulate") return cmd_simulate(a);
+    if (a.command == "check") return cmd_check(a);
     usage(2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
