@@ -18,6 +18,7 @@ struct Options {
   int tasksets = 50;
   double step = 0.05;
   std::uint64_t seed = 42;
+  int jobs = 0;  ///< sweep worker threads; 0 = hardware concurrency
   std::string csv_dir = "bench_results";
 
   static Options parse(int argc, char** argv) {
@@ -37,13 +38,19 @@ struct Options {
         opt.step = std::atof(next("--step"));
       } else if (arg == "--seed") {
         opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+      } else if (arg == "--jobs") {
+        opt.jobs = std::atoi(next("--jobs"));
+        if (opt.jobs < 0) {
+          std::cerr << "--jobs must be >= 0 (0 = hardware concurrency)\n";
+          std::exit(2);
+        }
       } else if (arg == "--csv-dir") {
         opt.csv_dir = next("--csv-dir");
       } else if (arg == "--quick") {
         opt.tasksets = 10;
         opt.step = 0.1;
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "options: --tasksets N  --step S  --seed S  "
+        std::cout << "options: --tasksets N  --step S  --seed S  --jobs N  "
                      "--csv-dir DIR  --quick\n";
         std::exit(0);
       } else {

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     cfg.util_step = opt.step;
     cfg.tasksets_per_point = opt.tasksets;
     cfg.seed = opt.seed;
+    cfg.jobs = opt.jobs;
     const std::string label = platforms[p].name;
     results.push_back(core::run_schedulability_experiment(
         cfg, [&](int d, int t) { bench::progress(label, d, t); }));

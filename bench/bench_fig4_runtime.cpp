@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   cfg.util_step = opt.step;
   cfg.tasksets_per_point = opt.tasksets;
   cfg.seed = opt.seed;
+  cfg.jobs = opt.jobs;
   util::AllocCounterScope effort;  // aggregate allocator work over the sweep
   const auto result = core::run_schedulability_experiment(
       cfg, [&](int d, int t) { bench::progress("fig4", d, t); });

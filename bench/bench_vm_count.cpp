@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     cfg.tasksets_per_point = opt.tasksets;
     cfg.num_vms = vms;
     cfg.seed = opt.seed;
+    cfg.jobs = opt.jobs;
     cfg.solutions = {core::Solution::kHeuristicFlattening,
                      core::Solution::kHeuristicOverheadFree,
                      core::Solution::kBaselineExistingCsa};

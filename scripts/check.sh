@@ -1,30 +1,42 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under ASan and UBSan.
+# Build and run the test suite under sanitizers.
 #
-#   scripts/check.sh            # both sanitizers
-#   scripts/check.sh address    # just one
+#   scripts/check.sh            # ASan + UBSan (full suite) + TSan (parallel tests)
+#   scripts/check.sh address    # just one pass
+#   scripts/check.sh thread     # just the TSan pass
 #
-# Each sanitizer gets its own build tree (build-asan/, build-ubsan/) so the
-# regular build/ stays untouched. Exits non-zero on the first failure.
+# Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
+# build-tsan/) so the regular build/ stays untouched. address and
+# undefined build and run everything; thread builds only the parallel test
+# binary and runs the thread-pool/experiment suites (the rest of the test
+# suite is single-threaded, and TSan's ~10x slowdown buys nothing there).
+# Exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-sanitizers=("${@:-address undefined}")
-[ $# -eq 0 ] && sanitizers=(address undefined)
+sanitizers=("$@")
+[ $# -eq 0 ] && sanitizers=(address undefined thread)
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
     address)   dir=build-asan ;;
     undefined) dir=build-ubsan ;;
+    thread)    dir=build-tsan ;;
     *)         dir="build-$san" ;;
   esac
+  build_args=()
+  ctest_args=(--output-on-failure -j "$(nproc)")
+  if [ "$san" = thread ]; then
+    build_args=(--target test_parallel)
+    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards)')
+  fi
   echo "=== ${san}: configure (${dir}/) ==="
   cmake -B "$dir" -S . -DVC2M_SANITIZE="$san" >/dev/null
   echo "=== ${san}: build ==="
-  cmake --build "$dir" -j "$(nproc)"
+  cmake --build "$dir" -j "$(nproc)" ${build_args[@]+"${build_args[@]}"}
   echo "=== ${san}: ctest ==="
-  (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+  (cd "$dir" && ctest ${ctest_args[@]+"${ctest_args[@]}"})
 done
 
 echo "All sanitizer runs passed."

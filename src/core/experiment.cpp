@@ -2,16 +2,28 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
 #include "util/error.h"
+#include "util/instrument.h"
+#include "util/thread_pool.h"
 
 namespace vc2m::core {
 
 double ExperimentResult::breakdown_utilization(std::size_t solution_index,
                                                double threshold) const {
+  VC2M_CHECK_MSG(!points.empty(),
+                 "breakdown_utilization on an empty experiment (no "
+                 "utilization points — was the sweep run?)");
   double breakdown = 0;
   for (const auto& pt : points) {
-    VC2M_CHECK(solution_index < pt.per_solution.size());
+    VC2M_CHECK_MSG(solution_index < pt.per_solution.size(),
+                   "solution index " << solution_index
+                                     << " out of range — point at util "
+                                     << pt.target_util << " has only "
+                                     << pt.per_solution.size()
+                                     << " solution columns");
     if (pt.per_solution[solution_index].fraction() < threshold) break;
     breakdown = pt.target_util;
   }
@@ -19,6 +31,9 @@ double ExperimentResult::breakdown_utilization(std::size_t solution_index,
 }
 
 util::Table ExperimentResult::to_table(bool runtimes) const {
+  VC2M_CHECK_MSG(!points.empty(),
+                 "to_table on an empty experiment (no utilization points — "
+                 "was the sweep run?)");
   std::vector<std::string> header{"util"};
   for (const auto s : cfg.solutions) header.push_back(to_string(s));
   if (runtimes)
@@ -26,6 +41,12 @@ util::Table ExperimentResult::to_table(bool runtimes) const {
       header.push_back("sec " + to_string(s));
   util::Table table(std::move(header));
   for (const auto& pt : points) {
+    VC2M_CHECK_MSG(pt.per_solution.size() == cfg.solutions.size(),
+                   "point at util " << pt.target_util << " has "
+                                    << pt.per_solution.size()
+                                    << " solution columns but the config "
+                                       "names "
+                                    << cfg.solutions.size() << " solutions");
     std::vector<std::string> row;
     auto fmt = [](double v, int prec) {
       char buf[32];
@@ -49,41 +70,118 @@ ExperimentResult run_schedulability_experiment(
              cfg.util_lo <= cfg.util_hi);
   VC2M_CHECK(cfg.tasksets_per_point > 0);
   VC2M_CHECK(!cfg.solutions.empty());
+  VC2M_CHECK_MSG(cfg.jobs >= 0, "jobs must be >= 0 (0 = hardware)");
 
   ExperimentResult result;
   result.cfg = cfg;
 
   const int n_points = static_cast<int>(
       std::floor((cfg.util_hi - cfg.util_lo) / cfg.util_step + 1e-9)) + 1;
+  const int reps = cfg.tasksets_per_point;
+  const std::size_t n_sol = cfg.solutions.size();
+  const std::size_t n_reps_total =
+      static_cast<std::size_t>(n_points) * static_cast<std::size_t>(reps);
 
+  // Pre-fork every RNG stream serially from the master seed, in exactly the
+  // order a serial sweep consumes them (per point, per taskset: one
+  // generator stream, then one solver stream per solution). Each work item
+  // below is a pure function of its streams writing to its own slot, so
+  // the sweep's output does not depend on worker count or completion order.
+  struct RepStreams {
+    util::Rng gen;
+    std::vector<util::Rng> solve;
+  };
   util::Rng master(cfg.seed);
+  std::vector<RepStreams> streams(n_reps_total);
+  for (std::size_t ti = 0; ti < n_reps_total; ++ti) {
+    streams[ti].gen = master.fork();
+    streams[ti].solve.reserve(n_sol);
+    for (std::size_t si = 0; si < n_sol; ++si)
+      streams[ti].solve.push_back(master.fork());
+  }
+
+  // One output slot per (point, taskset, solution); tasksets are generated
+  // once per (point, taskset) under a once_flag and shared by that
+  // taskset's solution items, then freed when its last solve finishes.
+  struct Cell {
+    bool schedulable = false;
+    double seconds = 0;
+    util::AllocCounters counters;
+  };
+  std::vector<Cell> cells(n_reps_total * n_sol);
+  std::vector<model::Taskset> tasksets(n_reps_total);
+  std::unique_ptr<std::once_flag[]> taskset_once(
+      new std::once_flag[n_reps_total]);
+
+  // Single collector: keeps the progress callback monotone no matter which
+  // worker finishes which point, and reclaims taskset memory early.
+  std::mutex collector_mu;
+  std::vector<int> rep_items_left(n_reps_total, static_cast<int>(n_sol));
+  std::vector<int> point_items_left(
+      n_points, reps * static_cast<int>(n_sol));
+  int points_done = 0;
+
+  util::ThreadPool pool(static_cast<unsigned>(cfg.jobs));
+  for (int pi = 0; pi < n_points; ++pi) {
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::size_t ti =
+          static_cast<std::size_t>(pi) * reps + static_cast<std::size_t>(rep);
+      for (std::size_t si = 0; si < n_sol; ++si) {
+        pool.submit([&, pi, ti, si] {
+          std::call_once(taskset_once[ti], [&] {
+            workload::GeneratorConfig gen;
+            gen.grid = cfg.platform.grid;
+            gen.target_ref_utilization = cfg.util_lo + cfg.util_step * pi;
+            gen.dist = cfg.dist;
+            gen.num_vms = cfg.num_vms;
+            util::Rng gen_rng = streams[ti].gen;
+            tasksets[ti] = workload::generate_taskset(gen, gen_rng);
+          });
+          util::Rng solve_rng = streams[ti].solve[si];
+          const auto res = solve(cfg.solutions[si], tasksets[ti],
+                                 cfg.platform, cfg.solve, solve_rng);
+          Cell& cell = cells[ti * n_sol + si];
+          cell.schedulable = res.schedulable;
+          cell.seconds = res.seconds;
+          cell.counters = res.counters;
+
+          std::lock_guard<std::mutex> lk(collector_mu);
+          if (--rep_items_left[ti] == 0) tasksets[ti] = model::Taskset{};
+          if (--point_items_left[pi] == 0) {
+            ++points_done;
+            if (progress) progress(points_done, n_points);
+          }
+        });
+      }
+    }
+  }
+  pool.wait();
+
+  // Deterministic assembly in serial (point, taskset, solution) order.
+  result.points.reserve(static_cast<std::size_t>(n_points));
   for (int pi = 0; pi < n_points; ++pi) {
     UtilizationPoint point;
     point.target_util = cfg.util_lo + cfg.util_step * pi;
-    point.per_solution.assign(cfg.solutions.size(), {});
-
-    workload::GeneratorConfig gen;
-    gen.grid = cfg.platform.grid;
-    gen.target_ref_utilization = point.target_util;
-    gen.dist = cfg.dist;
-    gen.num_vms = cfg.num_vms;
-
-    for (int rep = 0; rep < cfg.tasksets_per_point; ++rep) {
-      util::Rng gen_rng = master.fork();
-      const auto taskset = workload::generate_taskset(gen, gen_rng);
-      for (std::size_t si = 0; si < cfg.solutions.size(); ++si) {
-        util::Rng solve_rng = master.fork();
-        const auto res = solve(cfg.solutions[si], taskset, cfg.platform,
-                               cfg.solve, solve_rng);
+    point.per_solution.assign(n_sol, {});
+    for (int rep = 0; rep < reps; ++rep) {
+      const std::size_t ti =
+          static_cast<std::size_t>(pi) * reps + static_cast<std::size_t>(rep);
+      for (std::size_t si = 0; si < n_sol; ++si) {
+        const Cell& cell = cells[ti * n_sol + si];
         auto& sp = point.per_solution[si];
         sp.total += 1;
-        sp.schedulable += res.schedulable ? 1 : 0;
-        sp.total_seconds += res.seconds;
+        sp.schedulable += cell.schedulable ? 1 : 0;
+        sp.total_seconds += cell.seconds;
       }
     }
     result.points.push_back(std::move(point));
-    if (progress) progress(pi + 1, n_points);
   }
+
+  // Solves ran on worker threads whose thread-local collector pointer is
+  // null, so the caller's scope saw nothing live; merge the per-solve
+  // counters into it here, in serial order, for jobs-independent totals.
+  if (auto* outer = util::alloc_counters())
+    for (const Cell& cell : cells) outer->merge(cell.counters);
   return result;
 }
 

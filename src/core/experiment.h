@@ -2,6 +2,13 @@
 // and the examples: sweep taskset reference utilization, generate workloads
 // per §5.1, run each solution on identical tasksets, and record schedulable
 // fractions and analysis running times.
+//
+// The sweep is embarrassingly parallel: every RNG stream is pre-forked
+// serially from the master seed, then the (point, taskset, solution) work
+// items are dispatched over a work-stealing thread pool. Results are a pure
+// function of the pre-forked streams, so they are bit-identical for any
+// `jobs` count and any completion order (docs/parallelism.md spells out the
+// contract; tests/test_parallel.cpp enforces it).
 #pragma once
 
 #include <cstdint>
@@ -25,6 +32,9 @@ struct ExperimentConfig {
   int tasksets_per_point = 50;
   int num_vms = 1;
   std::uint64_t seed = 42;
+  /// Worker threads for the sweep; 0 means hardware concurrency. The
+  /// result is bit-identical regardless of the value.
+  int jobs = 0;
   std::vector<Solution> solutions = all_solutions();
   SolveConfig solve;
 };
@@ -54,16 +64,23 @@ struct ExperimentResult {
   /// Largest utilization u such that every point ≤ u has schedulable
   /// fraction ≥ `threshold` for the given solution — the paper's
   /// "utilization after which tasksets start to become unschedulable".
+  /// Requires a non-empty sweep and a solution index every point covers.
   double breakdown_utilization(std::size_t solution_index,
                                double threshold = 0.999) const;
 
   /// Render as a table: one row per utilization, one fraction column per
   /// solution (plus optional average-seconds columns for Fig. 4).
+  /// Requires a non-empty sweep whose points all match cfg.solutions.
   util::Table to_table(bool runtimes = false) const;
 };
 
-/// Run the sweep. `progress`, when set, is invoked after every utilization
-/// point with (point_index, total_points).
+/// Run the sweep over cfg.jobs worker threads (0 = hardware concurrency).
+/// `progress`, when set, is invoked from a single mutex-serialized collector
+/// each time a utilization point completes, with a monotonically increasing
+/// (points_completed, total_points) — note it may run on a worker thread.
+/// The caller's util::AllocCounterScope, if any, receives every solve's
+/// counters merged in serial (point, taskset, solution) order, so aggregate
+/// effort totals are also independent of the jobs count.
 ExperimentResult run_schedulability_experiment(
     const ExperimentConfig& cfg,
     const std::function<void(int, int)>& progress = {});

@@ -1,0 +1,133 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace vc2m::util {
+
+unsigned ThreadPool::hardware_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned workers) {
+  if (workers == 0) workers = hardware_workers();
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    workers_.push_back(std::make_unique<WorkerState>());
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  VC2M_CHECK(task != nullptr);
+  std::size_t victim;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    VC2M_CHECK_MSG(!stop_, "submit() on a pool being destroyed");
+    ++in_flight_;
+    victim = next_++ % workers_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lk(workers_[victim]->mu);
+    workers_[victim]->tasks.push_back(std::move(task));
+  }
+  // The push must land before queued_ counts it, so a worker woken by the
+  // notify below always finds the task when it scans the deques.
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  {
+    WorkerState& own = *workers_[self];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    WorkerState& victim = *workers_[(self + k) % workers_.size()];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        --queued_;
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      task = nullptr;  // release captures before declaring the task done
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        idle = --in_flight_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+    } else {
+      std::unique_lock<std::mutex> lk(pool_mu_);
+      work_cv_.wait(lk, [&] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ <= 0) return;
+    }
+  }
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lk(pool_mu_);
+  idle_cv_.wait(lk, [&] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lk.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0)
+    grain = std::max<std::size_t>(1, n / (std::size_t{workers()} * 8));
+  for (std::size_t lo = 0; lo < n; lo += grain) {
+    const std::size_t hi = std::min(n, lo + grain);
+    // body outlives the tasks (wait() below), so capture by reference.
+    submit([&body, lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    });
+  }
+  wait();
+}
+
+}  // namespace vc2m::util

@@ -1,0 +1,90 @@
+// Fixed-size work-stealing thread pool.
+//
+// The pool owns N worker threads, each with its own deque. submit()
+// distributes tasks round-robin over the deques; a worker pops its own
+// deque LIFO (back) for cache locality and, when empty, steals FIFO
+// (front) from the others so long chains of slow tasks spread out.
+// wait() blocks the caller until every submitted task has finished and
+// rethrows the first exception any task raised, so VC2M_CHECK failures
+// inside pooled work surface at the call site exactly as they would in
+// a serial loop.
+//
+// The pool makes no ordering promises: callers that need deterministic
+// results must make each task a pure function of pre-computed inputs
+// writing to its own output slot (see core::run_schedulability_experiment
+// and docs/parallelism.md for the contract this enables).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vc2m::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads; 0 means hardware_workers().
+  explicit ThreadPool(unsigned workers = 0);
+
+  /// Joins the workers. Tasks still queued are drained first; destroying
+  /// a pool while another thread is submitting or waiting is undefined.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (fixed for the pool's lifetime).
+  unsigned workers() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue one task. Tasks may submit further tasks; they must not call
+  /// wait() (the pool does not run queued work on a blocked caller).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. If any task threw,
+  /// rethrows the first such exception (later ones are dropped) and clears
+  /// it, leaving the pool reusable.
+  void wait();
+
+  /// Run body(i) for every i in [0, n), spread over the workers in chunks
+  /// of `grain` indices (0 picks a grain that yields several chunks per
+  /// worker). Calls wait(), so it also drains — and propagates errors
+  /// from — any tasks submitted earlier.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// max(1, std::thread::hardware_concurrency()).
+  static unsigned hardware_workers();
+
+ private:
+  struct WorkerState {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+
+  // pool_mu_ guards everything below. queued_ counts tasks pushed minus
+  // tasks popped (transiently negative while a push's bookkeeping races a
+  // steal); in_flight_ counts submitted minus finished.
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;  ///< workers sleep here when idle
+  std::condition_variable idle_cv_;  ///< wait() sleeps here
+  std::ptrdiff_t queued_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t next_ = 0;  ///< round-robin submit cursor
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace vc2m::util

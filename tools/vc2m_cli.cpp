@@ -27,6 +27,15 @@
 //       (single VCPU per core, no execution while throttled, release/
 //       completion matching).
 //
+//   vc2m experiment [--platform P] [--dist D] [--vms N] [--seed S]
+//                   [--tasksets N] [--step S] [--util-lo U] [--util-hi U]
+//                   [--jobs N]
+//       Run the §5 schedulability sweep (the Fig. 2/3 experiment) over a
+//       work-stealing thread pool and print the fraction-schedulable table
+//       plus per-solution breakdown utilizations. --jobs 0 (the default)
+//       uses all hardware threads; results are bit-identical for any
+//       --jobs value.
+//
 // CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
 // from the profile's slowdown vectors scaled to the given reference WCET.
 #include <fstream>
@@ -35,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "core/experiment.h"
 #include "core/solutions.h"
 #include "hw/cat.h"
 #include "obs/recorder.h"
@@ -47,6 +57,7 @@
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 #include "workload/parsec.h"
 #include "workload/taskset_io.h"
@@ -66,6 +77,12 @@ struct Args {
   double util = 1.0;
   int vms = 1;
   std::uint64_t seed = 42;
+  // experiment sweep parameters
+  int tasksets = 20;
+  double step = 0.1;
+  double util_lo = 0.1;
+  double util_hi = 2.0;
+  int jobs = 0;  ///< sweep worker threads; 0 = hardware concurrency
 };
 
 [[noreturn]] void usage(int code) {
@@ -77,7 +94,12 @@ struct Args {
                "       vc2m simulate --file tasks.csv [--platform P] "
                "[--solution S] [--seed S]\n"
                "                     [--trace out.json|out.csv] [--report]\n"
-               "       vc2m check --trace out.json|out.csv\n";
+               "       vc2m check --trace out.json|out.csv\n"
+               "       vc2m experiment [--platform P] [--dist D] [--vms N] "
+               "[--seed S]\n"
+               "                       [--tasksets N] [--step S] "
+               "[--util-lo U] [--util-hi U]\n"
+               "                       [--jobs N]\n";
   std::exit(code);
 }
 
@@ -100,6 +122,11 @@ Args parse(int argc, char** argv) {
     else if (arg == "--util") a.util = std::stod(next());
     else if (arg == "--vms") a.vms = std::stoi(next());
     else if (arg == "--seed") a.seed = std::stoull(next());
+    else if (arg == "--tasksets") a.tasksets = std::stoi(next());
+    else if (arg == "--step") a.step = std::stod(next());
+    else if (arg == "--util-lo") a.util_lo = std::stod(next());
+    else if (arg == "--util-hi") a.util_hi = std::stod(next());
+    else if (arg == "--jobs") a.jobs = std::stoi(next());
     else usage(2);
   }
   return a;
@@ -270,6 +297,46 @@ int cmd_simulate(const Args& a) {
   return st.deadline_misses == 0 ? 0 : 1;
 }
 
+int cmd_experiment(const Args& a) {
+  if (a.jobs < 0)
+    throw util::Error("--jobs must be >= 0 (0 = hardware concurrency)");
+  core::ExperimentConfig cfg;
+  cfg.platform = platform_of(a.platform);
+  cfg.dist = dist_of(a.dist);
+  cfg.util_lo = a.util_lo;
+  cfg.util_hi = a.util_hi;
+  cfg.util_step = a.step;
+  cfg.tasksets_per_point = a.tasksets;
+  cfg.num_vms = a.vms;
+  cfg.seed = a.seed;
+  cfg.jobs = a.jobs;
+
+  std::cout << "Schedulability sweep on " << cfg.platform.name << ", dist "
+            << to_string(cfg.dist) << ", util " << cfg.util_lo << ".."
+            << cfg.util_hi << " step " << cfg.util_step << ", "
+            << cfg.tasksets_per_point << " tasksets/point, seed " << cfg.seed
+            << ", jobs "
+            << (cfg.jobs == 0
+                    ? util::ThreadPool::hardware_workers()
+                    : static_cast<unsigned>(cfg.jobs))
+            << "\n";
+  const auto result = core::run_schedulability_experiment(
+      cfg, [](int done, int total) {
+        std::cerr << "\r" << done << "/" << total
+                  << (done == total ? "\n" : "") << std::flush;
+      });
+
+  result.to_table().print(std::cout, "fraction of schedulable tasksets");
+  util::Table summary({"solution", "breakdown util"});
+  summary.set_precision(2);
+  for (std::size_t si = 0; si < cfg.solutions.size(); ++si)
+    summary.add_row(core::to_string(cfg.solutions[si]),
+                    result.breakdown_utilization(si));
+  std::cout << '\n';
+  summary.print(std::cout);
+  return 0;
+}
+
 int cmd_check(const Args& a) {
   if (a.trace.empty()) usage(2);
   const auto events = obs::read_trace_file(a.trace);
@@ -293,6 +360,7 @@ int main(int argc, char** argv) {
     if (a.command == "solve") return cmd_solve(a);
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "check") return cmd_check(a);
+    if (a.command == "experiment") return cmd_experiment(a);
     usage(2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
