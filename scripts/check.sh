@@ -8,8 +8,12 @@
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so the regular build/ stays untouched. address and
 # undefined build and run everything; thread builds only the parallel test
-# binary and runs the thread-pool/experiment suites (the rest of the test
-# suite is single-threaded, and TSan's ~10x slowdown buys nothing there).
+# binaries and runs the thread-pool/experiment/fault-validator suites (the
+# rest of the test suite is single-threaded, and TSan's ~10x slowdown buys
+# nothing there). The address pass also runs the fault-injection CLI smoke
+# (all four enforcement policies under a WCET-overrun plan) and a fuzz loop
+# that corrupts a valid taskset CSV byte-by-byte: the CLI must exit with a
+# clean util::Error, never an ASan report/crash.
 # Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -17,6 +21,46 @@ cd "$(dirname "$0")/.."
 
 sanitizers=("$@")
 [ $# -eq 0 ] && sanitizers=(address undefined thread)
+
+fault_smoke() {
+  # $1 = build dir with a tools/vc2m binary.
+  local vc2m="$1/tools/vc2m"
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+  echo "--- fault smoke: four enforcement policies ---"
+  "$vc2m" generate --util 0.6 --seed 3 > "$work/tasks.csv"
+  for policy in strict kill throttle degrade; do
+    "$vc2m" simulate --file "$work/tasks.csv" \
+      --faults 'overrun-factor=1.2,overrun-prob=0.7,low-crit-frac=0.5,seed=9' \
+      --policy "$policy" --report > "$work/out-$policy.txt" \
+      || { echo "fault smoke failed for policy $policy"; cat "$work/out-$policy.txt"; return 1; }
+    grep -q 'Trace invariants: OK' "$work/out-$policy.txt" \
+      || { echo "trace checker not clean for policy $policy"; return 1; }
+  done
+
+  echo "--- fuzz: corrupted taskset CSVs must fail cleanly ---"
+  # abort_on_error makes ASan die with a signal (rc >= 128) instead of
+  # exit(1), so a crash is distinguishable from a clean util::Error exit.
+  local size; size="$(wc -c < "$work/tasks.csv")"
+  RANDOM=20260806
+  for i in $(seq 1 32); do
+    cp "$work/tasks.csv" "$work/fuzzed.csv"
+    for _ in 1 2 3; do
+      local off=$((RANDOM % size)) byte=$((RANDOM % 255 + 1))
+      printf "$(printf '\\%03o' "$byte")" |
+        dd of="$work/fuzzed.csv" bs=1 seek="$off" count=1 conv=notrunc status=none
+    done
+    local rc=0
+    ASAN_OPTIONS=abort_on_error=1 "$vc2m" solve --file "$work/fuzzed.csv" \
+      > /dev/null 2> "$work/fuzz-err.txt" || rc=$?
+    if [ "$rc" -ge 128 ]; then
+      echo "fuzz iteration $i crashed (rc=$rc):"
+      cat "$work/fuzz-err.txt"
+      return 1
+    fi
+  done
+  echo "--- fault smoke + fuzz passed ---"
+}
 
 for san in "${sanitizers[@]}"; do
   case "$san" in
@@ -28,8 +72,8 @@ for san in "${sanitizers[@]}"; do
   build_args=()
   ctest_args=(--output-on-failure -j "$(nproc)")
   if [ "$san" = thread ]; then
-    build_args=(--target test_parallel)
-    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards)')
+    build_args=(--target test_parallel test_faults)
+    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel)')
   fi
   echo "=== ${san}: configure (${dir}/) ==="
   cmake -B "$dir" -S . -DVC2M_SANITIZE="$san" >/dev/null
@@ -37,6 +81,10 @@ for san in "${sanitizers[@]}"; do
   cmake --build "$dir" -j "$(nproc)" ${build_args[@]+"${build_args[@]}"}
   echo "=== ${san}: ctest ==="
   (cd "$dir" && ctest ${ctest_args[@]+"${ctest_args[@]}"})
+  if [ "$san" = address ]; then
+    echo "=== ${san}: fault smoke + fuzz ==="
+    fault_smoke "$dir"
+  fi
 done
 
 echo "All sanitizer runs passed."

@@ -11,6 +11,22 @@
 
 namespace vc2m::core {
 
+namespace {
+
+/// Per-work-item validation seed: a SplitMix64 mix of the master seed and
+/// the item's serial index. Derived arithmetically (not by forking the
+/// master Rng) so the pre-forked gen/solve stream sequence — which
+/// tests/test_parallel.cpp pins against a hand-rolled serial reference —
+/// is untouched.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t item) {
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ull * (item + 1);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 double ExperimentResult::breakdown_utilization(std::size_t solution_index,
                                                double threshold) const {
   VC2M_CHECK_MSG(!points.empty(),
@@ -36,6 +52,9 @@ util::Table ExperimentResult::to_table(bool runtimes) const {
                  "was the sweep run?)");
   std::vector<std::string> header{"util"};
   for (const auto s : cfg.solutions) header.push_back(to_string(s));
+  if (cfg.validate)
+    for (const auto s : cfg.solutions)
+      header.push_back(to_string(s) + " +f");
   if (runtimes)
     for (const auto s : cfg.solutions)
       header.push_back("sec " + to_string(s));
@@ -55,6 +74,9 @@ util::Table ExperimentResult::to_table(bool runtimes) const {
     };
     row.push_back(fmt(pt.target_util, 2));
     for (const auto& sp : pt.per_solution) row.push_back(fmt(sp.fraction(), 3));
+    if (cfg.validate)
+      for (const auto& sp : pt.per_solution)
+        row.push_back(fmt(sp.validated_fraction(), 3));
     if (runtimes)
       for (const auto& sp : pt.per_solution)
         row.push_back(fmt(sp.avg_seconds(), 4));
@@ -105,6 +127,7 @@ ExperimentResult run_schedulability_experiment(
   // taskset's solution items, then freed when its last solve finishes.
   struct Cell {
     bool schedulable = false;
+    bool validated = false;
     double seconds = 0;
     util::AllocCounters counters;
   };
@@ -144,6 +167,12 @@ ExperimentResult run_schedulability_experiment(
           cell.schedulable = res.schedulable;
           cell.seconds = res.seconds;
           cell.counters = res.counters;
+          // Validate before the collector lock: the taskset may be freed
+          // the moment this item is accounted as the rep's last.
+          if (cfg.validate && res.schedulable)
+            cell.validated =
+                cfg.validate(tasksets[ti], res,
+                             mix_seed(cfg.seed, ti * n_sol + si));
 
           std::lock_guard<std::mutex> lk(collector_mu);
           if (--rep_items_left[ti] == 0) tasksets[ti] = model::Taskset{};
@@ -171,6 +200,7 @@ ExperimentResult run_schedulability_experiment(
         auto& sp = point.per_solution[si];
         sp.total += 1;
         sp.schedulable += cell.schedulable ? 1 : 0;
+        sp.validated += cell.validated ? 1 : 0;
         sp.total_seconds += cell.seconds;
       }
     }

@@ -37,18 +37,36 @@ struct ExperimentConfig {
   int jobs = 0;
   std::vector<Solution> solutions = all_solutions();
   SolveConfig solve;
+
+  /// Optional runtime validation of each *schedulable* allocation — e.g.
+  /// sim::make_fault_validator, which replays the allocation in the
+  /// simulator under a fault plan ("fraction schedulable under X% WCET
+  /// overrun"). Called from worker threads (must be thread-safe) with the
+  /// taskset, the solve result, and a per-item seed derived arithmetically
+  /// from `seed` — so validation results are bit-identical for any `jobs`
+  /// count. Unschedulable allocations are never validated.
+  using ValidateFn = std::function<bool(
+      const model::Taskset&, const SolveResult&, std::uint64_t)>;
+  ValidateFn validate;
 };
 
 struct SolutionPoint {
   int schedulable = 0;       ///< tasksets deemed schedulable
   int total = 0;             ///< tasksets analyzed
   double total_seconds = 0;  ///< summed analysis time
+  /// Tasksets that were schedulable AND passed ExperimentConfig::validate
+  /// (0 when no validator is configured).
+  int validated = 0;
 
   double fraction() const {
     return total > 0 ? static_cast<double>(schedulable) / total : 0;
   }
   double avg_seconds() const {
     return total > 0 ? total_seconds / total : 0;
+  }
+  /// Fraction of analyzed tasksets that survived runtime validation.
+  double validated_fraction() const {
+    return total > 0 ? static_cast<double>(validated) / total : 0;
   }
 };
 
@@ -69,8 +87,10 @@ struct ExperimentResult {
                                double threshold = 0.999) const;
 
   /// Render as a table: one row per utilization, one fraction column per
-  /// solution (plus optional average-seconds columns for Fig. 4).
-  /// Requires a non-empty sweep whose points all match cfg.solutions.
+  /// solution, one validated-fraction ("+f") column per solution when a
+  /// validator was configured, plus optional average-seconds columns for
+  /// Fig. 4. Requires a non-empty sweep whose points all match
+  /// cfg.solutions.
   util::Table to_table(bool runtimes = false) const;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/faults.h"
+
 namespace vc2m::obs {
 
 namespace {
@@ -50,6 +52,38 @@ void MetricsRecorder::on_throttle_end(std::size_t core,
       .inc(static_cast<std::uint64_t>(duration.raw_ns()));
 }
 
+void MetricsRecorder::on_fault_injected(sim::FaultKind kind) {
+  reg_.counter("fault." + sim::to_string(kind)).inc();
+  reg_.counter("sim.faults_injected").inc();
+}
+
+void MetricsRecorder::on_job_killed(std::size_t task) {
+  reg_.counter(task_metric(task, "killed")).inc();
+  reg_.counter("enforce.jobs_killed").inc();
+}
+
+void MetricsRecorder::on_job_deferred(std::size_t task) {
+  reg_.counter(task_metric(task, "deferred")).inc();
+  reg_.counter("enforce.jobs_deferred").inc();
+}
+
+void MetricsRecorder::on_task_suspended(std::size_t task) {
+  (void)task;
+  reg_.counter("enforce.task_suspensions").inc();
+}
+
+void MetricsRecorder::on_task_resumed(std::size_t task) {
+  (void)task;
+  reg_.counter("enforce.task_resumes").inc();
+}
+
+void MetricsRecorder::on_vcpu_budget_overrun(std::size_t vcpu,
+                                             util::Time overdraw) {
+  (void)overdraw;
+  reg_.counter(vcpu_metric(vcpu, "budget_overruns")).inc();
+  reg_.counter("enforce.vcpu_budget_overruns").inc();
+}
+
 void MetricsRecorder::finalize(const sim::SimStats& stats,
                                util::Time duration) {
   for (std::size_t k = 0; k < stats.core_busy_fraction.size(); ++k) {
@@ -70,6 +104,10 @@ void MetricsRecorder::finalize(const sim::SimStats& stats,
   reg_.counter("sim.task_dispatches").inc(stats.task_dispatches);
   reg_.counter("sim.throttles").inc(stats.throttles);
   reg_.counter("sim.bw_refills").inc(stats.refills);
+  reg_.counter("sim.jobs_killed").inc(stats.jobs_killed);
+  reg_.counter("sim.jobs_deferred").inc(stats.jobs_deferred);
+  reg_.counter("sim.task_suspensions").inc(stats.task_suspensions);
+  reg_.counter("sim.vcpu_budget_overruns").inc(stats.vcpu_budget_overruns);
   reg_.gauge("sim.max_tardiness_ms").set(stats.max_tardiness.to_ms());
 }
 

@@ -10,6 +10,13 @@
 //   core.<k>.throttled_ns        counter of nanoseconds spent throttled
 //   sim.response_ratio           the all-tasks histogram
 //
+// Fault-injection / enforcement metrics (sim/faults.h, sim/enforcement.h):
+//   fault.<kind>                 counter per injected fault kind
+//   sim.faults_injected          counter across all kinds
+//   task.<i>.killed / deferred   enforcement actions against the task
+//   vcpu.<j>.budget_overruns     declared (non-strict) VCPU overruns
+//   enforce.*                    global enforcement action counters
+//
 // finalize() folds the end-of-run SimStats in as gauges:
 //   core.<k>.busy_fraction / throttled_fraction / idle_fraction
 //   sim.jobs_released / jobs_completed / deadline_misses / ...
@@ -41,6 +48,12 @@ class MetricsRecorder : public sim::SimObserver {
   void on_vcpu_period_end(std::size_t vcpu, util::Time consumed,
                           util::Time budget, bool exhausted) override;
   void on_throttle_end(std::size_t core, util::Time duration) override;
+  void on_fault_injected(sim::FaultKind kind) override;
+  void on_job_killed(std::size_t task) override;
+  void on_job_deferred(std::size_t task) override;
+  void on_task_suspended(std::size_t task) override;
+  void on_task_resumed(std::size_t task) override;
+  void on_vcpu_budget_overrun(std::size_t vcpu, util::Time overdraw) override;
 
   /// Fold the run's final statistics into the registry (per-core busy /
   /// throttled / idle fractions and the global counters).

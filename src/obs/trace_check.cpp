@@ -1,6 +1,7 @@
 #include "obs/trace_check.h"
 
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace vc2m::obs {
@@ -12,17 +13,21 @@ struct CoreState {
   util::Time run_start;
   bool throttled = false;
   util::Time throttle_start;
+  bool revoked = false;           // open partition-revocation window
+  std::int64_t revoke_limit = 0;  // max cache ways while revoked
 };
 
 struct VcpuState {
   util::Time consumed;            // occupancy in the current server period
   bool seen_release = false;      // budget check starts at the first one
+  bool overrun = false;           // declared overrun; cleared at next release
 };
 
 struct JobState {
   util::Time release;
   bool completed = false;
   bool missed = false;
+  bool killed = false;            // enforcement killed it; terminal state
 };
 
 class Checker {
@@ -42,9 +47,22 @@ class Checker {
         case sim::TraceKind::kJobRelease: handle_job_release(ev); break;
         case sim::TraceKind::kJobComplete: handle_job_complete(ev); break;
         case sim::TraceKind::kDeadlineMiss: handle_miss(ev); break;
+        case sim::TraceKind::kJobKilled: handle_job_kill(ev); break;
+        case sim::TraceKind::kTaskSuspend: handle_suspend(ev); break;
+        case sim::TraceKind::kTaskResume: handle_resume(ev); break;
+        case sim::TraceKind::kPartitionRevoke: handle_revoke(ev); break;
+        case sim::TraceKind::kPartitionRestore: handle_restore(ev); break;
+        case sim::TraceKind::kCosProgram: handle_cos_program(ev); break;
+        case sim::TraceKind::kVcpuBudgetOverrun:
+          vcpu(ev.vcpu).overrun = true;
+          break;
         case sim::TraceKind::kVcpuBudgetExhausted:
         case sim::TraceKind::kBwRefill:
         case sim::TraceKind::kHypercall:
+        case sim::TraceKind::kFaultWcetOverrun:
+        case sim::TraceKind::kFaultReleaseJitter:
+        case sim::TraceKind::kFaultRefillDelay:
+        case sim::TraceKind::kJobDeferred:
         case sim::TraceKind::kCount_:
           break;
       }
@@ -81,8 +99,10 @@ class Checker {
     VcpuState& v = vcpu(c.running);
     v.consumed += now - c.run_start;
     c.run_start = now;
+    // A declared budget overrun (enforced, non-strict run) licenses the
+    // overdraw for the rest of this server period.
     const auto vi = static_cast<std::size_t>(c.running);
-    if (v.seen_release && vi < cfg_.vcpu_budgets.size() &&
+    if (v.seen_release && !v.overrun && vi < cfg_.vcpu_budgets.size() &&
         v.consumed > cfg_.vcpu_budgets[vi])
       violation(now, "vcpu ", c.running, " overdrew its budget: consumed ",
                 v.consumed.raw_ns(), " ns of ",
@@ -156,6 +176,7 @@ class Checker {
     VcpuState& v = vcpu(ev.vcpu);
     v.consumed = util::Time::zero();
     v.seen_release = true;
+    v.overrun = false;
   }
 
   void handle_dispatch(const sim::TraceEvent& ev) {
@@ -166,6 +187,9 @@ class Checker {
     if (c.running != ev.vcpu)
       violation(ev.when, "task ", ev.task, " dispatched on vcpu ", ev.vcpu,
                 " which is not running on core ", ev.core);
+    if (suspended_.count(ev.task))
+      violation(ev.when, "task ", ev.task,
+                " dispatched while suspended by degradation");
   }
 
   void handle_job_release(const sim::TraceEvent& ev) {
@@ -187,6 +211,11 @@ class Checker {
     if (it->second.completed)
       violation(ev.when, "task ", ev.task, " job ", ev.job,
                 " completed twice");
+    // Invariant 6: a killed job must never execute (and thus complete)
+    // afterwards — the kill removed it from its task's pending queue.
+    if (it->second.killed)
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " completed after being killed");
     it->second.completed = true;
   }
 
@@ -201,7 +230,64 @@ class Checker {
     if (it->second.completed)
       violation(ev.when, "task ", ev.task, " job ", ev.job,
                 " missed its deadline after completing");
+    if (it->second.killed)
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " missed its deadline after being killed");
     it->second.missed = true;
+  }
+
+  void handle_job_kill(const sim::TraceEvent& ev) {
+    const auto it = jobs_.find({ev.task, ev.job});
+    if (it == jobs_.end()) {
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " killed but was never released");
+      return;
+    }
+    if (it->second.completed)
+      violation(ev.when, "task ", ev.task, " job ", ev.job,
+                " killed after completing");
+    if (it->second.killed)
+      violation(ev.when, "task ", ev.task, " job ", ev.job, " killed twice");
+    it->second.killed = true;
+  }
+
+  void handle_suspend(const sim::TraceEvent& ev) {
+    if (!suspended_.insert(ev.task).second)
+      violation(ev.when, "task ", ev.task, " suspended twice");
+  }
+
+  void handle_resume(const sim::TraceEvent& ev) {
+    if (suspended_.erase(ev.task) == 0)
+      violation(ev.when, "task ", ev.task, " resumed but not suspended");
+  }
+
+  void handle_revoke(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (c.revoked)
+      violation(ev.when, "core ", ev.core,
+                " partition revoked while a revocation is already open");
+    c.revoked = true;
+    c.revoke_limit = ev.job;  // job field carries the shrunken way count
+  }
+
+  void handle_restore(const sim::TraceEvent& ev) {
+    CoreState& c = core(ev.core);
+    if (!c.revoked) {
+      violation(ev.when, "core ", ev.core,
+                " partition restored but not revoked");
+      return;
+    }
+    c.revoked = false;
+  }
+
+  void handle_cos_program(const sim::TraceEvent& ev) {
+    // Invariant 7: while a core's partition is revoked to W ways, no COS
+    // binding may hand the core more than W ways.
+    CoreState& c = core(ev.core);
+    if (c.revoked && ev.job > c.revoke_limit)
+      violation(ev.when, "core ", ev.core, " bound to ", ev.job,
+                " cache ways while its partition is revoked to ",
+                c.revoke_limit);
   }
 
   void finish() {
@@ -209,7 +295,7 @@ class Checker {
     // Invariant 5: a release whose implicit deadline lies inside the
     // horizon must have been completed or declared missed.
     for (const auto& [key, job] : jobs_) {
-      if (job.completed || job.missed) continue;
+      if (job.completed || job.missed || job.killed) continue;
       const auto task = static_cast<std::size_t>(key.first);
       if (task >= cfg_.task_periods.size()) continue;
       if (job.release + cfg_.task_periods[task] <= cfg_.horizon)
@@ -224,6 +310,7 @@ class Checker {
   std::vector<CoreState> cores_;
   std::vector<VcpuState> vcpus_;
   std::map<std::pair<std::int32_t, std::int64_t>, JobState> jobs_;
+  std::set<std::int32_t> suspended_;
 };
 
 }  // namespace

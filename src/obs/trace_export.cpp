@@ -227,6 +227,55 @@ void write_chrome_trace(std::ostream& os,
       case sim::TraceKind::kBwRefill:
         instant_event(w, kCorePid, 0, "p", "bw", "bw-refill", ev.when);
         break;
+      case sim::TraceKind::kFaultWcetOverrun:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "fault",
+                      "overrun " + task_label(meta, ev.task), ev.when,
+                      ev.task, ev.job);
+        break;
+      case sim::TraceKind::kFaultReleaseJitter:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "fault",
+                      "jitter " + task_label(meta, ev.task), ev.when,
+                      ev.task);
+        break;
+      case sim::TraceKind::kFaultRefillDelay:
+        instant_event(w, kCorePid, 0, "p", "fault", "refill-delay", ev.when);
+        break;
+      case sim::TraceKind::kPartitionRevoke:
+        instant_event(w, kCorePid, ev.core, "t", "fault",
+                      "revoke->" + std::to_string(ev.job) + "w", ev.when);
+        break;
+      case sim::TraceKind::kPartitionRestore:
+        instant_event(w, kCorePid, ev.core, "t", "fault",
+                      "restore->" + std::to_string(ev.job) + "w", ev.when);
+        break;
+      case sim::TraceKind::kCosProgram:
+        instant_event(w, kCorePid, ev.core, "t", "cos",
+                      "cos " + std::to_string(ev.job) + "w", ev.when);
+        break;
+      case sim::TraceKind::kJobKilled:
+        instant_event(w, kVcpuPid, ev.vcpu, "g", "job",
+                      "KILL " + task_label(meta, ev.task), ev.when, ev.task,
+                      ev.job);
+        break;
+      case sim::TraceKind::kJobDeferred:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "job",
+                      "defer " + task_label(meta, ev.task), ev.when, ev.task,
+                      ev.job);
+        break;
+      case sim::TraceKind::kTaskSuspend:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "enforce",
+                      "suspend " + task_label(meta, ev.task), ev.when,
+                      ev.task);
+        break;
+      case sim::TraceKind::kTaskResume:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "enforce",
+                      "resume " + task_label(meta, ev.task), ev.when,
+                      ev.task);
+        break;
+      case sim::TraceKind::kVcpuBudgetOverrun:
+        instant_event(w, kVcpuPid, ev.vcpu, "t", "server", "budget-overrun",
+                      ev.when);
+        break;
       case sim::TraceKind::kCount_:
         break;
     }

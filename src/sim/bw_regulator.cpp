@@ -123,7 +123,9 @@ void BwRegulator::refill_all() {
       if (on_unthrottle_) on_unthrottle_(core);
     }
   }
-  queue_.schedule_after(cfg_.regulation_period, [this] { refill_all(); });
+  util::Time next = cfg_.regulation_period;
+  if (refill_delayer_) next += refill_delayer_();
+  queue_.schedule_after(next, [this] { refill_all(); });
 }
 
 double BwRegulator::total_requests() const {

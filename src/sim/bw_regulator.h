@@ -83,6 +83,12 @@ class BwRegulator {
   /// Optional host-overhead probe (Table 1).
   void set_probe(HostProbe* probe) { probe_ = probe; }
 
+  /// Fault hook (sim/faults.h): extra delay added when arming the next
+  /// periodic refill — models timer/ISR latency. Null = refills on time.
+  void set_refill_delayer(std::function<util::Time()> delayer) {
+    refill_delayer_ = std::move(delayer);
+  }
+
   const hw::MsrFile& msr() const { return msr_; }
 
  private:
@@ -101,6 +107,7 @@ class BwRegulator {
   CoreFn on_throttle_;
   CoreFn on_unthrottle_;
   std::function<void()> account_all_;
+  std::function<util::Time()> refill_delayer_;
   std::uint64_t refills_ = 0;
   HostProbe* probe_ = nullptr;
 };

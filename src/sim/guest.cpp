@@ -8,34 +8,87 @@ namespace vc2m::sim {
 
 void Simulation::task_release(std::size_t task_index) {
   TaskRt& t = tasks_[task_index];
-  Job job;
-  job.seq = t.next_seq++;
-  job.release = queue_.now();
-  job.deadline = queue_.now() + t.spec.period;  // implicit deadline
-  job.remaining = t.requirement;
-  t.pending.push_back(job);
-  ++t.stats.released;
-  trace_.record({queue_.now(), TraceKind::kJobRelease,
-                 static_cast<std::int32_t>(
-                     vcpus_[t.spec.vcpu].spec.core),
-                 static_cast<std::int32_t>(t.spec.vcpu),
-                 static_cast<std::int32_t>(task_index), job.seq});
+  const util::Time nominal = queue_.now();
+  if (!t.suspended) {
+    const util::Time jitter = draw_release_jitter(task_index);
+    if (jitter > util::Time::zero()) {
+      // The arrival is pushed past the nominal instant; the deadline and
+      // the next release stay on the nominal grid, so jitter never drifts
+      // the task's long-run rate.
+      ++faults_injected_;
+      trace_.record({nominal, TraceKind::kFaultReleaseJitter,
+                     static_cast<std::int32_t>(
+                         vcpus_[t.spec.vcpu].spec.core),
+                     static_cast<std::int32_t>(t.spec.vcpu),
+                     static_cast<std::int32_t>(task_index), jitter.raw_ns()});
+      if (observer_) observer_->on_fault_injected(FaultKind::kReleaseJitter);
+      queue_.schedule(nominal + jitter, [this, task_index, nominal] {
+        release_job(task_index, nominal, /*schedule_next=*/false);
+      });
+      util::Time next = nominal + t.spec.period;
+      if (t.spec.arrival_jitter > util::Time::zero())
+        next += util::Time::ns(
+            jitter_rng_.uniform_int(0, t.spec.arrival_jitter.raw_ns()));
+      queue_.schedule(next, [this, task_index] { task_release(task_index); });
+      return;
+    }
+  }
+  release_job(task_index, nominal, /*schedule_next=*/true);
+}
 
-  const std::int64_t seq = job.seq;
-  queue_.schedule(job.deadline, [this, task_index, seq] {
-    job_deadline_check(task_index, seq);
-  });
-  // Next arrival: the minimum inter-arrival plus, for sporadic tasks, a
-  // seeded random delay (the paper's workloads are strictly periodic).
-  util::Time next = queue_.now() + t.spec.period;
-  if (t.spec.arrival_jitter > util::Time::zero())
-    next += util::Time::ns(
-        jitter_rng_.uniform_int(0, t.spec.arrival_jitter.raw_ns()));
-  queue_.schedule(next, [this, task_index] { task_release(task_index); });
+void Simulation::release_job(std::size_t task_index, util::Time nominal,
+                             bool schedule_next) {
+  TaskRt& t = tasks_[task_index];
+  // A task shed by the degrade policy skips its releases entirely (no job,
+  // no miss) until it is resumed — that is what "shedding" buys the core.
+  const bool create = !t.suspended;
+  if (create) {
+    Job job;
+    job.seq = t.next_seq++;
+    job.release = queue_.now();
+    job.deadline = nominal + t.spec.period;  // implicit deadline
+    job.remaining = t.requirement;
+    const double factor = draw_overrun_factor(task_index);
+    if (factor > 1.0)
+      job.remaining = util::Time::ns(static_cast<std::int64_t>(
+          static_cast<double>(t.requirement.raw_ns()) * factor + 0.5));
+    if (enforces_job_budget(cfg_.enforcement.policy))
+      job.budget_left = t.requirement;  // the modeled-WCET allowance
+    t.pending.push_back(job);
+    ++t.stats.released;
+    trace_.record({queue_.now(), TraceKind::kJobRelease,
+                   static_cast<std::int32_t>(
+                       vcpus_[t.spec.vcpu].spec.core),
+                   static_cast<std::int32_t>(t.spec.vcpu),
+                   static_cast<std::int32_t>(task_index), job.seq});
+    if (factor > 1.0) {
+      ++faults_injected_;
+      trace_.record({queue_.now(), TraceKind::kFaultWcetOverrun,
+                     static_cast<std::int32_t>(
+                         vcpus_[t.spec.vcpu].spec.core),
+                     static_cast<std::int32_t>(t.spec.vcpu),
+                     static_cast<std::int32_t>(task_index), job.seq});
+      if (observer_) observer_->on_fault_injected(FaultKind::kWcetOverrun);
+    }
+
+    const std::int64_t seq = job.seq;
+    queue_.schedule(job.deadline, [this, task_index, seq] {
+      job_deadline_check(task_index, seq);
+    });
+  }
+  if (schedule_next) {
+    // Next arrival: the minimum inter-arrival plus, for sporadic tasks, a
+    // seeded random delay (the paper's workloads are strictly periodic).
+    util::Time next = nominal + t.spec.period;
+    if (t.spec.arrival_jitter > util::Time::zero())
+      next += util::Time::ns(
+          jitter_rng_.uniform_int(0, t.spec.arrival_jitter.raw_ns()));
+    queue_.schedule(next, [this, task_index] { task_release(task_index); });
+  }
 
   // The new job may preempt the VCPU's current job (guest EDF) or wake a
   // suspended non-idling server; always let the core re-decide.
-  interrupt_core(vcpus_[t.spec.vcpu].spec.core);
+  if (create) interrupt_core(vcpus_[t.spec.vcpu].spec.core);
 }
 
 void Simulation::job_deadline_check(std::size_t task_index,
@@ -56,6 +109,11 @@ void Simulation::job_deadline_check(std::size_t task_index,
                        vcpus_[t.spec.vcpu].spec.core),
                    static_cast<std::int32_t>(t.spec.vcpu),
                    static_cast<std::int32_t>(task_index), seq});
+    // Degrade policy: a miss of a task that must not miss sheds the
+    // low-criticality load on its core (trigger_degrade no-ops under every
+    // other policy).
+    if (t.criticality >= 1)
+      trigger_degrade(vcpus_[t.spec.vcpu].spec.core, /*interrupt=*/true);
     return;
   }
   // Not pending any more: the job completed before its deadline.
@@ -94,12 +152,19 @@ std::size_t Simulation::pick_task(const VcpuRt& v) const {
   std::size_t best = kNone;
   for (const std::size_t ti : v.tasks) {
     const TaskRt& t = tasks_[ti];
-    if (t.pending.empty()) continue;
+    if (!task_runnable(t)) continue;
     if (best == kNone ||
         t.pending.front().deadline < tasks_[best].pending.front().deadline)
       best = ti;
   }
   return best;
+}
+
+bool Simulation::task_runnable(const TaskRt& t) const {
+  // Shed tasks are invisible to the scheduler; a throttled (deferred) front
+  // job blocks its task until the VCPU's next replenishment (within one
+  // task jobs are FIFO, so later jobs cannot overtake it).
+  return !t.suspended && !t.pending.empty() && !t.pending.front().deferred;
 }
 
 }  // namespace vc2m::sim

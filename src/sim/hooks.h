@@ -8,10 +8,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "util/time.h"
 
 namespace vc2m::sim {
+
+enum class FaultKind : std::uint8_t;  // sim/faults.h
 
 class SimObserver {
  public:
@@ -35,6 +38,21 @@ class SimObserver {
   /// A bandwidth-throttle window on `core` closed after `duration`.
   virtual void on_throttle_end(std::size_t core, util::Time duration) {
     (void)core; (void)duration;
+  }
+
+  /// A planned fault fired (sim/faults.h — overrun, jitter, revocation,
+  /// refill delay).
+  virtual void on_fault_injected(FaultKind kind) { (void)kind; }
+
+  /// Enforcement actions (sim/enforcement.h).
+  virtual void on_job_killed(std::size_t task) { (void)task; }
+  virtual void on_job_deferred(std::size_t task) { (void)task; }
+  virtual void on_task_suspended(std::size_t task) { (void)task; }
+  virtual void on_task_resumed(std::size_t task) { (void)task; }
+  /// A VCPU overdrew its budget by `overdraw` (only possible under
+  /// injected faults; fatal under the strict policy).
+  virtual void on_vcpu_budget_overrun(std::size_t vcpu, util::Time overdraw) {
+    (void)vcpu; (void)overdraw;
   }
 };
 

@@ -60,6 +60,16 @@ void Simulation::vcpu_release(std::size_t vcpu_index) {
     v.release_event = EventQueue::kInvalidId;
     ++v.stats.releases;
   }
+  // Throttle policy: deferred jobs wake at the replenishment with a fresh
+  // modeled-WCET allowance (the RTDS behavior).
+  for (const std::size_t ti : v.tasks) {
+    TaskRt& t = tasks_[ti];
+    if (t.pending.empty() || !t.pending.front().deferred) continue;
+    Job& job = t.pending.front();
+    job.deferred = false;
+    job.enforced = false;
+    job.budget_left = t.requirement;
+  }
   arm_vcpu_release(vcpu_index, queue_.now() + v.spec.period);
   trace_.record({queue_.now(), TraceKind::kVcpuRelease,
                  static_cast<std::int32_t>(v.spec.core),
@@ -102,6 +112,17 @@ void Simulation::handle_boundaries(std::size_t core_index) {
       tasks_[c.running_task].pending.front().remaining.is_zero())
     complete_job(c.running_task);
 
+  if (c.running_task != kNone && !tasks_[c.running_task].pending.empty()) {
+    // The running job exhausted its modeled-WCET allowance with work left:
+    // hand it to the enforcement policy (a fresh front job after the
+    // completion above still has its full allowance).
+    const Job& job = tasks_[c.running_task].pending.front();
+    if (enforces_job_budget(cfg_.enforcement.policy) && !job.enforced &&
+        !job.deferred && job.budget_left.is_zero() &&
+        !job.remaining.is_zero())
+      enforce_job_budget(core_index);
+  }
+
   if (c.running_vcpu != kNone) {
     VcpuRt& v = vcpus_[c.running_vcpu];
     if (v.released && v.budget_left.is_zero()) {
@@ -125,7 +146,11 @@ void Simulation::account_core(std::size_t core_index) {
   VcpuRt& v = vcpus_[c.running_vcpu];
   v.budget_left -= delta;  // budget is core occupancy, bus stalls included
   v.stats.budget_consumed += delta;
-  VC2M_CHECK_MSG(!v.budget_left.is_negative(), "VCPU budget overrun");
+  // Segments are bounded by the remaining budget, so an overdraw is
+  // impossible by construction — fatal under the strict policy, a
+  // recoverable BudgetOverrun event under every other one.
+  if (v.budget_left.is_negative())
+    handle_vcpu_budget_overrun(c.running_vcpu);
 
   if (!c.overhead_left.is_zero()) {
     // The core is burning context-switch overhead: budget and wall time
@@ -149,6 +174,11 @@ void Simulation::account_core(std::size_t core_index) {
           static_cast<double>(delta.raw_ns()) * c.exec_rate + 0.5));
     progress = util::min(progress, job.remaining);
     job.remaining -= progress;
+    if (enforces_job_budget(cfg_.enforcement.policy) && !job.enforced) {
+      job.budget_left -= progress;
+      if (job.budget_left.is_negative())
+        job.budget_left = util::Time::zero();
+    }
     regulator_->add_requests(
         static_cast<unsigned>(core_index),
         t.req_rate * static_cast<double>(progress.raw_ns()));
@@ -158,9 +188,9 @@ void Simulation::account_core(std::size_t core_index) {
 bool Simulation::vcpu_eligible(const VcpuRt& v) const {
   if (!v.released || v.budget_left <= util::Time::zero()) return false;
   if (v.spec.idling_server) return true;
-  // A non-idling server suspends while it has no pending job.
+  // A non-idling server suspends while it has no runnable job.
   for (const std::size_t ti : v.tasks)
-    if (!tasks_[ti].pending.empty()) return true;
+    if (task_runnable(tasks_[ti])) return true;
   return false;
 }
 
@@ -268,8 +298,13 @@ void Simulation::plan_segment(std::size_t core_index) {
   }
   if (c.running_task != kNone) {
     const TaskRt& t = tasks_[c.running_task];
-    // Completion bound, stretched by the bus-limited execution speed.
-    util::Time completion = t.pending.front().remaining;
+    // Completion bound, stretched by the bus-limited execution speed. An
+    // enforcing policy additionally bounds the segment at the job's
+    // remaining allowance, so enforcement fires exactly on time.
+    const Job& job = t.pending.front();
+    util::Time completion = job.remaining;
+    if (enforces_job_budget(cfg_.enforcement.policy) && !job.enforced)
+      completion = util::min(completion, job.budget_left);
     if (c.exec_rate < 1.0)
       completion = util::Time::ns(static_cast<std::int64_t>(std::ceil(
           static_cast<double>(completion.raw_ns()) / c.exec_rate)));

@@ -1,5 +1,7 @@
 #include "sim/simulation.h"
 
+#include "hw/cat.h"
+#include "hw/msr.h"
 #include "util/error.h"
 #include "workload/parsec.h"
 
@@ -48,8 +50,10 @@ void Simulation::setup() {
   for (const auto& ts : cfg_.tasks) {
     VC2M_CHECK(ts.period > util::Time::zero());
     VC2M_CHECK_MSG(ts.vcpu < vcpus_.size(), "task pinned to missing VCPU");
+    VC2M_CHECK_MSG(ts.criticality >= 0, "negative task criticality");
     TaskRt t;
     t.spec = ts;
+    t.criticality = ts.criticality;
     tasks_.push_back(std::move(t));
     vcpus_[ts.vcpu].tasks.push_back(tasks_.size() - 1);
     refresh_task_model(tasks_.size() - 1);
@@ -72,6 +76,10 @@ void Simulation::setup() {
         for (std::size_t k = 0; k < cores_.size(); ++k) account_core(k);
       });
   regulator_->start();
+
+  // Fault plan: fork the seeded streams, demote low-criticality tasks,
+  // arm revocations, hook the regulator's refill timer.
+  setup_faults();
 
   // Initial releases. Tasks always release at their offset. VCPUs release
   // at their own offset unless release synchronization is on, in which case
@@ -136,7 +144,38 @@ void Simulation::apply_cache_update(std::size_t core_index, unsigned ways) {
         job.remaining = util::Time::ns(static_cast<std::int64_t>(
             frac * static_cast<double>(t.requirement.raw_ns()) + 0.5));
         if (job.remaining.is_zero()) job.remaining = util::Time::ns(1);
+        // The enforcement allowance is denominated in the same work units
+        // as `remaining`, so it re-scales identically (nonzero only under
+        // job-budget-enforcing policies).
+        if (job.budget_left > util::Time::zero()) {
+          const double bfrac =
+              static_cast<double>(job.budget_left.raw_ns()) /
+              static_cast<double>(old_req.raw_ns());
+          job.budget_left = util::Time::ns(static_cast<std::int64_t>(
+              bfrac * static_cast<double>(t.requirement.raw_ns()) + 0.5));
+          if (job.budget_left.is_zero())
+            job.budget_left = util::Time::ns(1);
+        }
       }
+    }
+  }
+  if (cat_) {
+    // Re-run the COS programming sequence against the CAT mirror so the
+    // trace shows the architectural consequence of the repartitioning. A
+    // plan grown beyond the cache (possible through schedule_cache_update)
+    // cannot stay mirrored.
+    std::vector<unsigned> plan;
+    unsigned total = 0;
+    plan.reserve(cores_.size());
+    for (const auto& ck : cores_) {
+      plan.push_back(ck.cache);
+      total += ck.cache;
+    }
+    if (total <= cfg_.cache_partitions) {
+      cat_->program_disjoint_plan(plan);
+      trace_.record({queue_.now(), TraceKind::kCosProgram,
+                     static_cast<std::int32_t>(core_index), -1, -1,
+                     static_cast<std::int64_t>(ways)});
     }
   }
   interrupt_core(core_index);
@@ -210,6 +249,13 @@ SimStats Simulation::stats() const {
     s.core_throttled_time.push_back(c.throttled_time);
   }
   for (const auto& v : vcpus_) s.per_vcpu.push_back(v.stats);
+  s.faults_injected = faults_injected_;
+  s.jobs_killed = enforce_.jobs_killed;
+  s.jobs_deferred = enforce_.jobs_deferred;
+  s.task_suspensions = enforce_.task_suspensions;
+  s.vcpu_budget_overruns = enforce_.vcpu_budget_overruns;
+  s.task_criticality.reserve(tasks_.size());
+  for (const auto& t : tasks_) s.task_criticality.push_back(t.criticality);
   return s;
 }
 

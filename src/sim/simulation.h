@@ -32,13 +32,20 @@
 #include <vector>
 
 #include "sim/bw_regulator.h"
+#include "sim/enforcement.h"
 #include "sim/event_queue.h"
+#include "sim/faults.h"
 #include "sim/hooks.h"
 #include "sim/probe.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/time.h"
+
+namespace vc2m::hw {
+class Cat;
+class MsrFile;
+}  // namespace vc2m::hw
 
 namespace vc2m::sim {
 
@@ -62,6 +69,10 @@ struct SimTaskSpec {
   /// (zero = strictly periodic, the paper's model). Seeded by
   /// SimConfig::jitter_seed, so runs are reproducible.
   util::Time arrival_jitter = util::Time::zero();
+  /// Criticality level: 0 = sheddable under EnforcementPolicy::kDegrade,
+  /// >= 1 = never shed. The fault plan's low_crit_frac demotes a seeded
+  /// subset of default-criticality tasks at setup.
+  int criticality = 1;
   /// VCPU (index into SimConfig::vcpus) this task is pinned to.
   std::size_t vcpu = 0;
 };
@@ -122,6 +133,10 @@ struct SimConfig {
   bool capture_trace = false;
   /// Seed for sporadic arrival jitter.
   std::uint64_t jitter_seed = 1;
+  /// Fault-injection plan (sim/faults.h); inert when !faults.any().
+  FaultSpec faults;
+  /// What the scheduler does on WCET/budget overruns (sim/enforcement.h).
+  EnforcementConfig enforcement;
 
   std::vector<SimVcpuSpec> vcpus;
   std::vector<SimTaskSpec> tasks;
@@ -137,6 +152,8 @@ struct TaskStats {
   util::Time max_response = util::Time::zero();
   /// Streaming response-time statistics in milliseconds (mean/stddev/min).
   util::OnlineStats response_ms;
+  std::uint64_t killed = 0;    ///< jobs aborted by EnforcementPolicy::kKill
+  std::uint64_t deferred = 0;  ///< jobs deferred by EnforcementPolicy::kThrottle
 };
 
 struct VcpuStats {
@@ -161,6 +178,16 @@ struct SimStats {
   std::vector<util::Time> core_throttled_time;
   std::vector<TaskStats> per_task;
   std::vector<VcpuStats> per_vcpu;
+  /// Fault-injection / enforcement activity (zero when no faults planned
+  /// and the strict policy holds).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t jobs_killed = 0;
+  std::uint64_t jobs_deferred = 0;
+  std::uint64_t task_suspensions = 0;
+  std::uint64_t vcpu_budget_overruns = 0;
+  /// Effective per-task criticality after the fault plan's low_crit_frac
+  /// demotions (parallel to per_task).
+  std::vector<int> task_criticality;
 };
 
 class Simulation {
@@ -209,6 +236,12 @@ class Simulation {
     util::Time deadline;
     util::Time remaining;
     bool missed = false;
+    /// Enforcement allowance left — the modeled WCET at release, rescaled
+    /// alongside `remaining` on cache updates. Tracked only under
+    /// job-budget-enforcing policies (enforces_job_budget).
+    util::Time budget_left = util::Time::zero();
+    bool enforced = false;  ///< allowance hit zero; enforcement applied
+    bool deferred = false;  ///< kThrottle: parked until next replenishment
   };
   struct TaskRt {
     SimTaskSpec spec;
@@ -216,6 +249,8 @@ class Simulation {
     double req_rate = 0;     // requests per ns while executing
     std::deque<Job> pending; // released, incomplete jobs (FIFO = EDF here)
     std::int64_t next_seq = 0;
+    int criticality = 1;     // spec.criticality after low_crit_frac demotion
+    bool suspended = false;  // shed by EnforcementPolicy::kDegrade
     TaskStats stats;
   };
   struct VcpuRt {
@@ -280,9 +315,33 @@ class Simulation {
 
   // ----- guest level (guest.cpp) -----
   void task_release(std::size_t task_index);
+  void release_job(std::size_t task_index, util::Time nominal,
+                   bool schedule_next);
   void job_deadline_check(std::size_t task_index, std::int64_t seq);
   void complete_job(std::size_t task_index);
   std::size_t pick_task(const VcpuRt& v) const;
+  /// Has a job the scheduler may run now (pending, not suspended by
+  /// degradation, front job not deferred by throttling).
+  bool task_runnable(const TaskRt& t) const;
+
+  // ----- fault injection (faults.cpp) -----
+  void setup_faults();
+  util::Time draw_release_jitter(std::size_t task_index);
+  double draw_overrun_factor(std::size_t task_index);
+  util::Time draw_refill_delay();
+  void schedule_next_revocation();
+  void inject_revocation();
+  void restore_revocation();
+
+  // ----- enforcement (enforcement.cpp) -----
+  /// The running job's allowance hit zero with work left: apply the
+  /// configured policy. Called from handle_boundaries with accounts done.
+  void enforce_job_budget(std::size_t core_index);
+  void kill_job(std::size_t task_index);
+  void defer_job(std::size_t task_index);
+  void trigger_degrade(std::size_t core_index, bool interrupt);
+  void resume_degraded(std::size_t core_index);
+  void handle_vcpu_budget_overrun(std::size_t vcpu_index);
 
   SimConfig cfg_;
   EventQueue queue_;
@@ -297,6 +356,27 @@ class Simulation {
   std::uint64_t task_dispatches_ = 0;
   HostProbe* probe_ = nullptr;
   SimObserver* observer_ = nullptr;
+
+  // ----- fault & enforcement state -----
+  // Forked from Rng(cfg_.faults.seed) in a fixed order (setup_faults), so
+  // the fault plan is bit-reproducible regardless of what else runs.
+  util::Rng fault_overrun_rng_{1};
+  util::Rng fault_jitter_rng_{1};
+  util::Rng fault_revoke_rng_{1};
+  util::Rng fault_refill_rng_{1};
+  std::uint64_t faults_injected_ = 0;
+  EnforcementStats enforce_;
+  /// Per core: low-criticality tasks stay shed until this instant (zero =
+  /// core not degraded).
+  std::vector<util::Time> degrade_until_;
+  /// CAT mirror for revocation events — kept when the deployed cache plan
+  /// is disjoint (sum of ways <= C), so revocations exercise the real COS
+  /// programming path.
+  std::unique_ptr<hw::MsrFile> cat_msr_;
+  std::unique_ptr<hw::Cat> cat_;
+  bool revoke_active_ = false;
+  std::size_t revoked_core_ = kNone;
+  unsigned revoked_saved_ways_ = 0;
 };
 
 }  // namespace vc2m::sim

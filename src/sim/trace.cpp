@@ -16,6 +16,17 @@ std::string to_string(TraceKind k) {
     case TraceKind::kCoreUnthrottle: return "core-unthrottle";
     case TraceKind::kBwRefill: return "bw-refill";
     case TraceKind::kHypercall: return "hypercall";
+    case TraceKind::kFaultWcetOverrun: return "fault-wcet-overrun";
+    case TraceKind::kFaultReleaseJitter: return "fault-release-jitter";
+    case TraceKind::kPartitionRevoke: return "partition-revoke";
+    case TraceKind::kPartitionRestore: return "partition-restore";
+    case TraceKind::kCosProgram: return "cos-program";
+    case TraceKind::kFaultRefillDelay: return "fault-refill-delay";
+    case TraceKind::kJobKilled: return "job-killed";
+    case TraceKind::kJobDeferred: return "job-deferred";
+    case TraceKind::kTaskSuspend: return "task-suspend";
+    case TraceKind::kTaskResume: return "task-resume";
+    case TraceKind::kVcpuBudgetOverrun: return "vcpu-budget-overrun";
     case TraceKind::kCount_: break;
   }
   return "?";

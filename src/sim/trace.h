@@ -28,6 +28,20 @@ enum class TraceKind : std::uint8_t {
   kCoreUnthrottle,
   kBwRefill,
   kHypercall,            // release-synchronization hypercall executed
+  // Fault-injection events (sim/faults.h). New kinds are appended so the
+  // numeric ids in previously exported traces stay valid.
+  kFaultWcetOverrun,     // job released with inflated work; job = seq
+  kFaultReleaseJitter,   // release delayed; job = delay in ns
+  kPartitionRevoke,      // core transiently shrunk; job = new way count
+  kPartitionRestore,     // revoked ways handed back; job = restored ways
+  kCosProgram,           // CAT COS reprogrammed for core; job = ways
+  kFaultRefillDelay,     // regulator refill armed late; job = delay in ns
+  // Enforcement events (sim/enforcement.h).
+  kJobKilled,            // job aborted at allowance exhaustion (kKill)
+  kJobDeferred,          // job parked until replenishment (kThrottle)
+  kTaskSuspend,          // low-criticality task shed (kDegrade)
+  kTaskResume,           // shed task readmitted
+  kVcpuBudgetOverrun,    // VCPU overdrew its budget; job = overdraw in ns
   kCount_,
 };
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "workload/csv_field.h"
 
 namespace vc2m::workload {
 
@@ -25,39 +26,42 @@ void write_surface_csv(const std::string& path,
 }
 
 model::WcetFn read_surface_csv(std::istream& is,
-                               const model::ResourceGrid& grid) {
+                               const model::ResourceGrid& grid,
+                               const std::string& source) {
   grid.validate();
   model::WcetFn surface(grid);
   std::vector<bool> seen(grid.size(), false);
+  std::vector<std::size_t> seen_line(grid.size(), 0);
 
+  detail::ParseContext ctx{source, 0, {}};
   std::string line;
   while (std::getline(is, line)) {
+    ++ctx.lineno;
+    ctx.line = line;
     if (line.empty() || line[0] == '#') continue;
     if (line.find("wcet_ms") != std::string::npos) continue;  // header
 
     std::istringstream ss(line);
-    std::string c_s, b_s, w_s;
-    if (!std::getline(ss, c_s, ',') || !std::getline(ss, b_s, ',') ||
-        !std::getline(ss, w_s))
-      throw util::Error("malformed surface CSV line: " + line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 3)
+      ctx.fail("expected 3 fields (c,b,wcet_ms), got " +
+               std::to_string(fields.size()));
 
-    unsigned c = 0, b = 0;
-    double wcet_ms = 0;
-    try {
-      c = static_cast<unsigned>(std::stoul(c_s));
-      b = static_cast<unsigned>(std::stoul(b_s));
-      wcet_ms = std::stod(w_s);
-    } catch (const std::exception&) {
-      throw util::Error("non-numeric field in surface CSV line: " + line);
-    }
-    if (!grid.contains(c, b))
-      throw util::Error("surface point outside the grid: " + line);
-    if (wcet_ms <= 0)
-      throw util::Error("non-positive WCET in surface CSV line: " + line);
+    const auto c =
+        static_cast<unsigned>(detail::parse_unsigned(ctx, fields[0], "c"));
+    const auto b =
+        static_cast<unsigned>(detail::parse_unsigned(ctx, fields[1], "b"));
+    const double wcet_ms = detail::parse_double(ctx, fields[2], "wcet_ms");
+    if (!grid.contains(c, b)) ctx.fail("surface point outside the grid");
+    if (wcet_ms <= 0) ctx.fail("non-positive WCET");
     const std::size_t idx = grid.index(c, b);
     if (seen[idx])
-      throw util::Error("duplicate surface point: " + line);
+      ctx.fail("duplicate surface point (first at line " +
+               std::to_string(seen_line[idx]) + ")");
     seen[idx] = true;
+    seen_line[idx] = ctx.lineno;
     surface.set(c, b,
                 util::Time::ns(static_cast<std::int64_t>(wcet_ms * 1e6 + 0.5)));
   }
@@ -65,12 +69,13 @@ model::WcetFn read_surface_csv(std::istream& is,
   for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
     for (unsigned b = grid.b_min; b <= grid.b_max; ++b)
       if (!seen[grid.index(c, b)])
-        throw util::Error("surface CSV missing point (" + std::to_string(c) +
-                          "," + std::to_string(b) + ")");
+        throw util::Error(source + ": surface CSV missing point (" +
+                          std::to_string(c) + "," + std::to_string(b) + ")");
 
   if (!surface.monotone_nonincreasing())
     throw util::Error(
-        "surface is not monotone non-increasing in cache/bandwidth — "
+        source +
+        ": surface is not monotone non-increasing in cache/bandwidth — "
         "measurement noise must be smoothed before import");
   return surface;
 }
@@ -79,7 +84,7 @@ model::WcetFn read_surface_csv(const std::string& path,
                                const model::ResourceGrid& grid) {
   std::ifstream f(path);
   if (!f.good()) throw util::Error("cannot open " + path);
-  return read_surface_csv(f, grid);
+  return read_surface_csv(f, grid, path);
 }
 
 }  // namespace vc2m::workload

@@ -23,10 +23,13 @@ void write_surface_csv(const std::string& path,
 
 /// Parse a dense surface over `grid`. Every grid point must appear exactly
 /// once; values must be positive and (physically) monotone non-increasing
-/// in both resources. Throws util::Error otherwise. '#' lines and the
-/// header are ignored.
+/// in both resources. Throws util::Error otherwise, with `source` (the file
+/// name for the path overload) and a 1-based line number in every message.
+/// Numeric fields are parsed strictly: trailing characters, NaN/inf, and
+/// negative coordinates are rejected. '#' lines and the header are ignored.
 model::WcetFn read_surface_csv(std::istream& is,
-                               const model::ResourceGrid& grid);
+                               const model::ResourceGrid& grid,
+                               const std::string& source = "<surface csv>");
 model::WcetFn read_surface_csv(const std::string& path,
                                const model::ResourceGrid& grid);
 

@@ -1,9 +1,12 @@
 #include "workload/taskset_io.h"
 
 #include <fstream>
+#include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/error.h"
+#include "workload/csv_field.h"
 #include "workload/parsec.h"
 
 namespace vc2m::workload {
@@ -24,45 +27,57 @@ void write_taskset_csv(const std::string& path, const model::Taskset& tasks) {
 }
 
 model::Taskset read_taskset_csv(std::istream& is,
-                                const model::ResourceGrid& grid) {
+                                const model::ResourceGrid& grid,
+                                const std::string& source) {
   grid.validate();
   model::Taskset tasks;
+  std::set<std::string> seen_rows;
+  detail::ParseContext ctx{source, 0, {}};
   std::string line;
   while (std::getline(is, line)) {
+    ++ctx.lineno;
+    ctx.line = line;
     if (line.empty() || line[0] == '#') continue;
     if (line.find("period_ms") != std::string::npos) continue;  // header
 
     std::istringstream ss(line);
-    std::string vm_s, period_s, wcet_s, bench;
-    if (!std::getline(ss, vm_s, ',') || !std::getline(ss, period_s, ',') ||
-        !std::getline(ss, wcet_s, ',') || !std::getline(ss, bench))
-      throw util::Error("malformed taskset CSV line: " + line);
+    std::string field;
+    std::vector<std::string> fields;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (fields.size() != 4)
+      ctx.fail("expected 4 fields (vm,period_ms,ref_wcet_ms,benchmark), got " +
+               std::to_string(fields.size()));
 
-    double period_ms = 0, wcet_ms = 0;
-    int vm = 0;
-    try {
-      vm = std::stoi(vm_s);
-      period_ms = std::stod(period_s);
-      wcet_ms = std::stod(wcet_s);
-    } catch (const std::exception&) {
-      throw util::Error("non-numeric field in taskset CSV line: " + line);
-    }
+    const auto vm = detail::parse_int(ctx, fields[0], "vm");
+    const double period_ms = detail::parse_double(ctx, fields[1], "period_ms");
+    const double wcet_ms = detail::parse_double(ctx, fields[2], "ref_wcet_ms");
+    const std::string& bench = fields[3];
+    if (vm < 0) ctx.fail("negative vm id");
     if (period_ms <= 0 || wcet_ms <= 0 || wcet_ms > period_ms)
-      throw util::Error("implausible task parameters in line: " + line);
+      ctx.fail("implausible task parameters (need 0 < ref_wcet_ms <= "
+               "period_ms)");
+    if (bench.empty()) ctx.fail("empty benchmark field");
+    if (!seen_rows.insert(line).second) ctx.fail("duplicate task row");
 
-    const auto& profile = find_profile(bench);
+    const ParsecProfile* profile = nullptr;
+    try {
+      profile = &find_profile(bench);
+    } catch (const util::Error& e) {
+      ctx.fail(e.what());
+    }
     model::Task t;
-    t.vm = vm;
+    t.vm = static_cast<int>(vm);
     t.period = util::Time::ns(static_cast<std::int64_t>(period_ms * 1e6));
     const auto ref =
         util::Time::ns(static_cast<std::int64_t>(wcet_ms * 1e6 + 0.5));
-    t.wcet = model::WcetFn::from_slowdown(ref, profile.surface(grid));
+    t.wcet = model::WcetFn::from_slowdown(ref, profile->surface(grid));
     t.max_wcet = util::Time::ns(static_cast<std::int64_t>(
-        static_cast<double>(ref.raw_ns()) * profile.max_slowdown(grid)));
+        static_cast<double>(ref.raw_ns()) * profile->max_slowdown(grid)));
     t.label = bench;
     tasks.push_back(std::move(t));
   }
-  if (tasks.empty()) throw util::Error("taskset CSV contained no tasks");
+  if (tasks.empty())
+    throw util::Error(source + ": taskset CSV contained no tasks");
   return tasks;
 }
 
@@ -70,7 +85,7 @@ model::Taskset read_taskset_csv(const std::string& path,
                                 const model::ResourceGrid& grid) {
   std::ifstream f(path);
   if (!f.good()) throw util::Error("cannot open " + path);
-  return read_taskset_csv(f, grid);
+  return read_taskset_csv(f, grid, path);
 }
 
 }  // namespace vc2m::workload

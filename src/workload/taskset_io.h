@@ -20,10 +20,14 @@ void write_taskset_csv(std::ostream& os, const model::Taskset& tasks);
 void write_taskset_csv(const std::string& path, const model::Taskset& tasks);
 
 /// Parse a CSV taskset; WCET surfaces are rebuilt over `grid`. Throws
-/// util::Error on malformed rows, unknown benchmarks, or empty input.
-/// Lines starting with '#' and the header row are ignored.
+/// util::Error on malformed rows, unknown benchmarks, or empty input — every
+/// message carries `source` (the file name for the path overload) and the
+/// 1-based line number. Numeric fields are parsed strictly: trailing
+/// characters, NaN/inf, and negative ids are rejected, as are exact
+/// duplicate task rows. Lines starting with '#' and the header are ignored.
 model::Taskset read_taskset_csv(std::istream& is,
-                                const model::ResourceGrid& grid);
+                                const model::ResourceGrid& grid,
+                                const std::string& source = "<taskset csv>");
 model::Taskset read_taskset_csv(const std::string& path,
                                 const model::ResourceGrid& grid);
 

@@ -342,6 +342,130 @@ TEST(TraceCheck, DetectsUnmatchedReleaseWithinHorizon) {
   EXPECT_TRUE(check_trace(events, late).ok());
 }
 
+// -------------------------------------- fault / enforcement invariants ----
+
+TEST(TraceCheck, KilledJobIsTerminal) {
+  TraceCheckConfig cfg;
+  cfg.task_periods = {Time::ms(10)};
+  cfg.horizon = Time::ms(100);
+  // A kill satisfies the horizon invariant on its own...
+  const std::vector<TraceEvent> killed_only = {
+      {Time::zero(), TraceKind::kJobRelease, 0, 0, 0, 0},
+      {Time::ms(2), TraceKind::kJobKilled, 0, 0, 0, 0},
+  };
+  EXPECT_TRUE(check_trace(killed_only, cfg).ok());
+  // ...but the killed job must never execute afterwards.
+  const std::vector<TraceEvent> kill_then_complete = {
+      {Time::zero(), TraceKind::kJobRelease, 0, 0, 0, 0},
+      {Time::ms(2), TraceKind::kJobKilled, 0, 0, 0, 0},
+      {Time::ms(4), TraceKind::kJobComplete, 0, 0, 0, 0},
+  };
+  const auto res = check_trace(kill_then_complete, cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("after being killed"),
+            std::string::npos)
+      << res.violations[0].what;
+  // A kill of a job that was never released is bogus too.
+  const std::vector<TraceEvent> phantom = {
+      {Time::ms(2), TraceKind::kJobKilled, 0, 0, 0, 7},
+  };
+  EXPECT_FALSE(check_trace(phantom, cfg).ok());
+}
+
+TEST(TraceCheck, KilledJobCannotMissItsDeadline) {
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kJobRelease, 0, 0, 0, 0},
+      {Time::ms(2), TraceKind::kJobKilled, 0, 0, 0, 0},
+      {Time::ms(10), TraceKind::kDeadlineMiss, 0, 0, 0, 0},
+  };
+  const auto res = check_trace(events);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("after being killed"),
+            std::string::npos);
+}
+
+TEST(TraceCheck, SuspendedTaskMustNotBeDispatched) {
+  const std::vector<TraceEvent> events = {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(1), TraceKind::kTaskSuspend, 0, 0, 3},
+      {Time::ms(2), TraceKind::kTaskDispatch, 0, 0, 3},
+  };
+  const auto res = check_trace(events);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("while suspended"),
+            std::string::npos);
+  // After a resume, dispatching the task is legitimate again.
+  const std::vector<TraceEvent> resumed = {
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(1), TraceKind::kTaskSuspend, 0, 0, 3},
+      {Time::ms(2), TraceKind::kTaskResume, 0, 0, 3},
+      {Time::ms(3), TraceKind::kTaskDispatch, 0, 0, 3},
+  };
+  EXPECT_TRUE(check_trace(resumed).ok());
+}
+
+TEST(TraceCheck, SuspendResumePairingIsEnforced) {
+  const std::vector<TraceEvent> double_suspend = {
+      {Time::ms(1), TraceKind::kTaskSuspend, 0, 0, 3},
+      {Time::ms(2), TraceKind::kTaskSuspend, 0, 0, 3},
+  };
+  EXPECT_FALSE(check_trace(double_suspend).ok());
+  const std::vector<TraceEvent> orphan_resume = {
+      {Time::ms(1), TraceKind::kTaskResume, 0, 0, 3},
+  };
+  EXPECT_FALSE(check_trace(orphan_resume).ok());
+}
+
+TEST(TraceCheck, RevokedPartitionMustNotReappearInCosBindings) {
+  // While core 0 is revoked to 1 way, a COS binding granting it 4 ways is
+  // a violation; the post-restore rebinding is fine.
+  const std::vector<TraceEvent> events = {
+      {Time::ms(1), TraceKind::kPartitionRevoke, 0, -1, -1, 1},
+      {Time::ms(1), TraceKind::kCosProgram, 0, -1, -1, 1},   // shrink: ok
+      {Time::ms(2), TraceKind::kCosProgram, 0, -1, -1, 4},   // regrow: bad
+      {Time::ms(3), TraceKind::kPartitionRestore, 0, -1, -1, 4},
+      {Time::ms(3), TraceKind::kCosProgram, 0, -1, -1, 4},   // restored: ok
+  };
+  const auto res = check_trace(events);
+  EXPECT_EQ(res.total_violations, 1u);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("revoked"), std::string::npos);
+}
+
+TEST(TraceCheck, RevocationWindowsCannotNestOrDangle) {
+  const std::vector<TraceEvent> nested = {
+      {Time::ms(1), TraceKind::kPartitionRevoke, 0, -1, -1, 1},
+      {Time::ms(2), TraceKind::kPartitionRevoke, 0, -1, -1, 1},
+  };
+  EXPECT_FALSE(check_trace(nested).ok());
+  const std::vector<TraceEvent> dangling = {
+      {Time::ms(1), TraceKind::kPartitionRestore, 0, -1, -1, 4},
+  };
+  EXPECT_FALSE(check_trace(dangling).ok());
+}
+
+TEST(TraceCheck, DeclaredVcpuOverrunLicensesTheOverdraw) {
+  TraceCheckConfig cfg;
+  cfg.vcpu_budgets = {Time::ms(4)};
+  // 6 ms of a 4 ms budget, but the simulator declared the overrun (a
+  // non-strict enforcement run): no violation until the next period.
+  const std::vector<TraceEvent> declared = {
+      {Time::zero(), TraceKind::kVcpuRelease, 0, 0},
+      {Time::zero(), TraceKind::kVcpuSchedule, 0, 0},
+      {Time::ms(5), TraceKind::kVcpuBudgetOverrun, 0, 0},
+      {Time::ms(6), TraceKind::kVcpuDeschedule, 0, 0},
+  };
+  EXPECT_TRUE(check_trace(declared, cfg).ok());
+  // The license expires at the next replenishment.
+  std::vector<TraceEvent> next_period = declared;
+  next_period.push_back({Time::ms(10), TraceKind::kVcpuRelease, 0, 0});
+  next_period.push_back({Time::ms(10), TraceKind::kVcpuSchedule, 0, 0});
+  next_period.push_back({Time::ms(16), TraceKind::kVcpuDeschedule, 0, 0});
+  const auto res = check_trace(next_period, cfg);
+  ASSERT_FALSE(res.ok());
+  EXPECT_NE(res.violations[0].what.find("overdrew"), std::string::npos);
+}
+
 TEST(TraceCheck, ViolationReportingIsCapped) {
   TraceCheckConfig cfg;
   cfg.max_violations = 3;

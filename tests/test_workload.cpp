@@ -243,6 +243,101 @@ TEST(TasksetIo, RejectsMalformedInput) {
   EXPECT_THROW(parse("0,-5,1,ferret\n"), util::Error);         // negative
 }
 
+TEST(TasksetIo, RejectsTheHardenedMalformedMatrix) {
+  const auto grid = PlatformSpec::A().grid;
+  const auto parse = [&](const std::string& text) {
+    std::stringstream buf(text);
+    return read_taskset_csv(buf, grid);
+  };
+  // Truncated trailing line (no benchmark field).
+  EXPECT_THROW(parse("0,100,5,ferret\n1,200,8\n"), util::Error);
+  // Too many fields.
+  EXPECT_THROW(parse("0,100,5,ferret,extra\n"), util::Error);
+  // NaN / infinity.
+  EXPECT_THROW(parse("0,nan,5,ferret\n"), util::Error);
+  EXPECT_THROW(parse("0,100,inf,ferret\n"), util::Error);
+  // Trailing characters after a number.
+  EXPECT_THROW(parse("0,100x,5,ferret\n"), util::Error);
+  // Negative vm id.
+  EXPECT_THROW(parse("-1,100,5,ferret\n"), util::Error);
+  // Empty benchmark name.
+  EXPECT_THROW(parse("0,100,5,\n"), util::Error);
+  // Exact duplicate row.
+  EXPECT_THROW(parse("0,100,5,ferret\n0,100,5,ferret\n"), util::Error);
+  // ...but distinct rows with the same benchmark are fine.
+  EXPECT_NO_THROW(parse("0,100,5,ferret\n0,200,5,ferret\n"));
+}
+
+TEST(TasksetIo, ErrorsCarrySourceAndLineNumber) {
+  const auto grid = PlatformSpec::A().grid;
+  std::stringstream buf("0,100,5,ferret\n0,bogus,5,ferret\n");
+  try {
+    read_taskset_csv(buf, grid, "tasks.csv");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("tasks.csv:2:"), std::string::npos) << what;
+    EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+  }
+}
+
+TEST(TasksetIo, FuzzedMutationsThrowCleanErrorsOnly) {
+  // Robustness contract: any byte-level corruption of a valid taskset CSV
+  // either still parses or throws util::Error — never crashes, never
+  // reports through another exception type. (scripts/check.sh repeats
+  // this under ASan/UBSan from the CLI.)
+  const auto grid = PlatformSpec::A().grid;
+  Rng rng(20260806);
+  const auto tasks = generate_taskset(config_for(1.0), rng);
+  std::stringstream buf;
+  write_taskset_csv(buf, tasks);
+  const std::string valid = buf.str();
+
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string mutated = valid;
+    const int flips = 1 + static_cast<int>(rng.index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.index(mutated.size());
+      mutated[pos] = static_cast<char>(rng.uniform_int(1, 255));
+    }
+    std::stringstream in(mutated);
+    try {
+      const auto ts = read_taskset_csv(in, grid);
+      EXPECT_FALSE(ts.empty());  // parsed → must be a real taskset
+    } catch (const util::Error&) {
+      // acceptable: strict parser rejected the corruption
+    }
+  }
+}
+
+TEST(SurfaceIo, ErrorsCarrySourceAndLineNumber) {
+  const model::ResourceGrid grid{2, 3, 1, 2};
+  std::stringstream buf("2,1,4\n2,2,nan\n3,1,3.5\n3,2,2\n");
+  try {
+    read_surface_csv(buf, grid, "surface.csv");
+    FAIL() << "expected util::Error";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("surface.csv:2:"), std::string::npos) << what;
+  }
+}
+
+TEST(SurfaceIo, RejectsTheHardenedMalformedMatrix) {
+  const model::ResourceGrid grid{2, 3, 1, 2};
+  auto parse = [&](const std::string& text) {
+    std::stringstream buf(text);
+    return read_surface_csv(buf, grid);
+  };
+  // Too many fields.
+  EXPECT_THROW(parse("2,1,4,9\n2,2,3\n3,1,3.5\n3,2,2\n"), util::Error);
+  // Negative coordinate (stoul would silently wrap it).
+  EXPECT_THROW(parse("-2,1,4\n2,2,3\n3,1,3.5\n3,2,2\n"), util::Error);
+  // Non-finite WCET.
+  EXPECT_THROW(parse("2,1,inf\n2,2,3\n3,1,3.5\n3,2,2\n"), util::Error);
+  // Trailing characters.
+  EXPECT_THROW(parse("2,1,4z\n2,2,3\n3,1,3.5\n3,2,2\n"), util::Error);
+}
+
 TEST(SurfaceIo, RoundTripIsExactToTheMicrosecond) {
   const model::ResourceGrid grid{2, 5, 1, 4};
   const auto& p = find_profile("ferret");

@@ -14,13 +14,19 @@
 //
 //   vc2m simulate --file tasks.csv [--platform P] [--solution S] [--seed S]
 //                 [--trace out.json|out.csv] [--report]
+//                 [--faults SPEC] [--policy strict|kill|throttle|degrade]
 //       Solve as above, then deploy the allocation onto the simulated
 //       hypervisor and execute three hyperperiods, reporting deadline
 //       misses and core utilization. --trace writes the scheduling trace
 //       (Chrome/Perfetto JSON, or CSV by extension); --report prints the
 //       full metrics report (per-core utilization/throttle, per-task
 //       response-time ratios, allocator effort) and runs the trace
-//       invariant checker over the run.
+//       invariant checker over the run. --faults injects a deterministic
+//       fault plan (sim/faults.h), e.g.
+//       "overrun-factor=1.2,overrun-prob=0.5,jitter-ms=2,seed=7";
+//       --policy selects the enforcement response to budget exhaustion.
+//       A faulty run exits 0 even with deadline misses (they are the
+//       experiment) unless --report's invariant checker fails.
 //
 //   vc2m check --trace out.json|out.csv
 //       Re-import an exported trace and verify the scheduling invariants
@@ -29,12 +35,17 @@
 //
 //   vc2m experiment [--platform P] [--dist D] [--vms N] [--seed S]
 //                   [--tasksets N] [--step S] [--util-lo U] [--util-hi U]
-//                   [--jobs N]
+//                   [--jobs N] [--faults SPEC] [--policy P]
+//                   [--fault-horizon H]
 //       Run the §5 schedulability sweep (the Fig. 2/3 experiment) over a
 //       work-stealing thread pool and print the fraction-schedulable table
 //       plus per-solution breakdown utilizations. --jobs 0 (the default)
 //       uses all hardware threads; results are bit-identical for any
-//       --jobs value.
+//       --jobs value. With --faults, every schedulable allocation is also
+//       replayed in the simulator for H hyperperiods under the fault plan
+//       and enforcement policy, and the table gains a "+f" column per
+//       solution: the fraction that stays schedulable under faults
+//       (critical tasks free of misses and kills).
 //
 // CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
 // from the profile's slowdown vectors scaled to the given reference WCET.
@@ -52,6 +63,8 @@
 #include "obs/trace_check.h"
 #include "obs/trace_export.h"
 #include "sim/deploy.h"
+#include "sim/enforcement.h"
+#include "sim/faults.h"
 #include "sim/simulation.h"
 #include "model/platform.h"
 #include "util/error.h"
@@ -83,6 +96,10 @@ struct Args {
   double util_lo = 0.1;
   double util_hi = 2.0;
   int jobs = 0;  ///< sweep worker threads; 0 = hardware concurrency
+  // fault injection (simulate + experiment)
+  std::string faults;            ///< sim/faults.h spec, empty = none
+  std::string policy = "strict"; ///< enforcement policy name
+  int fault_horizon = 1;         ///< hyperperiods per fault validation run
 };
 
 [[noreturn]] void usage(int code) {
@@ -94,12 +111,15 @@ struct Args {
                "       vc2m simulate --file tasks.csv [--platform P] "
                "[--solution S] [--seed S]\n"
                "                     [--trace out.json|out.csv] [--report]\n"
+               "                     [--faults SPEC] "
+               "[--policy strict|kill|throttle|degrade]\n"
                "       vc2m check --trace out.json|out.csv\n"
                "       vc2m experiment [--platform P] [--dist D] [--vms N] "
                "[--seed S]\n"
                "                       [--tasksets N] [--step S] "
                "[--util-lo U] [--util-hi U]\n"
-               "                       [--jobs N]\n";
+               "                       [--jobs N] [--faults SPEC] "
+               "[--policy P] [--fault-horizon H]\n";
   std::exit(code);
 }
 
@@ -127,6 +147,9 @@ Args parse(int argc, char** argv) {
     else if (arg == "--util-lo") a.util_lo = std::stod(next());
     else if (arg == "--util-hi") a.util_hi = std::stod(next());
     else if (arg == "--jobs") a.jobs = std::stoi(next());
+    else if (arg == "--faults") a.faults = next();
+    else if (arg == "--policy") a.policy = next();
+    else if (arg == "--fault-horizon") a.fault_horizon = std::stoi(next());
     else usage(2);
   }
   return a;
@@ -147,6 +170,16 @@ core::Solution solution_of(const std::string& name) {
   if (name == "baseline") return core::Solution::kBaselineExistingCsa;
   throw util::Error("unknown solution '" + name +
                     "' (flat|ovf|existing|even|baseline)");
+}
+
+sim::EnforcementConfig enforcement_of(const std::string& name) {
+  const auto p = sim::enforcement_policy_from_string(name);
+  if (!p)
+    throw util::Error("unknown policy '" + name +
+                      "' (strict|kill|throttle|degrade)");
+  sim::EnforcementConfig ec;
+  ec.policy = *p;
+  return ec;
 }
 
 workload::UtilDist dist_of(const std::string& name) {
@@ -249,8 +282,10 @@ int cmd_simulate(const Args& a) {
   dc.release_sync =
       solution_of(a.solution) == core::Solution::kHeuristicFlattening;
   dc.capture_trace = !a.trace.empty() || a.report;
-  const auto sim_cfg =
-      sim::deploy(tasks, res.vcpus, res.mapping, platform, dc);
+  auto sim_cfg = sim::deploy(tasks, res.vcpus, res.mapping, platform, dc);
+  sim_cfg.enforcement = enforcement_of(a.policy);
+  const bool faulty = !a.faults.empty();
+  if (faulty) sim_cfg.faults = sim::parse_fault_spec(a.faults);
   sim::Simulation s(sim_cfg);
 
   obs::MetricsRegistry registry;
@@ -289,11 +324,23 @@ int cmd_simulate(const Args& a) {
     table.add_row("deadline misses", static_cast<int>(st.deadline_misses));
     table.add_row("VCPU context switches",
                   static_cast<int>(st.vcpu_context_switches));
+    if (faulty) {
+      table.add_row("faults injected", static_cast<int>(st.faults_injected));
+      table.add_row("jobs killed", static_cast<int>(st.jobs_killed));
+      table.add_row("jobs deferred", static_cast<int>(st.jobs_deferred));
+      table.add_row("task suspensions",
+                    static_cast<int>(st.task_suspensions));
+      table.add_row("VCPU budget overruns",
+                    static_cast<int>(st.vcpu_budget_overruns));
+    }
     for (std::size_t k = 0; k < st.core_busy_fraction.size(); ++k)
       table.add_row("core " + std::to_string(k) + " busy",
                     st.core_busy_fraction[k]);
     table.print(std::cout);
   }
+  // Under injected faults, misses/kills are the experiment, not a failure;
+  // only a trace-invariant violation (checked under --report) is an error.
+  if (faulty) return 0;
   return st.deadline_misses == 0 ? 0 : 1;
 }
 
@@ -310,6 +357,17 @@ int cmd_experiment(const Args& a) {
   cfg.num_vms = a.vms;
   cfg.seed = a.seed;
   cfg.jobs = a.jobs;
+  if (!a.faults.empty()) {
+    if (a.fault_horizon <= 0)
+      throw util::Error("--fault-horizon must be >= 1");
+    cfg.validate = sim::make_fault_validator(
+        cfg.platform, sim::parse_fault_spec(a.faults),
+        enforcement_of(a.policy), a.fault_horizon);
+    std::cout << "Fault validation: " << a.faults << ", policy " << a.policy
+              << ", " << a.fault_horizon
+              << " hyperperiod(s) — '+f' columns show the fraction still "
+                 "schedulable under faults\n";
+  }
 
   std::cout << "Schedulability sweep on " << cfg.platform.name << ", dist "
             << to_string(cfg.dist) << ", util " << cfg.util_lo << ".."
