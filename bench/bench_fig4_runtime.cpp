@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
   et.add_row("admission tests", c.admission_tests);
   et.add_row("admission passed", c.admission_passed);
   et.add_row("dbf evaluations", c.dbf_evaluations);
+  et.add_row("min-budget searches", c.budget_evaluations);
+  et.add_row("budget memo hits", c.budget_cache_hits);
+  et.add_row("core-load memo hits", c.load_cache_hits);
   et.add_row("partition grants", c.partition_grants);
   et.add_row("vcpu migrations", c.vcpu_migrations);
   et.add_row("VM-level alloc seconds", c.vm_alloc_seconds);

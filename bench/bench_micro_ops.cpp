@@ -2,7 +2,16 @@
 // (google-benchmark). Complements Figure 4: shows *why* the existing CSA
 // is orders of magnitude slower — a single PRM minimum-budget search costs
 // as much as an entire overhead-free VCPU computation over the whole grid.
+//
+// `--smoke` (used by scripts/check.sh) skips the benchmarks and instead
+// runs one existing-CSA solve under an AllocCounterScope, asserting the
+// memoization machinery (AnalysisContext + CoreLoad) is actually engaged:
+// budget searches happened, dbf work was done, and repeated per-core
+// Σ Θ/Π probes were served from the CoreLoad caches.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <iostream>
 
 #include "analysis/prm.h"
 #include "analysis/schedulability.h"
@@ -10,6 +19,7 @@
 #include "core/kmeans.h"
 #include "core/solutions.h"
 #include "model/platform.h"
+#include "util/instrument.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -90,6 +100,46 @@ BENCHMARK(BM_SolveEndToEnd)
     ->Arg(static_cast<int>(core::Solution::kBaselineExistingCsa))
     ->Unit(benchmark::kMillisecond);
 
+/// --smoke: one existing-CSA solve; fail (exit 1) unless the memoization
+/// counters show the shared-context machinery at work.
+int run_smoke() {
+  const auto tasks = make_taskset(1.0, 13);
+  const auto platform = model::PlatformSpec::A();
+  util::Rng rng(5);
+  util::AllocCounterScope scope;
+  const auto res = core::solve("existing", tasks, platform, {}, rng);
+  const auto& c = scope.counters();
+  std::cout << "smoke: existing-CSA solve " << res.seconds << " s, "
+            << "schedulable=" << res.schedulable << "\n"
+            << "  dbf evaluations:     " << c.dbf_evaluations << "\n"
+            << "  min-budget searches: " << c.budget_evaluations << "\n"
+            << "  budget memo hits:    " << c.budget_cache_hits << "\n"
+            << "  core-load memo hits: " << c.load_cache_hits << "\n";
+  bool ok = true;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::cout << "smoke FAIL: " << what << "\n";
+      ok = false;
+    }
+  };
+  expect(c.budget_evaluations > 0,
+         "no min-budget searches — existing CSA did not run");
+  expect(c.dbf_evaluations > 0, "no dbf evaluations");
+  expect(c.load_cache_hits > 0,
+         "no core-load memo hits — CoreLoad caching is disengaged");
+  if (ok) std::cout << "smoke OK: memoization engaged\n";
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the --smoke escape hatch for scripts/check.sh.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

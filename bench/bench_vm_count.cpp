@@ -29,9 +29,7 @@ int main(int argc, char** argv) {
     cfg.num_vms = vms;
     cfg.seed = opt.seed;
     cfg.jobs = opt.jobs;
-    cfg.solutions = {core::Solution::kHeuristicFlattening,
-                     core::Solution::kHeuristicOverheadFree,
-                     core::Solution::kBaselineExistingCsa};
+    cfg.solutions = {"flat", "ovf", "baseline"};
     const std::string label = "vms=" + std::to_string(vms);
     results.push_back(core::run_schedulability_experiment(
         cfg, [&](int d, int t) { bench::progress(label, d, t); }));

@@ -13,7 +13,10 @@
 # nothing there). The address pass also runs the fault-injection CLI smoke
 # (all four enforcement policies under a WCET-overrun plan) and a fuzz loop
 # that corrupts a valid taskset CSV byte-by-byte: the CLI must exit with a
-# clean util::Error, never an ASan report/crash.
+# clean util::Error, never an ASan report/crash. The address pass
+# additionally re-runs the golden-equivalence suite explicitly (allocation
+# engine bit-identical to the pre-registry seed, with strictly fewer dbf
+# evaluations) and the bench_micro_ops --smoke memoization-counter check.
 # Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -84,6 +87,10 @@ for san in "${sanitizers[@]}"; do
   if [ "$san" = address ]; then
     echo "=== ${san}: fault smoke + fuzz ==="
     fault_smoke "$dir"
+    echo "=== ${san}: golden equivalence (engine vs seed digests) ==="
+    "$dir/tests/test_golden"
+    echo "=== ${san}: memoization smoke (bench_micro_ops --smoke) ==="
+    "$dir/bench/bench_micro_ops" --smoke
   fi
 done
 

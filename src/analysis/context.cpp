@@ -1,0 +1,32 @@
+#include "analysis/context.h"
+
+#include "analysis/prm.h"
+
+namespace vc2m::analysis {
+
+std::optional<util::Time> AnalysisContext::min_budget(
+    std::span<const PTask> tasks, util::Time period,
+    std::optional<util::Time> feasible_hint) {
+  std::vector<std::int64_t> key;
+  key.reserve(2 * tasks.size() + 1);
+  key.push_back(period.raw_ns());
+  for (const auto& t : tasks) {
+    key.push_back(t.period.raw_ns());
+    key.push_back(t.wcet.raw_ns());
+  }
+
+  const auto it = budget_memo_.find(key);
+  if (it != budget_memo_.end()) {
+    if (auto* ctr = util::alloc_counters()) ++ctr->budget_cache_hits;
+    return it->second;
+  }
+
+  if (auto* ctr = util::alloc_counters()) ++ctr->budget_evaluations;
+  const auto theta = feasible_hint
+                         ? min_budget_edf_bounded(tasks, period, *feasible_hint)
+                         : min_budget_edf(tasks, period);
+  budget_memo_.emplace(std::move(key), theta);
+  return theta;
+}
+
+}  // namespace vc2m::analysis

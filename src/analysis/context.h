@@ -1,0 +1,73 @@
+// Shared memoization context for one allocation run.
+//
+// Both allocation levels (vm_alloc, hv_alloc) and the online paths
+// (admission, exact search) ask the same analysis questions repeatedly: the
+// existing-CSA minimum budget for a task group at a grid point, and the
+// effort counters everything reports through. An AnalysisContext is created
+// once per run (one solve(), one admission decision), threaded through both
+// levels, and memoizes those answers — so a budget computed while
+// parameterizing a VCPU is never re-derived by a later stage asking for the
+// identical (period, taskset) pair.
+//
+// The memo is bit-identity-preserving: a hit returns exactly the value the
+// unmemoized analysis::min_budget_edf call produced for the identical key,
+// and the hinted search (analysis::min_budget_edf_bounded) returns the same
+// unique minimum while evaluating fewer demand bounds. The per-core caches
+// live in core::CoreLoad; this context owns the cross-cutting state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dbf.h"
+#include "util/instrument.h"
+#include "util/time.h"
+
+namespace vc2m::analysis {
+
+class AnalysisContext {
+ public:
+  /// Opens an AllocCounterScope: every instrumented call made while this
+  /// context is alive lands in counters() (and merges into any enclosing
+  /// scope on destruction). Use on one thread only.
+  AnalysisContext() = default;
+  AnalysisContext(const AnalysisContext&) = delete;
+  AnalysisContext& operator=(const AnalysisContext&) = delete;
+
+  /// Memoized analysis::min_budget_edf. `feasible_hint`, when set, must be
+  /// a budget believed feasible for `tasks` (e.g. the minimum budget of the
+  /// same task group at a grid point with fewer resources — budget surfaces
+  /// are non-increasing in cache/BW); it bounds the binary search from
+  /// above. Hints are verified before use, so a wrong hint costs one
+  /// schedulability test but never changes the returned minimum.
+  std::optional<util::Time> min_budget(
+      std::span<const PTask> tasks, util::Time period,
+      std::optional<util::Time> feasible_hint = std::nullopt);
+
+  /// The effort counters collected so far by this context's scope.
+  const util::AllocCounters& counters() const { return scope_.counters(); }
+
+ private:
+  // Key = [Π, p_0, e_0, p_1, e_1, ...] in caller order (identical queries
+  // build identical task vectors, so order sensitivity costs nothing and
+  // avoids a canonicalization pass).
+  struct KeyHash {
+    std::size_t operator()(const std::vector<std::int64_t>& key) const {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the words
+      for (const std::int64_t w : key) {
+        h ^= static_cast<std::uint64_t>(w);
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<std::int64_t>, std::optional<util::Time>,
+                     KeyHash>
+      budget_memo_;
+  util::AllocCounterScope scope_;
+};
+
+}  // namespace vc2m::analysis

@@ -44,4 +44,16 @@ bool edf_schedulable_on_prm(std::span<const PTask> tasks, const Prm& prm);
 std::optional<util::Time> min_budget_edf(std::span<const PTask> tasks,
                                          util::Time period);
 
+/// min_budget_edf with a caller-supplied upper bound for the binary search:
+/// `feasible_hi` should be a budget believed feasible for `tasks` (e.g. the
+/// minimum budget of the same tasks under a pointwise-larger WCET surface —
+/// budget surfaces are non-increasing in cache/BW). The hint is verified
+/// with one schedulability test before it replaces the Θ = Π feasibility
+/// probe; if it does not hold, the full search runs instead. The returned
+/// minimum is always identical to min_budget_edf(tasks, period) — the hint
+/// only reduces how many demand-bound evaluations finding it takes.
+std::optional<util::Time> min_budget_edf_bounded(std::span<const PTask> tasks,
+                                                 util::Time period,
+                                                 util::Time feasible_hi);
+
 }  // namespace vc2m::analysis

@@ -12,14 +12,13 @@ namespace {
 bool utilization_at_most_one(std::span<const model::Vcpu> vcpus,
                              std::span<const std::size_t> on_core, unsigned c,
                              unsigned b) {
-  constexpr std::int64_t kLcmCap = std::int64_t{1} << 50;
   std::int64_t l = 1;
   bool exact = true;
   for (const std::size_t j : on_core) {
     const std::int64_t p = vcpus[j].period.raw_ns();
     VC2M_CHECK(p > 0);
     const std::int64_t g = std::gcd(l, p);
-    if (l / g > kLcmCap / p) {
+    if (l / g > kPeriodLcmCap / p) {
       exact = false;
       break;
     }

@@ -9,12 +9,18 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "model/task.h"
 
 namespace vc2m::analysis {
+
+/// Period-LCM cap for the exact integer Σ Θ/Π ≤ 1 comparison; when the LCM
+/// of the periods on a core exceeds this, the test (and core::CoreLoad's
+/// incremental variant) falls back to long-double accumulation.
+inline constexpr std::int64_t kPeriodLcmCap = std::int64_t{1} << 50;
 
 /// Σ_j Θ_j(c,b)/Π_j over the given VCPUs.
 double core_utilization(std::span<const model::Vcpu> vcpus, unsigned c,

@@ -3,34 +3,34 @@
 #include <algorithm>
 #include <optional>
 
-#include "analysis/schedulability.h"
+#include "analysis/context.h"
+#include "core/core_load.h"
 #include "util/error.h"
 
 namespace vc2m::core {
 namespace {
 
-/// Minimal (cache, bw) a core needs to absorb its VCPU set, growing from
-/// its current allocation with max-gain grants bounded by the free pools.
-/// Returns the final allocation or nullopt.
+/// Minimal (cache, bw) the core behind `cl` needs to absorb its VCPU set,
+/// growing from its current allocation with max-gain grants bounded by the
+/// free pools. Returns the final allocation or nullopt. Probing through the
+/// CoreLoad lets the grant loop and the candidate comparison reuse each
+/// already-summed grid point instead of re-deriving it per probe.
 std::optional<std::pair<unsigned, unsigned>> fit_with_grants(
-    const std::vector<model::Vcpu>& vcpus,
-    const std::vector<std::size_t>& on_core, unsigned c, unsigned b,
-    unsigned free_c, unsigned free_b, const model::ResourceGrid& grid) {
-  while (!analysis::core_schedulable(vcpus, on_core, c, b)) {
+    CoreLoad& cl, unsigned c, unsigned b, unsigned free_c, unsigned free_b,
+    const model::ResourceGrid& grid) {
+  while (!cl.schedulable(c, b)) {
     double best_gain = 0;
     bool grant_cache = false;
-    const double u_now = analysis::core_utilization(vcpus, on_core, c, b);
+    const double u_now = cl.utilization(c, b);
     if (free_c > 0 && c < grid.c_max) {
-      const double gain =
-          u_now - analysis::core_utilization(vcpus, on_core, c + 1, b);
+      const double gain = u_now - cl.utilization(c + 1, b);
       if (gain > best_gain) {
         best_gain = gain;
         grant_cache = true;
       }
     }
     if (free_b > 0 && b < grid.b_max) {
-      const double gain =
-          u_now - analysis::core_utilization(vcpus, on_core, c, b + 1);
+      const double gain = u_now - cl.utilization(c, b + 1);
       if (gain > best_gain) {
         best_gain = gain;
         grant_cache = false;
@@ -62,11 +62,12 @@ AdmitResult admit_vm(const AdmissionState& current,
 
   AdmitResult result;
   AdmissionState next = current;
+  analysis::AnalysisContext ctx;  // one memo + counter scope per decision
 
   // Parameterize the new VM's VCPUs.
   std::vector<std::size_t> idx(vm_tasks.size());
   for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  auto new_vcpus = allocate_vm_heuristic(vm_tasks, idx, vm_cfg, rng);
+  auto new_vcpus = allocate_vm_heuristic(vm_tasks, idx, vm_cfg, ctx, rng);
   std::sort(new_vcpus.begin(), new_vcpus.end(),
             [](const model::Vcpu& a, const model::Vcpu& b) {
               return a.reference_utilization() > b.reference_utilization();
@@ -91,16 +92,15 @@ AdmitResult admit_vm(const AdmissionState& current,
     unsigned best_cost = ~0u;
     double best_util = 2.0;
     for (unsigned k = 0; k < next.mapping.cores_used; ++k) {
-      auto with_new = next.mapping.vcpus_on_core[k];
-      with_new.push_back(vi);
+      CoreLoad with_new(next.vcpus, grid, next.mapping.vcpus_on_core[k]);
+      with_new.add(vi);
       const auto fit =
-          fit_with_grants(next.vcpus, with_new, next.mapping.cache[k],
+          fit_with_grants(with_new, next.mapping.cache[k],
                           next.mapping.bw[k], free_c, free_b, grid);
       if (!fit) continue;
       const unsigned cost = (fit->first - next.mapping.cache[k]) +
                             (fit->second - next.mapping.bw[k]);
-      const double u = analysis::core_utilization(next.vcpus, with_new,
-                                                  fit->first, fit->second);
+      const double u = with_new.utilization(fit->first, fit->second);
       if (cost < best_cost || (cost == best_cost && u < best_util)) {
         best_core = k;
         best_alloc = *fit;
@@ -111,14 +111,14 @@ AdmitResult admit_vm(const AdmissionState& current,
     }
     if (next.mapping.cores_used < platform.cores && free_c >= grid.c_min &&
         free_b >= grid.b_min) {
-      const std::vector<std::size_t> alone{vi};
-      const auto fit = fit_with_grants(next.vcpus, alone, grid.c_min,
-                                       grid.b_min, free_c - grid.c_min,
-                                       free_b - grid.b_min, grid);
+      CoreLoad alone(next.vcpus, grid);
+      alone.add(vi);
+      const auto fit =
+          fit_with_grants(alone, grid.c_min, grid.b_min, free_c - grid.c_min,
+                          free_b - grid.b_min, grid);
       if (fit) {
         const unsigned cost = fit->first + fit->second;
-        const double u = analysis::core_utilization(next.vcpus, alone,
-                                                    fit->first, fit->second);
+        const double u = alone.utilization(fit->first, fit->second);
         if (cost < best_cost || (cost == best_cost && u < best_util)) {
           best_core = next.mapping.cores_used;
           best_alloc = *fit;

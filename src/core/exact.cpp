@@ -5,7 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "analysis/schedulability.h"
+#include "core/core_load.h"
 #include "util/error.h"
 
 namespace vc2m::core {
@@ -50,13 +50,15 @@ class ExactSearch {
 
     Frontier f;
     f.min_b.assign(grid_.cache_levels(), kInfeasible);
+    // One CoreLoad per memoized core set: the period weights are derived
+    // once here instead of once per probed grid point.
+    CoreLoad cl(vcpus_, grid_, core);
     // min_b is non-increasing in c: sweep c upward, b downward.
     unsigned b_hi = grid_.b_max;
     for (unsigned c = grid_.c_min; c <= grid_.c_max; ++c) {
       unsigned best = kInfeasible;
       for (unsigned b = b_hi;; --b) {
-        if (b < grid_.b_min ||
-            !analysis::core_schedulable(vcpus_, core, c, b)) {
+        if (b < grid_.b_min || !cl.schedulable(c, b)) {
           break;
         }
         best = b;

@@ -50,14 +50,16 @@ util::Table ExperimentResult::to_table(bool runtimes) const {
   VC2M_CHECK_MSG(!points.empty(),
                  "to_table on an empty experiment (no utilization points — "
                  "was the sweep run?)");
+  const auto& registry = StrategyRegistry::instance();
   std::vector<std::string> header{"util"};
-  for (const auto s : cfg.solutions) header.push_back(to_string(s));
+  for (const auto& s : cfg.solutions)
+    header.push_back(registry.require(s).display);
   if (cfg.validate)
-    for (const auto s : cfg.solutions)
-      header.push_back(to_string(s) + " +f");
+    for (const auto& s : cfg.solutions)
+      header.push_back(registry.require(s).display + " +f");
   if (runtimes)
-    for (const auto s : cfg.solutions)
-      header.push_back("sec " + to_string(s));
+    for (const auto& s : cfg.solutions)
+      header.push_back("sec " + registry.require(s).display);
   util::Table table(std::move(header));
   for (const auto& pt : points) {
     VC2M_CHECK_MSG(pt.per_solution.size() == cfg.solutions.size(),
@@ -96,6 +98,14 @@ ExperimentResult run_schedulability_experiment(
 
   ExperimentResult result;
   result.cfg = cfg;
+
+  // Resolve every named strategy up front: an unknown key dies here with
+  // the known-key list instead of mid-sweep on a worker thread. Registry
+  // entries have stable addresses, so the pointers stay valid for the run.
+  std::vector<const Strategy*> strategies;
+  strategies.reserve(cfg.solutions.size());
+  for (const auto& key : cfg.solutions)
+    strategies.push_back(&StrategyRegistry::instance().require(key));
 
   const int n_points = static_cast<int>(
       std::floor((cfg.util_hi - cfg.util_lo) / cfg.util_step + 1e-9)) + 1;
@@ -161,7 +171,7 @@ ExperimentResult run_schedulability_experiment(
             tasksets[ti] = workload::generate_taskset(gen, gen_rng);
           });
           util::Rng solve_rng = streams[ti].solve[si];
-          const auto res = solve(cfg.solutions[si], tasksets[ti],
+          const auto res = solve(*strategies[si], tasksets[ti],
                                  cfg.platform, cfg.solve, solve_rng);
           Cell& cell = cells[ti * n_sol + si];
           cell.schedulable = res.schedulable;

@@ -35,7 +35,11 @@ struct ExperimentConfig {
   /// Worker threads for the sweep; 0 means hardware concurrency. The
   /// result is bit-identical regardless of the value.
   int jobs = 0;
-  std::vector<Solution> solutions = all_solutions();
+  /// StrategyRegistry keys to sweep, in column order; defaults to the five
+  /// paper solutions. Any registered strategy — including ones registered
+  /// by downstream code — can be named here. Resolved (and validated)
+  /// once, before the sweep starts.
+  std::vector<std::string> solutions = default_solution_keys();
   SolveConfig solve;
 
   /// Optional runtime validation of each *schedulable* allocation — e.g.

@@ -6,8 +6,9 @@
 #include <numeric>
 
 #include "analysis/schedulability.h"
+#include "core/core_load.h"
 #include "core/kmeans.h"
-#include "core/vm_alloc.h"
+#include "core/packing.h"
 #include "util/error.h"
 #include "util/instrument.h"
 
@@ -27,27 +28,25 @@ unsigned HvAllocResult::total_bw() const {
 
 namespace {
 
+/// Working state of one candidate mapping: a CoreLoad per core (the
+/// incremental membership/Σ Θ/Π accounts) plus its partition counts.
 struct CoreState {
-  std::vector<std::vector<std::size_t>> on_core;  // VCPU indices per core
+  std::vector<CoreLoad> cores;
   std::vector<unsigned> cache;
   std::vector<unsigned> bw;
 };
 
-double util_of(std::span<const model::Vcpu> vcpus, const CoreState& st,
-               std::size_t core) {
-  return analysis::core_utilization(vcpus, st.on_core[core], st.cache[core],
-                                    st.bw[core]);
+double util_of(CoreState& st, std::size_t core) {
+  return st.cores[core].utilization(st.cache[core], st.bw[core]);
 }
 
-bool sched_of(std::span<const model::Vcpu> vcpus, const CoreState& st,
-              std::size_t core) {
-  return analysis::core_schedulable(vcpus, st.on_core[core], st.cache[core],
-                                    st.bw[core]);
+bool sched_of(CoreState& st, std::size_t core) {
+  return st.cores[core].schedulable(st.cache[core], st.bw[core]);
 }
 
-bool all_schedulable(std::span<const model::Vcpu> vcpus, const CoreState& st) {
-  for (std::size_t i = 0; i < st.on_core.size(); ++i)
-    if (!sched_of(vcpus, st, i)) return false;
+bool all_schedulable(CoreState& st) {
+  for (std::size_t i = 0; i < st.cores.size(); ++i)
+    if (!sched_of(st, i)) return false;
   return true;
 }
 
@@ -58,7 +57,7 @@ CoreState phase1_pack(std::span<const model::Vcpu> vcpus,
                       const std::vector<std::size_t>& perm, unsigned m,
                       const model::ResourceGrid& grid) {
   CoreState st;
-  st.on_core.assign(m, {});
+  st.cores.assign(m, CoreLoad(vcpus, grid));
   st.cache.assign(m, grid.c_min);
   st.bw.assign(m, grid.b_min);
 
@@ -70,10 +69,8 @@ CoreState phase1_pack(std::span<const model::Vcpu> vcpus,
              vcpus[b].reference_utilization();
     });
     for (const std::size_t v : order) {
-      const auto least = static_cast<std::size_t>(
-          std::min_element(ref_load.begin(), ref_load.end()) -
-          ref_load.begin());
-      st.on_core[least].push_back(v);
+      const std::size_t least = packing::worst_fit_bin(ref_load);
+      st.cores[least].add(v);
       ref_load[least] += vcpus[v].reference_utilization();
     }
   }
@@ -84,11 +81,10 @@ CoreState phase1_pack(std::span<const model::Vcpu> vcpus,
 /// partition with the largest utilization reduction on an unschedulable
 /// core (or cycling grants round-robin under the ablation policy).
 /// Returns true iff the system became schedulable.
-bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
-                      const model::PlatformSpec& platform,
+bool phase2_resources(CoreState& st, const model::PlatformSpec& platform,
                       HvAllocConfig::Phase2Policy policy) {
   const auto& grid = platform.grid;
-  const unsigned m = static_cast<unsigned>(st.on_core.size());
+  const unsigned m = static_cast<unsigned>(st.cores.size());
   for (std::size_t i = 0; i < m; ++i) {
     st.cache[i] = grid.c_min;
     st.bw[i] = grid.b_min;
@@ -100,7 +96,7 @@ bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
   while (true) {
     std::vector<std::size_t> unsched;
     for (std::size_t i = 0; i < m; ++i)
-      if (!sched_of(vcpus, st, i)) unsched.push_back(i);
+      if (!sched_of(st, i)) unsched.push_back(i);
     if (unsched.empty()) return true;
 
     if (policy == HvAllocConfig::Phase2Policy::kRoundRobin) {
@@ -134,11 +130,10 @@ bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
     std::size_t best_core = m;
     bool best_is_cache = false;
     for (const std::size_t i : unsched) {
-      const double u_now = util_of(vcpus, st, i);
+      const double u_now = util_of(st, i);
       if (pool_c > 0 && st.cache[i] < grid.c_max) {
         const double gain =
-            u_now - analysis::core_utilization(vcpus, st.on_core[i],
-                                               st.cache[i] + 1, st.bw[i]);
+            u_now - st.cores[i].utilization(st.cache[i] + 1, st.bw[i]);
         if (gain > best_gain) {
           best_gain = gain;
           best_core = i;
@@ -147,8 +142,7 @@ bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
       }
       if (pool_b > 0 && st.bw[i] < grid.b_max) {
         const double gain =
-            u_now - analysis::core_utilization(vcpus, st.on_core[i],
-                                               st.cache[i], st.bw[i] + 1);
+            u_now - st.cores[i].utilization(st.cache[i], st.bw[i] + 1);
         if (gain > best_gain) {
           best_gain = gain;
           best_core = i;
@@ -174,19 +168,18 @@ bool phase2_resources(std::span<const model::Vcpu> vcpus, CoreState& st,
 /// the smallest VCPU on the overloaded core. Returns true iff any VCPU
 /// moved.
 bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
-  const std::size_t m = st.on_core.size();
+  const std::size_t m = st.cores.size();
   bool moved_any = false;
 
   for (std::size_t i = 0; i < m; ++i) {
     unsigned guard = 0;
-    while (!sched_of(vcpus, st, i) && !st.on_core[i].empty() &&
-           guard++ < 64) {
+    while (!sched_of(st, i) && !st.cores[i].empty() && guard++ < 64) {
       // Least-utilized currently-schedulable destination (≠ i).
       std::size_t dest = m;
       double dest_util = std::numeric_limits<double>::infinity();
       for (std::size_t j = 0; j < m; ++j) {
-        if (j == i || !sched_of(vcpus, st, j)) continue;
-        const double u = util_of(vcpus, st, j);
+        if (j == i || !sched_of(st, j)) continue;
+        const double u = util_of(st, j);
         if (u < dest_util) {
           dest_util = u;
           dest = j;
@@ -195,7 +188,7 @@ bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
       if (dest == m) return moved_any;  // nowhere to migrate
 
       // Largest VCPU the destination absorbs while staying schedulable.
-      auto& src = st.on_core[i];
+      const auto& src = st.cores[i].members();
       std::size_t pick_pos = src.size();
       double pick_util = -1;
       std::size_t fallback_pos = 0;
@@ -215,8 +208,7 @@ bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
         }
       }
       const std::size_t pos = pick_pos < src.size() ? pick_pos : fallback_pos;
-      st.on_core[dest].push_back(src[pos]);
-      src.erase(src.begin() + static_cast<std::ptrdiff_t>(pos));
+      st.cores[dest].add(st.cores[i].remove_at(pos));
       moved_any = true;
       if (auto* ctr = util::alloc_counters()) ++ctr->vcpu_migrations;
     }
@@ -227,8 +219,9 @@ bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
 HvAllocResult to_result(CoreState&& st, bool schedulable) {
   HvAllocResult res;
   res.schedulable = schedulable;
-  res.cores_used = static_cast<unsigned>(st.on_core.size());
-  res.vcpus_on_core = std::move(st.on_core);
+  res.cores_used = static_cast<unsigned>(st.cores.size());
+  res.vcpus_on_core.reserve(st.cores.size());
+  for (const auto& core : st.cores) res.vcpus_on_core.push_back(core.members());
   res.cache = std::move(st.cache);
   res.bw = std::move(st.bw);
   return res;
@@ -294,7 +287,7 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
           phase1_pack(vcpus, clusters, rng.permutation(k), m, grid);
       if (auto* ctr = util::alloc_counters()) ++ctr->candidate_packings;
       for (unsigned round = 0; round < cfg.max_balance_rounds; ++round) {
-        if (phase2_resources(vcpus, st, platform, cfg.phase2))
+        if (phase2_resources(st, platform, cfg.phase2))
           return to_result(std::move(st), true);
         if (!cfg.load_balance) break;           // ablation: no Phase 3
         if (!phase3_balance(vcpus, st)) break;  // no benefit in balancing
@@ -321,14 +314,15 @@ HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
   weights.reserve(vcpus.size());
   for (const auto& v : vcpus) weights.push_back(v.utilization(c_even, b_even));
 
-  auto bins = best_fit_decreasing(weights, 1.0, m);
+  auto bins = packing::best_fit_decreasing(weights, 1.0, m);
   if (!bins) return HvAllocResult{};
 
   CoreState st;
-  st.on_core = std::move(*bins);
-  st.cache.assign(st.on_core.size(), c_even);
-  st.bw.assign(st.on_core.size(), b_even);
-  const bool ok = all_schedulable(vcpus, st);
+  st.cores.reserve(bins->size());
+  for (const auto& bin : *bins) st.cores.emplace_back(vcpus, grid, bin);
+  st.cache.assign(st.cores.size(), c_even);
+  st.bw.assign(st.cores.size(), b_even);
+  const bool ok = all_schedulable(st);
   return to_result(std::move(st), ok);
 }
 

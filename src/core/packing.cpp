@@ -1,0 +1,55 @@
+#include "core/packing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace vc2m::core::packing {
+
+std::vector<std::size_t> decreasing_order(std::span<const double> weights) {
+  std::vector<std::size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  return order;
+}
+
+std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
+    std::span<const double> weights, double capacity, std::size_t max_bins) {
+  VC2M_CHECK(capacity > 0);
+  for (const double w : weights)
+    VC2M_CHECK_MSG(std::isfinite(w) && w >= 0,
+                   "best_fit_decreasing weight " << w
+                                                 << " is not a finite "
+                                                    "non-negative number");
+  if (!weights.empty() && max_bins == 0) return std::nullopt;
+
+  std::vector<std::vector<std::size_t>> bins;
+  std::vector<double> load;
+  for (const std::size_t item : decreasing_order(weights)) {
+    // Best fit: the feasible bin with the least residual capacity.
+    std::size_t best = bins.size();
+    double best_residual = std::numeric_limits<double>::infinity();
+    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
+      const double residual = capacity - load[bi] - weights[item];
+      if (residual >= -1e-12 && residual < best_residual) {
+        best_residual = residual;
+        best = bi;
+      }
+    }
+    if (best == bins.size()) {
+      if (bins.size() >= max_bins || weights[item] > capacity + 1e-12)
+        return std::nullopt;
+      bins.emplace_back();
+      load.push_back(0);
+    }
+    bins[best].push_back(item);
+    load[best] += weights[item];
+  }
+  return bins;
+}
+
+}  // namespace vc2m::core::packing

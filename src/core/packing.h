@@ -1,0 +1,75 @@
+// Shared bin-packing primitives for both allocation levels.
+//
+// Best-fit decreasing drives the VM-level task→VCPU packing of the
+// comparison solutions and the even-partition hypervisor packer; worst-fit
+// (least-loaded bin first) drives the balance-seeking placements of the
+// VM-level heuristic and hv_alloc Phase 1. They live here so every
+// allocator shares one implementation — and one set of edge-case rules.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <limits>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace vc2m::core {
+namespace packing {
+
+/// Best-fit decreasing bin packing: items with the given weights into bins
+/// of the given capacity, at most `max_bins` bins. Each item goes to the
+/// feasible open bin with the least residual capacity (capacity-exact fits,
+/// within a 1e-12 rounding tolerance, count as feasible); a new bin opens
+/// only when no open bin fits. Items are never silently dropped: the result
+/// is std::nullopt when any item cannot be placed — in particular for any
+/// item at all when max_bins == 0, and for an item whose weight exceeds the
+/// capacity. Zero-weight items place like any other (best fit sends them to
+/// the fullest open bin, or opens the first bin). Weights must be finite
+/// and non-negative — a NaN weight would corrupt the sort order and a
+/// negative one would let later items over-pack its bin, so both are
+/// rejected loudly. An empty weight list yields zero bins.
+std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
+    std::span<const double> weights, double capacity, std::size_t max_bins);
+
+/// Braced-list convenience (std::initializer_list does not convert to
+/// std::span until C++26).
+inline std::optional<std::vector<std::vector<std::size_t>>>
+best_fit_decreasing(std::initializer_list<double> weights, double capacity,
+                    std::size_t max_bins) {
+  return best_fit_decreasing(
+      std::span<const double>(weights.begin(), weights.size()), capacity,
+      max_bins);
+}
+
+/// Indices 0..n-1 sorted by decreasing weight (the order both packers
+/// consume items in).
+std::vector<std::size_t> decreasing_order(std::span<const double> weights);
+
+/// Worst-fit choice: the index of the least-loaded bin, after subtracting a
+/// per-bin score bonus (the VM-level packer uses it for cluster affinity).
+/// The first minimum wins on exact ties, matching std::min_element.
+template <typename BonusFn>
+std::size_t worst_fit_bin(std::span<const double> loads, BonusFn&& bonus) {
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t bi = 0; bi < loads.size(); ++bi) {
+    const double score = loads[bi] - bonus(bi);
+    if (score < best_score) {
+      best_score = score;
+      best = bi;
+    }
+  }
+  return best;
+}
+
+inline std::size_t worst_fit_bin(std::span<const double> loads) {
+  return worst_fit_bin(loads, [](std::size_t) { return 0.0; });
+}
+
+}  // namespace packing
+
+// Long-standing callers (and tests) use the unqualified core:: name.
+using packing::best_fit_decreasing;
+
+}  // namespace vc2m::core

@@ -1,23 +1,18 @@
 #include "core/solutions.h"
 
-#include <chrono>
-
-#include "analysis/schedulability.h"
-#include "analysis/theorems.h"
-#include "util/error.h"
+#include <cstddef>
 
 namespace vc2m::core {
 
+std::string_view solution_key(Solution s) {
+  // Indexed by enum value; keys resolve in the StrategyRegistry.
+  static constexpr std::string_view kKeys[] = {"flat", "ovf", "existing",
+                                               "even", "baseline"};
+  return kKeys[static_cast<std::size_t>(s)];
+}
+
 std::string to_string(Solution s) {
-  switch (s) {
-    case Solution::kHeuristicFlattening: return "Heuristic (flattening)";
-    case Solution::kHeuristicOverheadFree: return "Heuristic (overhead-free CSA)";
-    case Solution::kHeuristicExistingCsa: return "Heuristic (existing CSA)";
-    case Solution::kEvenPartitionOverheadFree:
-      return "Evenly-partition (overhead-free CSA)";
-    case Solution::kBaselineExistingCsa: return "Baseline (existing CSA)";
-  }
-  return "?";
+  return StrategyRegistry::instance().require(solution_key(s)).display;
 }
 
 const std::vector<Solution>& all_solutions() {
@@ -31,128 +26,11 @@ const std::vector<Solution>& all_solutions() {
   return kAll;
 }
 
-namespace {
-
-/// Tasks → VCPUs via best-fit decreasing bin packing (per VM), used by the
-/// two comparison solutions. `weight(i)` gives the packing weight of task i;
-/// `make_vcpu(indices)` builds the VCPU for one bin.
-template <typename WeightFn, typename MakeVcpu>
-std::vector<model::Vcpu> pack_best_fit(const model::Taskset& tasks,
-                                       WeightFn&& weight,
-                                       MakeVcpu&& make_vcpu) {
-  std::vector<model::Vcpu> vcpus;
-  for (const auto& vm_idx : tasks_by_vm(tasks)) {
-    std::vector<double> weights;
-    weights.reserve(vm_idx.size());
-    for (const std::size_t i : vm_idx) weights.push_back(weight(i));
-    const auto bins = best_fit_decreasing(
-        weights, 1.0, /*max_bins=*/vm_idx.size());
-    if (!bins) return {};  // a single task overflows a unit bin
-    for (const auto& bin : *bins) {
-      std::vector<std::size_t> global;
-      global.reserve(bin.size());
-      for (const std::size_t local : bin) global.push_back(vm_idx[local]);
-      vcpus.push_back(make_vcpu(global));
-    }
-  }
-  return vcpus;
-}
-
-SolveResult finish_heuristic(std::vector<model::Vcpu> vcpus,
-                             const model::PlatformSpec& platform,
-                             const SolveConfig& cfg, util::Rng& rng) {
-  SolveResult res;
-  analysis::inflate_vcpus(vcpus, cfg.vcpu_inflation);
-  HvAllocConfig hv = cfg.hv;
-  hv.clusters = cfg.clusters;
-  res.mapping = allocate_heuristic(vcpus, platform, hv, rng);
-  res.schedulable = res.mapping.schedulable;
-  res.vcpus = std::move(vcpus);
-  return res;
-}
-
-SolveResult finish_even(std::vector<model::Vcpu> vcpus,
-                        const model::PlatformSpec& platform,
-                        const SolveConfig& cfg) {
-  SolveResult res;
-  if (vcpus.empty()) return res;  // VM-level packing already failed
-  analysis::inflate_vcpus(vcpus, cfg.vcpu_inflation);
-  res.mapping = allocate_even_partition(vcpus, platform);
-  res.schedulable = res.mapping.schedulable;
-  res.vcpus = std::move(vcpus);
-  return res;
-}
-
-SolveResult dispatch(Solution s, const model::Taskset& tasks,
-                     const model::PlatformSpec& platform,
-                     const SolveConfig& cfg, util::Rng& rng) {
-  VmAllocConfig vm;
-  vm.max_vcpus_per_vm = platform.cores;
-  vm.clusters = cfg.clusters;
-
-  switch (s) {
-    case Solution::kHeuristicFlattening:
-      vm.analysis = VcpuAnalysis::kFlattening;
-      return finish_heuristic(allocate_vms_heuristic(tasks, vm, rng),
-                              platform, cfg, rng);
-
-    case Solution::kHeuristicOverheadFree:
-      vm.analysis = VcpuAnalysis::kRegulated;
-      return finish_heuristic(allocate_vms_heuristic(tasks, vm, rng),
-                              platform, cfg, rng);
-
-    case Solution::kHeuristicExistingCsa:
-      vm.analysis = VcpuAnalysis::kExistingCsa;
-      return finish_heuristic(allocate_vms_heuristic(tasks, vm, rng),
-                              platform, cfg, rng);
-
-    case Solution::kEvenPartitionOverheadFree: {
-      const auto& grid = platform.grid;
-      const unsigned c_even =
-          std::max(grid.c_min, platform.total_cache() / platform.cores);
-      const unsigned b_even =
-          std::max(grid.b_min, platform.total_bw() / platform.cores);
-      auto vcpus = pack_best_fit(
-          tasks,
-          [&](std::size_t i) { return tasks[i].utilization(c_even, b_even); },
-          [&](const std::vector<std::size_t>& idx) {
-            return analysis::regulated_vcpu(tasks, idx);
-          });
-      return finish_even(std::move(vcpus), platform, cfg);
-    }
-
-    case Solution::kBaselineExistingCsa: {
-      auto vcpus = pack_best_fit(
-          tasks,
-          [&](std::size_t i) {
-            return tasks[i].max_wcet.ratio(tasks[i].period);
-          },
-          [&](const std::vector<std::size_t>& idx) {
-            return vcpu_existing_csa_max_wcet(tasks, idx);
-          });
-      return finish_even(std::move(vcpus), platform, cfg);
-    }
-  }
-  VC2M_CHECK_MSG(false, "unknown solution");
-  return {};
-}
-
-}  // namespace
-
 SolveResult solve(Solution s, const model::Taskset& tasks,
                   const model::PlatformSpec& platform, const SolveConfig& cfg,
                   util::Rng& rng) {
-  VC2M_CHECK(!tasks.empty());
-  model::Taskset inflated = tasks;
-  analysis::inflate_tasks(inflated, cfg.task_inflation);
-
-  const auto t0 = std::chrono::steady_clock::now();
-  util::AllocCounterScope scope;
-  SolveResult res = dispatch(s, inflated, platform, cfg, rng);
-  const auto t1 = std::chrono::steady_clock::now();
-  res.seconds = std::chrono::duration<double>(t1 - t0).count();
-  res.counters = scope.counters();
-  return res;
+  return solve(StrategyRegistry::instance().require(solution_key(s)), tasks,
+               platform, cfg, rng);
 }
 
 }  // namespace vc2m::core

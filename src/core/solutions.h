@@ -13,16 +13,20 @@
 //   5. Baseline (existing CSA)          — PRM VCPU parameters with tasks at
 //                                         their maximum WCET (worst-case BW,
 //                                         no cache), best-fit packing.
+//
+// Each is a registered composition of a VM-level and a hypervisor-level
+// policy — see core/strategy.h for the registry and the policy interfaces.
+// The enum below is a stable alias for the five registry keys; new
+// strategies need no enum value, only a registration.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "core/hv_alloc.h"
-#include "core/vm_alloc.h"
+#include "core/strategy.h"
 #include "model/platform.h"
 #include "model/task.h"
-#include "util/instrument.h"
 #include "util/rng.h"
 
 namespace vc2m::core {
@@ -35,35 +39,18 @@ enum class Solution {
   kBaselineExistingCsa,
 };
 
+/// The registry key behind an enum value ("flat", "ovf", "existing",
+/// "even", "baseline") — pure data, no per-solution logic.
+std::string_view solution_key(Solution s);
+
+/// The registered display name, e.g. "Heuristic (overhead-free CSA)".
 std::string to_string(Solution s);
 
 /// All five, in the paper's legend order (strongest first).
 const std::vector<Solution>& all_solutions();
 
-struct SolveConfig {
-  /// Slowdown classes for both clustering stages.
-  std::size_t clusters = 4;
-  HvAllocConfig hv;
-  /// Intra-core overhead inflation (§4.1 Remarks); zero by default, as the
-  /// paper's schedulability study abstracts measured overheads away.
-  util::Time task_inflation = util::Time::zero();
-  util::Time vcpu_inflation = util::Time::zero();
-};
-
-struct SolveResult {
-  bool schedulable = false;
-  std::vector<model::Vcpu> vcpus;
-  HvAllocResult mapping;
-  double seconds = 0;  ///< wall-clock analysis + allocation time
-  /// What the allocator did: clustering effort, admission tests, dbf
-  /// evaluations, search coverage, per-phase wall time (src/obs reports
-  /// these through the metrics registry).
-  util::AllocCounters counters;
-};
-
-/// Run one solution on one taskset. Tasks must share the platform's
-/// resource grid; solutions based on Theorem 2 additionally require the
-/// taskset to be harmonic (guaranteed by the §5.1 generator).
+/// Registry lookup by enum, then solve. Equivalent to
+/// `solve(solution_key(s), ...)`.
 SolveResult solve(Solution s, const model::Taskset& tasks,
                   const model::PlatformSpec& platform, const SolveConfig& cfg,
                   util::Rng& rng);

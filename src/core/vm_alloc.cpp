@@ -5,9 +5,9 @@
 #include <limits>
 #include <map>
 #include <numeric>
+#include <optional>
 
 #include "analysis/dbf.h"
-#include "analysis/prm.h"
 #include "analysis/theorems.h"
 #include "core/kmeans.h"
 #include "util/error.h"
@@ -27,7 +27,8 @@ util::Time min_period(const model::Taskset& tasks,
 }  // namespace
 
 model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
-                              std::span<const std::size_t> idx) {
+                              std::span<const std::size_t> idx,
+                              analysis::AnalysisContext& ctx) {
   VC2M_CHECK(!idx.empty());
   const auto& grid = tasks[idx.front()].wcet.grid();
   const util::Time pi = min_period(tasks, idx);
@@ -39,18 +40,37 @@ model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
   v.budget = model::WcetFn(grid);
 
   std::vector<analysis::PTask> ptasks(idx.size());
-  for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
+  // Budget surfaces are non-increasing in c and b (WCET surfaces are
+  // monotone), so the budget already found at (c−1, b) or (c, b−1) is a
+  // feasible upper bound here: it seeds the bounded binary search without
+  // changing the minimum. prev_row holds Θ(c−1, ·).
+  std::vector<std::optional<util::Time>> prev_row(grid.bw_levels());
+  for (unsigned c = grid.c_min; c <= grid.c_max; ++c) {
+    std::optional<util::Time> left;
     for (unsigned b = grid.b_min; b <= grid.b_max; ++b) {
       for (std::size_t k = 0; k < idx.size(); ++k)
         ptasks[k] = {tasks[idx[k]].period, tasks[idx[k]].wcet.at(c, b)};
-      const auto theta = analysis::min_budget_edf(ptasks, pi);
+      std::optional<util::Time> hint = left;
+      const auto& up = prev_row[b - grid.b_min];
+      if (up && (!hint || *up < *hint)) hint = up;
+      const auto theta = ctx.min_budget(ptasks, pi, hint);
       v.budget.set(c, b, theta ? *theta : pi * 2);
+      left = theta;
+      prev_row[b - grid.b_min] = theta;
     }
+  }
   return v;
 }
 
+model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
+                              std::span<const std::size_t> idx) {
+  analysis::AnalysisContext ctx;
+  return vcpu_existing_csa(tasks, idx, ctx);
+}
+
 model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
-                                       std::span<const std::size_t> idx) {
+                                       std::span<const std::size_t> idx,
+                                       analysis::AnalysisContext& ctx) {
   VC2M_CHECK(!idx.empty());
   const auto& grid = tasks[idx.front()].wcet.grid();
   const util::Time pi = min_period(tasks, idx);
@@ -59,7 +79,7 @@ model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
   ptasks.reserve(idx.size());
   for (const std::size_t i : idx)
     ptasks.push_back({tasks[i].period, tasks[i].max_wcet});
-  const auto theta = analysis::min_budget_edf(ptasks, pi);
+  const auto theta = ctx.min_budget(ptasks, pi);
 
   model::Vcpu v;
   v.period = pi;
@@ -67,6 +87,12 @@ model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
   v.tasks.assign(idx.begin(), idx.end());
   v.budget = model::WcetFn(grid, theta ? *theta : pi * 2);
   return v;
+}
+
+model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
+                                       std::span<const std::size_t> idx) {
+  analysis::AnalysisContext ctx;
+  return vcpu_existing_csa_max_wcet(tasks, idx, ctx);
 }
 
 std::vector<std::vector<std::size_t>> tasks_by_vm(
@@ -80,44 +106,9 @@ std::vector<std::vector<std::size_t>> tasks_by_vm(
   return out;
 }
 
-std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
-    const std::vector<double>& weights, double capacity,
-    std::size_t max_bins) {
-  VC2M_CHECK(capacity > 0);
-  std::vector<std::size_t> order(weights.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return weights[a] > weights[b];
-  });
-
-  std::vector<std::vector<std::size_t>> bins;
-  std::vector<double> load;
-  for (const std::size_t item : order) {
-    // Best fit: the feasible bin with the least residual capacity.
-    std::size_t best = bins.size();
-    double best_residual = std::numeric_limits<double>::infinity();
-    for (std::size_t bi = 0; bi < bins.size(); ++bi) {
-      const double residual = capacity - load[bi] - weights[item];
-      if (residual >= -1e-12 && residual < best_residual) {
-        best_residual = residual;
-        best = bi;
-      }
-    }
-    if (best == bins.size()) {
-      if (bins.size() >= max_bins || weights[item] > capacity + 1e-12)
-        return std::nullopt;
-      bins.emplace_back();
-      load.push_back(0);
-    }
-    bins[best].push_back(item);
-    load[best] += weights[item];
-  }
-  return bins;
-}
-
 std::vector<model::Vcpu> allocate_vm_heuristic(
     const model::Taskset& tasks, std::span<const std::size_t> vm_task_idx,
-    const VmAllocConfig& cfg, util::Rng& rng) {
+    const VmAllocConfig& cfg, analysis::AnalysisContext& ctx, util::Rng& rng) {
   VC2M_CHECK(!vm_task_idx.empty());
   VC2M_CHECK(cfg.max_vcpus_per_vm >= 1);
 
@@ -168,18 +159,12 @@ std::vector<model::Vcpu> allocate_vm_heuristic(
              tasks[vm_task_idx[b]].reference_utilization();
     });
     for (const std::size_t local : order) {
-      std::size_t best = 0;
-      double best_score = std::numeric_limits<double>::infinity();
-      for (std::size_t bi = 0; bi < m; ++bi) {
-        const double score =
-            loads[bi] -
-            ((bin_cluster[bi] == c || bin_cluster[bi] == k) ? kAffinityBonus
-                                                            : 0.0);
-        if (score < best_score) {
-          best_score = score;
-          best = bi;
-        }
-      }
+      const std::size_t best =
+          packing::worst_fit_bin(loads, [&](std::size_t bi) {
+            return (bin_cluster[bi] == c || bin_cluster[bi] == k)
+                       ? kAffinityBonus
+                       : 0.0;
+          });
       vcpu_tasks[best].push_back(vm_task_idx[local]);
       loads[best] += tasks[vm_task_idx[local]].reference_utilization();
       if (bin_cluster[best] == k) bin_cluster[best] = c;
@@ -200,7 +185,7 @@ std::vector<model::Vcpu> allocate_vm_heuristic(
           vcpus.push_back(analysis::regulated_vcpu(tasks, group));
         break;
       case VcpuAnalysis::kExistingCsa:
-        vcpus.push_back(vcpu_existing_csa(tasks, idx));
+        vcpus.push_back(vcpu_existing_csa(tasks, idx, ctx));
         break;
       case VcpuAnalysis::kFlattening:
         VC2M_CHECK_MSG(false, "handled above");
@@ -209,13 +194,20 @@ std::vector<model::Vcpu> allocate_vm_heuristic(
   return vcpus;
 }
 
-std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
-                                                const VmAllocConfig& cfg,
-                                                util::Rng& rng) {
+std::vector<model::Vcpu> allocate_vm_heuristic(
+    const model::Taskset& tasks, std::span<const std::size_t> vm_task_idx,
+    const VmAllocConfig& cfg, util::Rng& rng) {
+  analysis::AnalysisContext ctx;
+  return allocate_vm_heuristic(tasks, vm_task_idx, cfg, ctx, rng);
+}
+
+std::vector<model::Vcpu> allocate_vms_heuristic(
+    const model::Taskset& tasks, const VmAllocConfig& cfg,
+    analysis::AnalysisContext& ctx, util::Rng& rng) {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<model::Vcpu> all;
   for (const auto& vm_idx : tasks_by_vm(tasks)) {
-    auto vcpus = allocate_vm_heuristic(tasks, vm_idx, cfg, rng);
+    auto vcpus = allocate_vm_heuristic(tasks, vm_idx, cfg, ctx, rng);
     all.insert(all.end(), std::make_move_iterator(vcpus.begin()),
                std::make_move_iterator(vcpus.end()));
   }
@@ -224,6 +216,13 @@ std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
                                  std::chrono::steady_clock::now() - t0)
                                  .count();
   return all;
+}
+
+std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
+                                                const VmAllocConfig& cfg,
+                                                util::Rng& rng) {
+  analysis::AnalysisContext ctx;
+  return allocate_vms_heuristic(tasks, cfg, ctx, rng);
 }
 
 }  // namespace vc2m::core

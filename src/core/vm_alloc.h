@@ -10,13 +10,20 @@
 //   - Theorem 2 (well-regulated VCPU, Π = min p_i, Θ = Π·Σ e_i/p_i), or
 //   - the existing CSA [13] (PRM minimum budget per grid point) for the
 //     Heuristic (existing CSA) comparison solution.
+//
+// The existing-CSA paths take an analysis::AnalysisContext: budget surfaces
+// are memoized there and each grid point's binary search is bounded by the
+// already-computed neighbor budgets (surfaces are non-increasing in cache
+// and BW), cutting demand-bound evaluations without changing any result.
+// The context-free overloads run with a private context.
 #pragma once
 
 #include <cstddef>
-#include <optional>
 #include <span>
 #include <vector>
 
+#include "analysis/context.h"
+#include "core/packing.h"
 #include "model/task.h"
 #include "util/rng.h"
 
@@ -41,11 +48,17 @@ struct VmAllocConfig {
 /// WCETs at (c,b). Grid points where no feasible budget exists get Θ = 2Π,
 /// which any core-schedulability test rejects.
 model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
+                              std::span<const std::size_t> idx,
+                              analysis::AnalysisContext& ctx);
+model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
                               std::span<const std::size_t> idx);
 
 /// Existing-CSA VCPU computed at a single fixed WCET per task (used by the
 /// Baseline, which assumes worst-case bandwidth and no cache): the budget
 /// surface is constant.
+model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
+                                       std::span<const std::size_t> idx,
+                                       analysis::AnalysisContext& ctx);
 model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
                                        std::span<const std::size_t> idx);
 
@@ -53,21 +66,20 @@ model::Vcpu vcpu_existing_csa_max_wcet(const model::Taskset& tasks,
 /// into `tasks`). Returns the VCPUs with parameters per `cfg.analysis`.
 std::vector<model::Vcpu> allocate_vm_heuristic(
     const model::Taskset& tasks, std::span<const std::size_t> vm_task_idx,
+    const VmAllocConfig& cfg, analysis::AnalysisContext& ctx, util::Rng& rng);
+std::vector<model::Vcpu> allocate_vm_heuristic(
+    const model::Taskset& tasks, std::span<const std::size_t> vm_task_idx,
     const VmAllocConfig& cfg, util::Rng& rng);
 
 /// Run the heuristic per VM over a whole taskset (tasks carry VM ids).
+std::vector<model::Vcpu> allocate_vms_heuristic(
+    const model::Taskset& tasks, const VmAllocConfig& cfg,
+    analysis::AnalysisContext& ctx, util::Rng& rng);
 std::vector<model::Vcpu> allocate_vms_heuristic(const model::Taskset& tasks,
                                                 const VmAllocConfig& cfg,
                                                 util::Rng& rng);
 
 /// Group task indices by VM id, ascending.
 std::vector<std::vector<std::size_t>> tasks_by_vm(const model::Taskset& tasks);
-
-/// Best-fit decreasing bin packing: items with the given weights into bins
-/// of the given capacity, at most `max_bins` bins. Each item goes to the
-/// feasible bin with the least residual capacity; a new bin opens only when
-/// no open bin fits. Returns std::nullopt if an item cannot be placed.
-std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
-    const std::vector<double>& weights, double capacity, std::size_t max_bins);
 
 }  // namespace vc2m::core

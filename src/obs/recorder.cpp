@@ -119,6 +119,9 @@ void record_alloc_counters(MetricsRegistry& registry,
   registry.counter("alloc.admission_tests").inc(counters.admission_tests);
   registry.counter("alloc.admission_passed").inc(counters.admission_passed);
   registry.counter("alloc.dbf_evaluations").inc(counters.dbf_evaluations);
+  registry.counter("alloc.budget_evaluations").inc(counters.budget_evaluations);
+  registry.counter("alloc.budget_cache_hits").inc(counters.budget_cache_hits);
+  registry.counter("alloc.load_cache_hits").inc(counters.load_cache_hits);
   registry.counter("alloc.candidate_packings").inc(counters.candidate_packings);
   registry.counter("alloc.partition_grants").inc(counters.partition_grants);
   registry.counter("alloc.vcpu_migrations").inc(counters.vcpu_migrations);

@@ -27,6 +27,11 @@ struct AllocCounters {
   std::uint64_t admission_passed = 0;
   std::uint64_t dbf_evaluations = 0;    ///< dbf(t) evaluations
 
+  // Memoization (analysis::AnalysisContext and core::CoreLoad).
+  std::uint64_t budget_evaluations = 0;  ///< min-budget searches performed
+  std::uint64_t budget_cache_hits = 0;   ///< budgets served from the memo
+  std::uint64_t load_cache_hits = 0;     ///< CoreLoad Σ Θ/Π served cached
+
   // Hypervisor-level search coverage.
   std::uint64_t candidate_packings = 0;  ///< Phase-1 packings explored
   std::uint64_t partition_grants = 0;    ///< Phase-2 cache/BW grants
@@ -43,6 +48,9 @@ struct AllocCounters {
     admission_tests += o.admission_tests;
     admission_passed += o.admission_passed;
     dbf_evaluations += o.dbf_evaluations;
+    budget_evaluations += o.budget_evaluations;
+    budget_cache_hits += o.budget_cache_hits;
+    load_cache_hits += o.load_cache_hits;
     candidate_packings += o.candidate_packings;
     partition_grants += o.partition_grants;
     vcpu_migrations += o.vcpu_migrations;

@@ -374,8 +374,7 @@ core::ExperimentConfig validator_cfg(int jobs) {
   cfg.tasksets_per_point = 3;
   cfg.seed = 5;
   cfg.jobs = jobs;
-  cfg.solutions = {core::Solution::kHeuristicFlattening,
-                   core::Solution::kBaselineExistingCsa};
+  cfg.solutions = {"flat", "baseline"};
   sim::EnforcementConfig enf;
   enf.policy = EnforcementPolicy::kDegrade;
   cfg.validate = sim::make_fault_validator(

@@ -1,0 +1,371 @@
+// Golden-equivalence suite for the allocation engine.
+//
+// The golden file (tests/golden/engine.golden) was captured from the
+// pre-registry allocator (the closed `Solution` enum dispatched inside
+// core::solve) immediately before the pluggable-engine refactor. Every
+// refactor of the allocation stack must keep the engine *bit-identical* on
+// these scenarios: the schedulable flag, the full VCPU→core mapping, the
+// per-core partition counts, and the VCPU parameter surfaces all enter the
+// digest. The sweep section additionally pins the parallel experiment at
+// --jobs 1/2/8 and records the seed allocator's total dbf-evaluation count,
+// against which the memoizing engine must be *strictly* cheaper.
+//
+// Regenerating (only when an intentional behavior change is accepted):
+//   VC2M_GOLDEN_CAPTURE=1 ./test_golden
+// Note the `seed-effort` line is a pre-refactor measurement: recapturing
+// with the memoizing engine would overwrite the baseline the strict-
+// improvement assertion compares against, so a recapture must either keep
+// that line or consciously re-baseline it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/exact.h"
+#include "core/experiment.h"
+#include "core/solutions.h"
+#include "model/platform.h"
+#include "util/instrument.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace vc2m;
+
+#ifndef VC2M_GOLDEN_DIR
+#error "VC2M_GOLDEN_DIR must point at tests/golden"
+#endif
+
+const char* const kGoldenFile = VC2M_GOLDEN_DIR "/engine.golden";
+
+bool capture_mode() { return std::getenv("VC2M_GOLDEN_CAPTURE") != nullptr; }
+
+// ---------------------------------------------------------------------------
+// Digest helpers
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Hash of everything that defines a VCPU vector: periods, owners, served
+/// task lists, and the full budget surface in raw nanoseconds.
+std::uint64_t vcpu_hash(const std::vector<model::Vcpu>& vcpus) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const auto& v : vcpus) {
+    h = fnv1a(h, static_cast<std::uint64_t>(v.period.raw_ns()));
+    h = fnv1a(h, static_cast<std::uint64_t>(v.vm));
+    for (const std::size_t t : v.tasks) h = fnv1a(h, t);
+    const auto& g = v.budget.grid();
+    for (unsigned c = g.c_min; c <= g.c_max; ++c)
+      for (unsigned b = g.b_min; b <= g.b_max; ++b)
+        h = fnv1a(h, static_cast<std::uint64_t>(v.budget.at(c, b).raw_ns()));
+  }
+  return h;
+}
+
+std::string mapping_digest(const core::HvAllocResult& m) {
+  std::ostringstream os;
+  os << "cores=" << m.cores_used << "|cache=";
+  for (std::size_t k = 0; k < m.cache.size(); ++k)
+    os << (k ? "," : "") << m.cache[k];
+  os << "|bw=";
+  for (std::size_t k = 0; k < m.bw.size(); ++k)
+    os << (k ? "," : "") << m.bw[k];
+  os << "|map=";
+  for (std::size_t k = 0; k < m.vcpus_on_core.size(); ++k) {
+    if (k) os << ";";
+    for (std::size_t i = 0; i < m.vcpus_on_core[k].size(); ++i)
+      os << (i ? "," : "") << m.vcpus_on_core[k][i];
+  }
+  return os.str();
+}
+
+std::string solve_digest(const core::SolveResult& res) {
+  std::ostringstream os;
+  char hex[24];
+  os << "sched=" << (res.schedulable ? 1 : 0) << "|" << mapping_digest(res.mapping);
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(vcpu_hash(res.vcpus)));
+  os << "|vhash=" << hex;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Scenario grid (fixed forever — golden lines are positional)
+
+struct Scenario {
+  const char* platform;  // "A" or "C"
+  workload::UtilDist dist;
+  double util;
+  int num_vms;
+  std::uint64_t seed;
+};
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"A", workload::UtilDist::kUniform, 0.5, 1, 9001},
+      {"A", workload::UtilDist::kUniform, 0.5, 1, 9002},
+      {"A", workload::UtilDist::kUniform, 1.0, 1, 9003},
+      {"A", workload::UtilDist::kUniform, 1.0, 2, 9004},
+      {"A", workload::UtilDist::kUniform, 1.5, 1, 9005},
+      {"A", workload::UtilDist::kUniform, 1.5, 2, 9006},
+      {"A", workload::UtilDist::kBimodalHeavy, 1.0, 1, 9007},
+      {"A", workload::UtilDist::kBimodalHeavy, 1.4, 1, 9008},
+      {"C", workload::UtilDist::kUniform, 0.8, 1, 9009},
+      {"C", workload::UtilDist::kBimodalLight, 1.2, 2, 9010},
+  };
+  return kScenarios;
+}
+
+model::PlatformSpec platform_of(const std::string& name) {
+  return name == "A" ? model::PlatformSpec::A() : model::PlatformSpec::C();
+}
+
+model::Taskset scenario_taskset(const Scenario& sc) {
+  workload::GeneratorConfig gen;
+  gen.grid = platform_of(sc.platform).grid;
+  gen.target_ref_utilization = sc.util;
+  gen.dist = sc.dist;
+  gen.num_vms = sc.num_vms;
+  util::Rng rng(sc.seed);
+  return workload::generate_taskset(gen, rng);
+}
+
+std::vector<std::string> solve_lines() {
+  std::vector<std::string> lines;
+  for (std::size_t i = 0; i < scenarios().size(); ++i) {
+    const Scenario& sc = scenarios()[i];
+    const auto tasks = scenario_taskset(sc);
+    const auto platform = platform_of(sc.platform);
+    for (std::size_t si = 0; si < core::all_solutions().size(); ++si) {
+      util::Rng rng(sc.seed * 1000 + si);
+      const auto res = core::solve(core::all_solutions()[si], tasks, platform,
+                                   {}, rng);
+      std::ostringstream os;
+      os << "solve|" << i << "|" << si << "|" << solve_digest(res);
+      lines.push_back(os.str());
+    }
+  }
+  return lines;
+}
+
+/// Admission scenarios: place one VM offline, then admit a second VM online.
+std::vector<std::string> admission_lines() {
+  std::vector<std::string> lines;
+  const auto platform = model::PlatformSpec::A();
+  for (int rep = 0; rep < 3; ++rep) {
+    workload::GeneratorConfig gen;
+    gen.grid = platform.grid;
+    gen.target_ref_utilization = 0.8;
+    util::Rng gen_rng(7100 + rep);
+    auto base = workload::generate_taskset(gen, gen_rng);
+
+    util::Rng rng(7200 + rep);
+    const auto res = core::solve(core::Solution::kHeuristicOverheadFree, base,
+                                 platform, {}, rng);
+    std::ostringstream os;
+    os << "admit|" << rep << "|";
+    if (!res.schedulable) {
+      os << "base-unschedulable";
+      lines.push_back(os.str());
+      continue;
+    }
+    core::AdmissionState state{res.vcpus, res.mapping};
+
+    gen.target_ref_utilization = 0.5;
+    util::Rng gen2(7300 + rep);
+    auto extra = workload::generate_taskset(gen, gen2);
+    for (auto& t : extra) t.vm = 101;
+
+    core::VmAllocConfig vm_cfg;
+    vm_cfg.max_vcpus_per_vm = platform.cores;
+    util::Rng admit_rng(7400 + rep);
+    const auto admit =
+        core::admit_vm(state, extra, 101, platform, vm_cfg, admit_rng);
+    os << "admitted=" << (admit.admitted ? 1 : 0);
+    if (admit.admitted) {
+      char hex[24];
+      os << "|" << mapping_digest(admit.state.mapping);
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(vcpu_hash(admit.state.vcpus)));
+      os << "|vhash=" << hex;
+    }
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+/// Exact-search scenarios: the exhaustive allocator on small VCPU sets.
+std::vector<std::string> exact_lines() {
+  std::vector<std::string> lines;
+  const auto platform = model::PlatformSpec::C();
+  for (int rep = 0; rep < 3; ++rep) {
+    workload::GeneratorConfig gen;
+    gen.grid = platform.grid;
+    gen.target_ref_utilization = 0.6 + 0.2 * rep;
+    util::Rng gen_rng(8100 + rep);
+    const auto tasks = workload::generate_taskset(gen, gen_rng);
+
+    util::Rng rng(8200 + rep);
+    const auto res = core::solve(core::Solution::kHeuristicOverheadFree, tasks,
+                                 platform, {}, rng);
+    std::ostringstream os;
+    os << "exact|" << rep << "|";
+    if (res.vcpus.empty() || res.vcpus.size() > 8) {
+      os << "skipped";  // keep line positional even if generation drifts
+      lines.push_back(os.str());
+      continue;
+    }
+    core::ExactConfig ec;
+    const auto exact = core::allocate_exact(res.vcpus, platform, ec);
+    os << "sched=" << (exact.schedulable ? 1 : 0) << "|"
+       << mapping_digest(exact);
+    lines.push_back(os.str());
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Sweep section (Fig. 2-shaped, must be jobs-independent)
+
+core::ExperimentConfig sweep_config(int jobs) {
+  core::ExperimentConfig cfg;
+  cfg.platform = model::PlatformSpec::A();
+  cfg.dist = workload::UtilDist::kUniform;
+  cfg.util_lo = 0.3;
+  cfg.util_hi = 1.5;
+  cfg.util_step = 0.3;
+  cfg.tasksets_per_point = 3;
+  cfg.seed = 20260806;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+struct SweepRun {
+  std::vector<std::string> lines;       ///< sweep-point digest lines
+  util::AllocCounters effort;           ///< totals over the whole sweep
+};
+
+SweepRun run_sweep(int jobs) {
+  SweepRun out;
+  util::AllocCounterScope scope;
+  const auto result = core::run_schedulability_experiment(sweep_config(jobs));
+  out.effort = scope.counters();
+  for (const auto& pt : result.points) {
+    std::ostringstream os;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2f", pt.target_util);
+    os << "sweep-point|" << buf << "|";
+    for (std::size_t si = 0; si < pt.per_solution.size(); ++si)
+      os << (si ? "," : "") << pt.per_solution[si].schedulable << "/"
+         << pt.per_solution[si].total;
+    out.lines.push_back(os.str());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Golden file I/O
+
+struct GoldenFile {
+  std::vector<std::string> solve;
+  std::vector<std::string> admission;
+  std::vector<std::string> exact;
+  std::vector<std::string> sweep;
+  std::uint64_t seed_dbf_evaluations = 0;
+  bool loaded = false;
+};
+
+GoldenFile load_golden() {
+  GoldenFile g;
+  std::ifstream in(kGoldenFile);
+  if (!in) return g;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("solve|", 0) == 0) g.solve.push_back(line);
+    else if (line.rfind("admit|", 0) == 0) g.admission.push_back(line);
+    else if (line.rfind("exact|", 0) == 0) g.exact.push_back(line);
+    else if (line.rfind("sweep-point|", 0) == 0) g.sweep.push_back(line);
+    else if (line.rfind("seed-effort|dbf_evaluations=", 0) == 0)
+      g.seed_dbf_evaluations = std::strtoull(
+          line.c_str() + std::string("seed-effort|dbf_evaluations=").size(),
+          nullptr, 10);
+  }
+  g.loaded = true;
+  return g;
+}
+
+void expect_lines_equal(const std::vector<std::string>& golden,
+                        const std::vector<std::string>& got,
+                        const char* section) {
+  ASSERT_EQ(golden.size(), got.size()) << "section " << section;
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    EXPECT_EQ(golden[i], got[i]) << "section " << section << " line " << i;
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+
+TEST(GoldenEquivalence, CaptureOrCompareEngineDigests) {
+  if (capture_mode()) {
+    const auto solve = solve_lines();
+    const auto admission = admission_lines();
+    const auto exact = exact_lines();
+    const auto sweep = run_sweep(1);
+    std::ofstream out(kGoldenFile);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
+    out << "# vc2m engine golden — captured from the pre-registry allocator.\n"
+           "# Lines are positional; see tests/test_golden.cpp for the "
+           "scenario grid.\n";
+    for (const auto& l : solve) out << l << "\n";
+    for (const auto& l : admission) out << l << "\n";
+    for (const auto& l : exact) out << l << "\n";
+    for (const auto& l : sweep.lines) out << l << "\n";
+    out << "seed-effort|dbf_evaluations=" << sweep.effort.dbf_evaluations
+        << "|admission_tests=" << sweep.effort.admission_tests << "\n";
+    std::cout << "captured golden to " << kGoldenFile << "\n";
+    return;
+  }
+
+  const GoldenFile g = load_golden();
+  ASSERT_TRUE(g.loaded) << "golden file missing: " << kGoldenFile
+                        << " (capture with VC2M_GOLDEN_CAPTURE=1)";
+  expect_lines_equal(g.solve, solve_lines(), "solve");
+  expect_lines_equal(g.admission, admission_lines(), "admission");
+  expect_lines_equal(g.exact, exact_lines(), "exact");
+}
+
+class GoldenSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenSweepTest, SweepBitIdenticalToSeedAtAnyJobs) {
+  if (capture_mode()) GTEST_SKIP() << "capture handled by GoldenEquivalence";
+  const GoldenFile g = load_golden();
+  ASSERT_TRUE(g.loaded) << "golden file missing: " << kGoldenFile;
+  const SweepRun run = run_sweep(GetParam());
+  expect_lines_equal(g.sweep, run.lines, "sweep");
+
+  // The memoizing engine must do strictly less demand-bound work than the
+  // seed allocator did on the identical sweep (captured pre-refactor).
+  ASSERT_GT(g.seed_dbf_evaluations, 0u);
+  EXPECT_LT(run.effort.dbf_evaluations, g.seed_dbf_evaluations)
+      << "engine no longer cheaper than the pre-refactor seed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, GoldenSweepTest, ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "jobs" + std::to_string(info.param);
+                         });
+
+}  // namespace

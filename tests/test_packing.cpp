@@ -1,0 +1,127 @@
+// Unit tests for the shared bin-packing primitives (core/packing.h) — the
+// edge-case contract both allocation levels rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/packing.h"
+#include "util/error.h"
+
+namespace vc2m::core::packing {
+namespace {
+
+// ------------------------------------------------- best_fit_decreasing ----
+
+TEST(BestFitDecreasing, EmptyInputYieldsZeroBins) {
+  const auto bins = best_fit_decreasing({}, 1.0, 0);
+  ASSERT_TRUE(bins.has_value());
+  EXPECT_TRUE(bins->empty());
+}
+
+TEST(BestFitDecreasing, MaxBinsZeroRejectsAnyItem) {
+  EXPECT_FALSE(best_fit_decreasing({0.1}, 1.0, 0).has_value());
+  EXPECT_FALSE(best_fit_decreasing({0.0}, 1.0, 0).has_value());
+}
+
+TEST(BestFitDecreasing, CapacityExactFitsCount) {
+  // 0.7 + 0.3 fills a unit bin exactly (within the 1e-12 tolerance);
+  // best fit must co-locate them rather than open a third bin.
+  const auto bins = best_fit_decreasing({0.7, 0.6, 0.3, 0.4}, 1.0, 2);
+  ASSERT_TRUE(bins.has_value());
+  EXPECT_EQ(bins->size(), 2u);
+}
+
+TEST(BestFitDecreasing, ItemEqualToCapacityIsPlaced) {
+  const auto bins = best_fit_decreasing({1.0}, 1.0, 1);
+  ASSERT_TRUE(bins.has_value());
+  ASSERT_EQ(bins->size(), 1u);
+  EXPECT_EQ((*bins)[0], std::vector<std::size_t>{0});
+}
+
+TEST(BestFitDecreasing, ItemBarelyOverCapacityIsRejected) {
+  EXPECT_FALSE(best_fit_decreasing({1.0 + 1e-9}, 1.0, 5).has_value());
+  // ... but within the rounding tolerance it still places.
+  EXPECT_TRUE(best_fit_decreasing({1.0 + 1e-13}, 1.0, 1).has_value());
+}
+
+TEST(BestFitDecreasing, ZeroWeightItemsPlaceLikeAnyOther) {
+  // Zero-weight items sort last and best-fit into the fullest bin; they
+  // must neither vanish nor open bins of their own.
+  const auto bins = best_fit_decreasing({0.9, 0.8, 0.0, 0.0}, 1.0, 2);
+  ASSERT_TRUE(bins.has_value());
+  EXPECT_EQ(bins->size(), 2u);
+  std::size_t placed = 0;
+  for (const auto& b : *bins) placed += b.size();
+  EXPECT_EQ(placed, 4u);
+}
+
+TEST(BestFitDecreasing, AllZeroWeightsOpenExactlyOneBin) {
+  const auto bins = best_fit_decreasing({0.0, 0.0, 0.0}, 1.0, 7);
+  ASSERT_TRUE(bins.has_value());
+  ASSERT_EQ(bins->size(), 1u);
+  EXPECT_EQ((*bins)[0].size(), 3u);
+}
+
+TEST(BestFitDecreasing, PrefersFullestFeasibleBin) {
+  // Decreasing order: 0.5, 0.45, 0.35. The 0.35 fits both open bins and
+  // must join the fuller one (0.5 → residual 0.05 < 0.45 → residual 0.1).
+  const auto bins = best_fit_decreasing({0.5, 0.45, 0.35}, 0.9, 3);
+  ASSERT_TRUE(bins.has_value());
+  ASSERT_EQ(bins->size(), 2u);
+  EXPECT_EQ((*bins)[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ((*bins)[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(BestFitDecreasing, BinLimitRespected) {
+  EXPECT_FALSE(best_fit_decreasing({0.9, 0.9, 0.9}, 1.0, 2).has_value());
+  EXPECT_TRUE(best_fit_decreasing({0.9, 0.9, 0.9}, 1.0, 3).has_value());
+}
+
+TEST(BestFitDecreasing, RejectsNonFiniteAndNegativeWeights) {
+  EXPECT_THROW(
+      best_fit_decreasing({std::numeric_limits<double>::quiet_NaN()}, 1.0, 1),
+      util::Error);
+  EXPECT_THROW(
+      best_fit_decreasing({std::numeric_limits<double>::infinity()}, 1.0, 1),
+      util::Error);
+  EXPECT_THROW(best_fit_decreasing({-0.1}, 1.0, 1), util::Error);
+  EXPECT_THROW(best_fit_decreasing({0.5}, 0.0, 1), util::Error);
+}
+
+// ---------------------------------------------------- decreasing_order ----
+
+TEST(DecreasingOrder, SortsIndicesByWeightDescending) {
+  const std::vector<double> w{0.2, 0.9, 0.5};
+  EXPECT_EQ(decreasing_order(w), (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(DecreasingOrder, EmptyInput) {
+  EXPECT_TRUE(decreasing_order(std::span<const double>{}).empty());
+}
+
+// ------------------------------------------------------- worst_fit_bin ----
+
+TEST(WorstFitBin, PicksLeastLoadedBin) {
+  const std::vector<double> loads{0.5, 0.2, 0.8};
+  EXPECT_EQ(worst_fit_bin(loads), 1u);
+}
+
+TEST(WorstFitBin, FirstMinimumWinsOnTies) {
+  const std::vector<double> loads{0.3, 0.1, 0.1};
+  EXPECT_EQ(worst_fit_bin(loads), 1u);
+}
+
+TEST(WorstFitBin, BonusShiftsTheChoice) {
+  const std::vector<double> loads{0.5, 0.45};
+  // Without bonus the second bin wins; a 0.1 affinity bonus on the first
+  // makes its score 0.4 < 0.45.
+  EXPECT_EQ(worst_fit_bin(loads), 1u);
+  EXPECT_EQ(worst_fit_bin(loads,
+                          [](std::size_t bi) { return bi == 0 ? 0.1 : 0.0; }),
+            0u);
+}
+
+}  // namespace
+}  // namespace vc2m::core::packing

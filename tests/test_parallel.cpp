@@ -164,10 +164,7 @@ core::ExperimentConfig small_sweep(std::uint64_t seed, int jobs) {
   cfg.jobs = jobs;
   // Skip the slow existing-CSA heuristic; keep one representative of every
   // other analysis family so the determinism check spans them.
-  cfg.solutions = {core::Solution::kHeuristicFlattening,
-                   core::Solution::kHeuristicOverheadFree,
-                   core::Solution::kEvenPartitionOverheadFree,
-                   core::Solution::kBaselineExistingCsa};
+  cfg.solutions = {"flat", "ovf", "even", "baseline"};
   return cfg;
 }
 
@@ -272,7 +269,7 @@ TEST(ParallelExperimentTest, MatchesHandRolledSerialReference) {
 
 TEST(ParallelExperimentTest, ProgressIsMonotoneUnderParallelCompletion) {
   auto cfg = small_sweep(/*seed=*/7, /*jobs=*/8);
-  cfg.solutions = {core::Solution::kHeuristicFlattening};
+  cfg.solutions = {"flat"};
   std::mutex mu;
   int last = 0, calls = 0;
   core::run_schedulability_experiment(cfg, [&](int done, int total) {
@@ -295,7 +292,7 @@ TEST(ExperimentResultGuardsTest, BreakdownUtilizationRejectsEmptyPoints) {
 
 TEST(ExperimentResultGuardsTest, BreakdownUtilizationRejectsBadIndex) {
   core::ExperimentResult r;
-  r.cfg.solutions = {core::Solution::kHeuristicFlattening};
+  r.cfg.solutions = {"flat"};
   core::UtilizationPoint pt;
   pt.target_util = 0.5;
   pt.per_solution.assign(1, {});
@@ -311,8 +308,7 @@ TEST(ExperimentResultGuardsTest, ToTableRejectsEmptyPoints) {
 
 TEST(ExperimentResultGuardsTest, ToTableRejectsMismatchedPerSolution) {
   core::ExperimentResult r;
-  r.cfg.solutions = {core::Solution::kHeuristicFlattening,
-                     core::Solution::kBaselineExistingCsa};
+  r.cfg.solutions = {"flat", "baseline"};
   core::UtilizationPoint pt;
   pt.target_util = 0.5;
   pt.per_solution.assign(1, {});  // config names two solutions

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+
 #include "core/experiment.h"
 #include "core/solutions.h"
 #include "model/platform.h"
+#include "util/error.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -111,6 +115,110 @@ TEST(Solutions, BaselineBudgetsIgnoreResources) {
   }
 }
 
+// ------------------------------------------------------------ registry ----
+
+TEST(StrategyRegistry, FiveSolutionsAreRegisteredUnderTheirCliKeys) {
+  auto& reg = StrategyRegistry::instance();
+  for (const auto& key : default_solution_keys()) {
+    const Strategy* s = reg.find(key);
+    ASSERT_NE(s, nullptr) << key;
+    EXPECT_EQ(s->key, key);
+    EXPECT_NE(s->vm, nullptr);
+    EXPECT_NE(s->hv, nullptr);
+    EXPECT_FALSE(s->vm->name().empty());
+    EXPECT_FALSE(s->hv->name().empty());
+  }
+  EXPECT_EQ(default_solution_keys().size(), all_solutions().size());
+}
+
+TEST(StrategyRegistry, EnumAndKeyLookupsAgree) {
+  auto& reg = StrategyRegistry::instance();
+  for (const Solution s : all_solutions())
+    EXPECT_EQ(reg.require(solution_key(s)).display, to_string(s));
+  EXPECT_EQ(solution_key(Solution::kHeuristicOverheadFree), "ovf");
+  EXPECT_EQ(to_string(Solution::kEvenPartitionOverheadFree),
+            "Evenly-partition (overhead-free CSA)");
+}
+
+TEST(StrategyRegistry, UnknownKeyDiesWithKnownKeyList) {
+  auto& reg = StrategyRegistry::instance();
+  EXPECT_EQ(reg.find("no-such-strategy"), nullptr);
+  try {
+    reg.require("no-such-strategy");
+    FAIL() << "require() should have thrown";
+  } catch (const util::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("flat"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("baseline"), std::string::npos);
+  }
+}
+
+TEST(StrategyRegistry, SharedPoliciesComposeDistinctStrategies) {
+  auto& reg = StrategyRegistry::instance();
+  // The three heuristic solutions share one HV policy but differ at the
+  // VM level; the two comparison solutions share the even-partition HV.
+  EXPECT_EQ(reg.require("flat").hv, reg.require("ovf").hv);
+  EXPECT_EQ(reg.require("even").hv, reg.require("baseline").hv);
+  EXPECT_NE(reg.require("flat").vm, reg.require("ovf").vm);
+  // The exact-search yardstick reuses the regulated VM level.
+  EXPECT_EQ(reg.require("exact-ovf").vm, reg.require("ovf").vm);
+  EXPECT_NE(reg.require("exact-ovf").hv, reg.require("ovf").hv);
+}
+
+TEST(StrategyRegistry, OnlyFlatteningSynchronizesReleases) {
+  auto& reg = StrategyRegistry::instance();
+  EXPECT_TRUE(reg.require("flat").vm->release_sync());
+  for (const char* key : {"ovf", "existing", "even", "baseline"})
+    EXPECT_FALSE(reg.require(key).vm->release_sync()) << key;
+}
+
+TEST(StrategyRegistry, SolveByKeyMatchesSolveByEnum) {
+  const auto ts = generated(0.7, 21);
+  Rng r1(22), r2(22);
+  const auto by_enum =
+      solve(Solution::kHeuristicOverheadFree, ts, PlatformSpec::A(), {}, r1);
+  const auto by_key = solve("ovf", ts, PlatformSpec::A(), {}, r2);
+  EXPECT_EQ(by_enum.schedulable, by_key.schedulable);
+  ASSERT_EQ(by_enum.vcpus.size(), by_key.vcpus.size());
+  EXPECT_EQ(by_enum.mapping.vcpus_on_core, by_key.mapping.vcpus_on_core);
+  EXPECT_EQ(by_enum.mapping.cache, by_key.mapping.cache);
+  EXPECT_EQ(by_enum.mapping.bw, by_key.mapping.bw);
+}
+
+TEST(StrategyRegistry, RegisteredStrategyWorksInSolveAndExperiment) {
+  // A downstream composition: regulated VM level + even-partition HV.
+  auto& reg = StrategyRegistry::instance();
+  if (!reg.find("test-ovf-even"))
+    reg.add({"test-ovf-even", "Test (ovf VMs, even partitions)",
+             reg.require("ovf").vm, reg.require("even").hv});
+  const auto ts = generated(0.3, 30);
+  Rng rng(31);
+  const auto res = solve("test-ovf-even", ts, PlatformSpec::A(), {}, rng);
+  EXPECT_TRUE(res.schedulable);
+
+  ExperimentConfig cfg;
+  cfg.platform = PlatformSpec::A();
+  cfg.util_lo = 0.3;
+  cfg.util_hi = 0.3;
+  cfg.util_step = 0.1;
+  cfg.tasksets_per_point = 2;
+  cfg.solutions = {"test-ovf-even"};
+  cfg.seed = 8;
+  const auto result = run_schedulability_experiment(cfg);
+  ASSERT_EQ(result.points.size(), 1u);
+  std::ostringstream os;
+  result.to_table().print(os);
+  EXPECT_NE(os.str().find("Test (ovf VMs, even partitions)"),
+            std::string::npos);
+}
+
+TEST(StrategyRegistry, RejectsDuplicateAndMalformedRegistrations) {
+  auto& reg = StrategyRegistry::instance();
+  const auto& ovf = reg.require("ovf");
+  EXPECT_THROW(reg.add({"ovf", "dup", ovf.vm, ovf.hv}), util::Error);
+  EXPECT_THROW(reg.add({"", "anon", ovf.vm, ovf.hv}), util::Error);
+  EXPECT_THROW(reg.add({"half", "no hv", ovf.vm, nullptr}), util::Error);
+}
+
 // ---------------------------------------------------------- experiment ----
 
 TEST(Experiment, SmallSweepProducesOrderedFractions) {
@@ -145,7 +253,7 @@ TEST(Experiment, BreakdownUtilizationIsMonotoneInThreshold) {
   cfg.util_hi = 0.9;
   cfg.util_step = 0.3;
   cfg.tasksets_per_point = 4;
-  cfg.solutions = {Solution::kHeuristicFlattening};
+  cfg.solutions = {"flat"};
   cfg.seed = 7;
   const auto result = run_schedulability_experiment(cfg);
   EXPECT_GE(result.breakdown_utilization(0, 0.5),
@@ -159,8 +267,7 @@ TEST(Experiment, TableHasHeaderAndAllRows) {
   cfg.util_hi = 0.5;
   cfg.util_step = 0.1;
   cfg.tasksets_per_point = 2;
-  cfg.solutions = {Solution::kHeuristicOverheadFree,
-                   Solution::kBaselineExistingCsa};
+  cfg.solutions = {"ovf", "baseline"};
   cfg.seed = 3;
   const auto result = run_schedulability_experiment(cfg);
   std::ostringstream os;
@@ -176,7 +283,7 @@ TEST(Experiment, ProgressCallbackInvokedPerPoint) {
   cfg.util_hi = 0.6;
   cfg.util_step = 0.2;
   cfg.tasksets_per_point = 1;
-  cfg.solutions = {Solution::kHeuristicFlattening};
+  cfg.solutions = {"flat"};
   cfg.seed = 5;
   int calls = 0;
   run_schedulability_experiment(cfg, [&](int done, int total) {

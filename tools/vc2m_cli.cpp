@@ -3,6 +3,10 @@
 //   vc2m profiles
 //       List the PARSEC profile library and key slowdown figures.
 //
+//   vc2m solutions
+//       List the registered allocation strategies: key, paper name, and the
+//       VM-level / hypervisor-level policy composition behind each.
+//
 //   vc2m generate --util U [--dist uniform|light|medium|heavy] [--vms N]
 //                 [--seed S] [--platform A|B|C]
 //       Emit a random §5.1 taskset as CSV (vm,period_ms,ref_wcet_ms,benchmark).
@@ -35,13 +39,15 @@
 //
 //   vc2m experiment [--platform P] [--dist D] [--vms N] [--seed S]
 //                   [--tasksets N] [--step S] [--util-lo U] [--util-hi U]
-//                   [--jobs N] [--faults SPEC] [--policy P]
-//                   [--fault-horizon H]
+//                   [--jobs N] [--solutions NAME[,NAME...]]
+//                   [--faults SPEC] [--policy P] [--fault-horizon H]
 //       Run the §5 schedulability sweep (the Fig. 2/3 experiment) over a
 //       work-stealing thread pool and print the fraction-schedulable table
 //       plus per-solution breakdown utilizations. --jobs 0 (the default)
 //       uses all hardware threads; results are bit-identical for any
-//       --jobs value. With --faults, every schedulable allocation is also
+//       --jobs value. --solutions restricts the sweep to the named
+//       strategies (any keys `vc2m solutions` lists), in column order.
+//       With --faults, every schedulable allocation is also
 //       replayed in the simulator for H hyperperiods under the fault plan
 //       and enforcement policy, and the table gains a "+f" column per
 //       solution: the fraction that stays schedulable under faults
@@ -100,10 +106,12 @@ struct Args {
   std::string faults;            ///< sim/faults.h spec, empty = none
   std::string policy = "strict"; ///< enforcement policy name
   int fault_horizon = 1;         ///< hyperperiods per fault validation run
+  std::string solutions;         ///< comma-separated sweep keys, empty = all
 };
 
 [[noreturn]] void usage(int code) {
   std::cerr << "usage: vc2m profiles\n"
+               "       vc2m solutions\n"
                "       vc2m generate --util U [--dist D] [--vms N] [--seed S]"
                " [--platform P]\n"
                "       vc2m solve --file tasks.csv [--platform P] "
@@ -118,7 +126,9 @@ struct Args {
                "[--seed S]\n"
                "                       [--tasksets N] [--step S] "
                "[--util-lo U] [--util-hi U]\n"
-               "                       [--jobs N] [--faults SPEC] "
+               "                       [--jobs N] "
+               "[--solutions NAME[,NAME...]]\n"
+               "                       [--faults SPEC] "
                "[--policy P] [--fault-horizon H]\n";
   std::exit(code);
 }
@@ -150,6 +160,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--faults") a.faults = next();
     else if (arg == "--policy") a.policy = next();
     else if (arg == "--fault-horizon") a.fault_horizon = std::stoi(next());
+    else if (arg == "--solutions") a.solutions = next();
     else usage(2);
   }
   return a;
@@ -162,14 +173,34 @@ model::PlatformSpec platform_of(const std::string& name) {
   throw util::Error("unknown platform '" + name + "' (A, B, or C)");
 }
 
-core::Solution solution_of(const std::string& name) {
-  if (name == "flat") return core::Solution::kHeuristicFlattening;
-  if (name == "ovf") return core::Solution::kHeuristicOverheadFree;
-  if (name == "existing") return core::Solution::kHeuristicExistingCsa;
-  if (name == "even") return core::Solution::kEvenPartitionOverheadFree;
-  if (name == "baseline") return core::Solution::kBaselineExistingCsa;
-  throw util::Error("unknown solution '" + name +
-                    "' (flat|ovf|existing|even|baseline)");
+std::string known_solution_keys() {
+  std::string keys;
+  for (const auto* s : core::StrategyRegistry::instance().all()) {
+    if (!keys.empty()) keys += '|';
+    keys += s->key;
+  }
+  return keys;
+}
+
+const core::Strategy& strategy_of(const std::string& name) {
+  if (const auto* s = core::StrategyRegistry::instance().find(name))
+    return *s;
+  throw util::Error("unknown solution '" + name + "' (" +
+                    known_solution_keys() + ")");
+}
+
+std::vector<std::string> solutions_of(const std::string& list) {
+  std::vector<std::string> keys;
+  std::string item;
+  std::istringstream is(list);
+  while (std::getline(is, item, ',')) {
+    if (item.empty())
+      throw util::Error("--solutions: empty name in '" + list + "'");
+    strategy_of(item);  // validate eagerly for a friendly error
+    keys.push_back(item);
+  }
+  if (keys.empty()) throw util::Error("--solutions: no names given");
+  return keys;
 }
 
 sim::EnforcementConfig enforcement_of(const std::string& name) {
@@ -204,6 +235,16 @@ int cmd_profiles() {
   return 0;
 }
 
+int cmd_solutions() {
+  util::Table table({"key", "solution", "VM-level policy",
+                     "hypervisor-level policy"});
+  for (const auto* s : core::StrategyRegistry::instance().all())
+    table.add_row(s->key, s->display, std::string(s->vm->name()),
+                  std::string(s->hv->name()));
+  table.print(std::cout, "registered allocation strategies");
+  return 0;
+}
+
 int cmd_generate(const Args& a) {
   workload::GeneratorConfig cfg;
   cfg.grid = platform_of(a.platform).grid;
@@ -225,16 +266,15 @@ int cmd_solve(const Args& a) {
             << platform.name << "\n";
 
   util::Rng rng(a.seed);
-  const auto res =
-      core::solve(solution_of(a.solution), tasks, platform, {}, rng);
+  const auto& strat = strategy_of(a.solution);
+  const auto res = core::solve(strat, tasks, platform, {}, rng);
   if (!res.schedulable) {
-    std::cout << "NOT schedulable under "
-              << core::to_string(solution_of(a.solution)) << "\n";
+    std::cout << "NOT schedulable under " << strat.display << "\n";
     return 1;
   }
 
   std::cout << "Schedulable on " << res.mapping.cores_used
-            << " core(s) with " << core::to_string(solution_of(a.solution))
+            << " core(s) with " << strat.display
             << " (" << res.seconds << " s analysis)\n\n";
   util::Table table({"core", "cache", "bw", "CBM", "VCPUs (Pi/Theta ms)"});
   hw::MsrFile msr(platform.cores);
@@ -269,18 +309,16 @@ int cmd_simulate(const Args& a) {
   const auto platform = platform_of(a.platform);
   const auto tasks = workload::read_taskset_csv(a.file, platform.grid);
   util::Rng rng(a.seed);
-  const auto res =
-      core::solve(solution_of(a.solution), tasks, platform, {}, rng);
+  const auto& strat = strategy_of(a.solution);
+  const auto res = core::solve(strat, tasks, platform, {}, rng);
   if (!res.schedulable) {
-    std::cout << "NOT schedulable under "
-              << core::to_string(solution_of(a.solution))
+    std::cout << "NOT schedulable under " << strat.display
               << " — nothing to simulate\n";
     return 1;
   }
 
   sim::DeployConfig dc;
-  dc.release_sync =
-      solution_of(a.solution) == core::Solution::kHeuristicFlattening;
+  dc.release_sync = strat.vm->release_sync();
   dc.capture_trace = !a.trace.empty() || a.report;
   auto sim_cfg = sim::deploy(tasks, res.vcpus, res.mapping, platform, dc);
   sim_cfg.enforcement = enforcement_of(a.policy);
@@ -357,6 +395,7 @@ int cmd_experiment(const Args& a) {
   cfg.num_vms = a.vms;
   cfg.seed = a.seed;
   cfg.jobs = a.jobs;
+  if (!a.solutions.empty()) cfg.solutions = solutions_of(a.solutions);
   if (!a.faults.empty()) {
     if (a.fault_horizon <= 0)
       throw util::Error("--fault-horizon must be >= 1");
@@ -388,7 +427,7 @@ int cmd_experiment(const Args& a) {
   util::Table summary({"solution", "breakdown util"});
   summary.set_precision(2);
   for (std::size_t si = 0; si < cfg.solutions.size(); ++si)
-    summary.add_row(core::to_string(cfg.solutions[si]),
+    summary.add_row(strategy_of(cfg.solutions[si]).display,
                     result.breakdown_utilization(si));
   std::cout << '\n';
   summary.print(std::cout);
@@ -414,6 +453,7 @@ int main(int argc, char** argv) {
   try {
     const Args a = parse(argc, argv);
     if (a.command == "profiles") return cmd_profiles();
+    if (a.command == "solutions") return cmd_solutions();
     if (a.command == "generate") return cmd_generate(a);
     if (a.command == "solve") return cmd_solve(a);
     if (a.command == "simulate") return cmd_simulate(a);
