@@ -1,6 +1,7 @@
 // Shared helpers for the table/figure bench binaries.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -8,18 +9,59 @@
 #include <iostream>
 #include <string>
 
+#include "core/experiment.h"
+#include "obs/bench_report.h"
+#include "util/phase_profiler.h"
+
 namespace vc2m::bench {
+
+/// Strict numeric parsing for bench flags: the whole token must be a valid
+/// number (atoi's silent-zero on "--tasksets abc" produced empty sweeps).
+inline double parse_double_arg(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !std::isfinite(v)) {
+    std::cerr << "bad value for " << flag << ": '" << s
+              << "' (not a finite number)\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+inline long parse_int_arg(const char* flag, const char* s) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::cerr << "bad value for " << flag << ": '" << s
+              << "' (not an integer)\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+inline std::uint64_t parse_uint64_arg(const char* flag, const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || s[0] == '-') {
+    std::cerr << "bad value for " << flag << ": '" << s
+              << "' (not an unsigned integer)\n";
+    std::exit(2);
+  }
+  return v;
+}
 
 /// Command-line options shared by the schedulability benches. The defaults
 /// reproduce the paper's setup exactly (50 tasksets per utilization point,
 /// utilization 0.1..2.0 step 0.05); --quick trades fidelity for speed when
-/// smoke-testing.
+/// smoke-testing. --json additionally enables the phase profiler and makes
+/// the bench emit a machine-readable BenchReport at the given path.
 struct Options {
   int tasksets = 50;
   double step = 0.05;
   std::uint64_t seed = 42;
   int jobs = 0;  ///< sweep worker threads; 0 = hardware concurrency
   std::string csv_dir = "bench_results";
+  std::string json;  ///< empty = no JSON report
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -33,31 +75,43 @@ struct Options {
         return argv[++i];
       };
       if (arg == "--tasksets") {
-        opt.tasksets = std::atoi(next("--tasksets"));
+        opt.tasksets =
+            static_cast<int>(parse_int_arg("--tasksets", next("--tasksets")));
+        if (opt.tasksets <= 0) {
+          std::cerr << "--tasksets must be > 0\n";
+          std::exit(2);
+        }
       } else if (arg == "--step") {
-        opt.step = std::atof(next("--step"));
+        opt.step = parse_double_arg("--step", next("--step"));
+        if (opt.step <= 0) {
+          std::cerr << "--step must be > 0\n";
+          std::exit(2);
+        }
       } else if (arg == "--seed") {
-        opt.seed = std::strtoull(next("--seed"), nullptr, 10);
+        opt.seed = parse_uint64_arg("--seed", next("--seed"));
       } else if (arg == "--jobs") {
-        opt.jobs = std::atoi(next("--jobs"));
+        opt.jobs = static_cast<int>(parse_int_arg("--jobs", next("--jobs")));
         if (opt.jobs < 0) {
           std::cerr << "--jobs must be >= 0 (0 = hardware concurrency)\n";
           std::exit(2);
         }
       } else if (arg == "--csv-dir") {
         opt.csv_dir = next("--csv-dir");
+      } else if (arg == "--json") {
+        opt.json = next("--json");
       } else if (arg == "--quick") {
         opt.tasksets = 10;
         opt.step = 0.1;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "options: --tasksets N  --step S  --seed S  --jobs N  "
-                     "--csv-dir DIR  --quick\n";
+                     "--csv-dir DIR  --json PATH  --quick\n";
         std::exit(0);
       } else {
         std::cerr << "unknown option " << arg << "\n";
         std::exit(2);
       }
     }
+    if (!opt.json.empty()) util::PhaseProfiler::set_enabled(true);
     return opt;
   }
 
@@ -73,6 +127,42 @@ struct Options {
 inline void progress(const std::string& label, int done, int total) {
   std::cerr << "\r[" << label << "] " << done << "/" << total
             << (done == total ? "\n" : "") << std::flush;
+}
+
+/// Build the standard BenchReport for one experiment sweep: options +
+/// experiment config, effort counters, merged phase profile, per-solve
+/// seconds histogram and pool telemetry.
+inline obs::BenchReport experiment_report(
+    const std::string& name, const Options& opt,
+    const core::ExperimentConfig& cfg, const core::ExperimentResult& result,
+    const util::AllocCounters& counters) {
+  obs::BenchReport r;
+  r.name = name;
+  r.git_rev = obs::build_git_rev();
+  r.config["platform"] = cfg.platform.name;
+  r.config["tasksets"] = std::to_string(cfg.tasksets_per_point);
+  r.config["util_lo"] = std::to_string(cfg.util_lo);
+  r.config["util_hi"] = std::to_string(cfg.util_hi);
+  r.config["step"] = std::to_string(cfg.util_step);
+  r.config["seed"] = std::to_string(opt.seed);
+  r.config["jobs"] = std::to_string(cfg.jobs);
+  std::string solutions;
+  for (const auto& s : cfg.solutions)
+    solutions += (solutions.empty() ? "" : ",") + s;
+  r.config["solutions"] = solutions;
+  obs::set_counters(r, counters);
+  r.phases = obs::merged_profile();
+  r.histograms["solve_seconds"] =
+      obs::HistogramSummary::of(result.solve_seconds);
+  r.pool = obs::PoolSummary::of(result.pool);
+  return r;
+}
+
+/// Write the report when --json was given; announces the path on stderr.
+inline void maybe_write_report(const Options& opt, const obs::BenchReport& r) {
+  if (opt.json.empty()) return;
+  obs::write_bench_report_file(opt.json, r);
+  std::cerr << "bench report: " << opt.json << "\n";
 }
 
 }  // namespace vc2m::bench

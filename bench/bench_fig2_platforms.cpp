@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
                              "fig2c_platform_C.csv"};
 
   std::vector<core::ExperimentResult> results;
+  util::AllocCounterScope effort;  // aggregate effort over all 3 platforms
+  core::ExperimentConfig last_cfg;
   for (int p = 0; p < 3; ++p) {
     core::ExperimentConfig cfg;
     cfg.platform = platforms[p];
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
     const std::string label = platforms[p].name;
     results.push_back(core::run_schedulability_experiment(
         cfg, [&](int d, int t) { bench::progress(label, d, t); }));
+    last_cfg = cfg;
 
     std::cout << "\nFigure 2(" << static_cast<char>('a' + p) << "): "
               << platforms[p].name << " (" << platforms[p].cores << " cores, "
@@ -63,5 +66,16 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper (Platform A): baseline breaks at 0.5, vC2M at >= "
                "1.3 — a 2.6x workload increase.\nCSV series written to "
             << opt.csv_dir << "/.\n";
+
+  if (!opt.json.empty()) {
+    auto report = bench::experiment_report("fig2_platforms", opt, last_cfg,
+                                           results.back(), effort.counters());
+    report.config["platform"] = "A,B,C";
+    util::LogHistogram merged = results[0].solve_seconds;
+    for (std::size_t p = 1; p < results.size(); ++p)
+      merged.merge(results[p].solve_seconds);
+    report.histograms["solve_seconds"] = obs::HistogramSummary::of(merged);
+    bench::maybe_write_report(opt, report);
+  }
   return 0;
 }

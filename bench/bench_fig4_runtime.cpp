@@ -75,5 +75,8 @@ int main(int argc, char** argv) {
   et.add_row("HV-level alloc seconds", c.hv_alloc_seconds);
   std::cout << '\n';
   et.print(std::cout);
+
+  bench::maybe_write_report(
+      opt, bench::experiment_report("fig4_runtime", opt, cfg, result, c));
   return 0;
 }

@@ -10,8 +10,10 @@
 // Σ Θ/Π probes were served from the CoreLoad caches.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "analysis/prm.h"
 #include "analysis/schedulability.h"
@@ -19,7 +21,10 @@
 #include "core/kmeans.h"
 #include "core/solutions.h"
 #include "model/platform.h"
+#include "obs/bench_report.h"
 #include "util/instrument.h"
+#include "util/log_histogram.h"
+#include "util/phase_profiler.h"
 #include "util/rng.h"
 #include "workload/generator.h"
 
@@ -101,8 +106,11 @@ BENCHMARK(BM_SolveEndToEnd)
     ->Unit(benchmark::kMillisecond);
 
 /// --smoke: one existing-CSA solve; fail (exit 1) unless the memoization
-/// counters show the shared-context machinery at work.
-int run_smoke() {
+/// counters show the shared-context machinery at work. With --json PATH,
+/// additionally profile the solve, time a dbf-evaluation loop into a
+/// LogHistogram and emit a BenchReport.
+int run_smoke(const std::string& json_path) {
+  if (!json_path.empty()) util::PhaseProfiler::set_enabled(true);
   const auto tasks = make_taskset(1.0, 13);
   const auto platform = model::PlatformSpec::A();
   util::Rng rng(5);
@@ -128,6 +136,40 @@ int run_smoke() {
   expect(c.load_cache_hits > 0,
          "no core-load memo hits — CoreLoad caching is disengaged");
   if (ok) std::cout << "smoke OK: memoization engaged\n";
+
+  if (ok && !json_path.empty()) {
+    // Per-call dbf latency distribution: cheap, high-volume, exactly what
+    // the log-bucketed histogram is for.
+    std::vector<analysis::PTask> ptasks;
+    for (int i = 1; i <= 8; ++i)
+      ptasks.push_back({Time::ms(100 * (1 << (i % 4))), Time::ms(i)});
+    util::LogHistogram dbf_seconds;
+    for (int i = 0; i < 2000; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(analysis::dbf(ptasks, Time::ms(800)));
+      dbf_seconds.add(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    }
+
+    obs::BenchReport r;
+    r.name = "micro_ops_smoke";
+    r.git_rev = obs::build_git_rev();
+    r.config["solution"] = "existing";
+    r.config["platform"] = "A";
+    r.config["target_util"] = "1.0";
+    r.config["seed"] = "13";
+    obs::set_counters(r, c);
+    r.phases = obs::merged_profile();
+    r.histograms["solve_seconds"] = [&] {
+      util::LogHistogram h;
+      h.add(res.seconds);
+      return obs::HistogramSummary::of(h);
+    }();
+    r.histograms["dbf_eval_seconds"] = obs::HistogramSummary::of(dbf_seconds);
+    obs::write_bench_report_file(json_path, r);
+    std::cout << "bench report: " << json_path << "\n";
+  }
   return ok ? 0 : 1;
 }
 
@@ -135,8 +177,16 @@ int run_smoke() {
 
 // BENCHMARK_MAIN(), plus the --smoke escape hatch for scripts/check.sh.
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  if (smoke) return run_smoke(json_path);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
 
   std::vector<core::ExperimentResult> results;
+  util::AllocCounterScope effort;  // aggregate effort over all VM splits
+  core::ExperimentConfig last_cfg;
   for (const int vms : {1, 2, 4}) {
     core::ExperimentConfig cfg;
     cfg.platform = model::PlatformSpec::A();
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
     const std::string label = "vms=" + std::to_string(vms);
     results.push_back(core::run_schedulability_experiment(
         cfg, [&](int d, int t) { bench::progress(label, d, t); }));
+    last_cfg = cfg;
   }
 
   std::cout << "\nVM-count sensitivity on Platform A (fractions "
@@ -57,5 +60,16 @@ int main(int argc, char** argv) {
                "servers, i.e. packing granularity closer to flattening's\n"
                "(paid for at runtime with more servers and context "
                "switches).\n";
+
+  if (!opt.json.empty()) {
+    auto report = bench::experiment_report("vm_count", opt, last_cfg,
+                                           results.back(), effort.counters());
+    report.config["num_vms"] = "1,2,4";
+    util::LogHistogram merged = results[0].solve_seconds;
+    for (std::size_t i = 1; i < results.size(); ++i)
+      merged.merge(results[i].solve_seconds);
+    report.histograms["solve_seconds"] = obs::HistogramSummary::of(merged);
+    bench::maybe_write_report(opt, report);
+  }
   return 0;
 }

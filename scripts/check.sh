@@ -17,6 +17,9 @@
 # additionally re-runs the golden-equivalence suite explicitly (allocation
 # engine bit-identical to the pre-registry seed, with strictly fewer dbf
 # evaluations) and the bench_micro_ops --smoke memoization-counter check.
+# Finally the address pass runs the perf smoke: bench_micro_ops --smoke
+# --json must emit a schema-valid BENCH_*.json, `vc2m perfdiff` must pass a
+# self-compare and must flag a synthetic 3x phase-time regression.
 # Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -65,6 +68,47 @@ fault_smoke() {
   echo "--- fault smoke + fuzz passed ---"
 }
 
+perf_smoke() {
+  # $1 = build dir with bench/bench_micro_ops and tools/vc2m binaries.
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+  "$1/bench/bench_micro_ops" --smoke --json "$work/BENCH_smoke.json" \
+    > /dev/null
+
+  echo "--- bench report is schema-valid JSON ---"
+  python3 - "$work/BENCH_smoke.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+required = ["schema", "name", "git_rev", "config", "counters", "phases",
+            "histograms", "pool"]
+missing = [k for k in required if k not in r]
+assert not missing, f"missing top-level keys: {missing}"
+assert r["schema"].startswith("vc2m-bench-report/"), r["schema"]
+assert r["phases"], "empty phase profile"
+assert "solve_seconds" in r["histograms"], "missing solve_seconds histogram"
+EOF
+
+  echo "--- perfdiff: self-compare must pass ---"
+  "$1/tools/vc2m" perfdiff "$work/BENCH_smoke.json" "$work/BENCH_smoke.json" \
+    > /dev/null \
+    || { echo "perfdiff self-compare reported a regression"; return 1; }
+
+  echo "--- perfdiff: synthetic 3x phase regression must fail ---"
+  python3 - "$work/BENCH_smoke.json" "$work/BENCH_regressed.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for p in r["phases"]:
+    p["total_sec"] *= 3
+json.dump(r, open(sys.argv[2], "w"))
+EOF
+  if "$1/tools/vc2m" perfdiff "$work/BENCH_smoke.json" \
+      "$work/BENCH_regressed.json" > /dev/null; then
+    echo "perfdiff failed to flag a 3x phase-time regression"
+    return 1
+  fi
+  echo "--- perf smoke passed ---"
+}
+
 for san in "${sanitizers[@]}"; do
   case "$san" in
     address)   dir=build-asan ;;
@@ -91,6 +135,8 @@ for san in "${sanitizers[@]}"; do
     "$dir/tests/test_golden"
     echo "=== ${san}: memoization smoke (bench_micro_ops --smoke) ==="
     "$dir/bench/bench_micro_ops" --smoke
+    echo "=== ${san}: perf smoke (bench report + perfdiff gate) ==="
+    perf_smoke "$dir"
   fi
 done
 

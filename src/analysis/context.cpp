@@ -1,6 +1,7 @@
 #include "analysis/context.h"
 
 #include "analysis/prm.h"
+#include "util/phase_profiler.h"
 
 namespace vc2m::analysis {
 
@@ -22,6 +23,7 @@ std::optional<util::Time> AnalysisContext::min_budget(
   }
 
   if (auto* ctr = util::alloc_counters()) ++ctr->budget_evaluations;
+  VC2M_PROFILE_PHASE("min_budget");
   const auto theta = feasible_hint
                          ? min_budget_edf_bounded(tasks, period, *feasible_hint)
                          : min_budget_edf(tasks, period);

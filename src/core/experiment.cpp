@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <memory>
@@ -7,6 +8,7 @@
 
 #include "util/error.h"
 #include "util/instrument.h"
+#include "util/phase_profiler.h"
 #include "util/thread_pool.h"
 
 namespace vc2m::core {
@@ -96,6 +98,8 @@ ExperimentResult run_schedulability_experiment(
   VC2M_CHECK(!cfg.solutions.empty());
   VC2M_CHECK_MSG(cfg.jobs >= 0, "jobs must be >= 0 (0 = hardware)");
 
+  VC2M_PROFILE_PHASE("experiment");
+
   ExperimentResult result;
   result.cfg = cfg;
 
@@ -125,12 +129,21 @@ ExperimentResult run_schedulability_experiment(
   };
   util::Rng master(cfg.seed);
   std::vector<RepStreams> streams(n_reps_total);
-  for (std::size_t ti = 0; ti < n_reps_total; ++ti) {
-    streams[ti].gen = master.fork();
-    streams[ti].solve.reserve(n_sol);
-    for (std::size_t si = 0; si < n_sol; ++si)
-      streams[ti].solve.push_back(master.fork());
+  {
+    VC2M_PROFILE_PHASE("fork_streams");
+    for (std::size_t ti = 0; ti < n_reps_total; ++ti) {
+      streams[ti].gen = master.fork();
+      streams[ti].solve.reserve(n_sol);
+      for (std::size_t si = 0; si < n_sol; ++si)
+        streams[ti].solve.push_back(master.fork());
+    }
   }
+
+  // Per-solution span labels, precomputed so worker threads never build
+  // strings on the hot path.
+  std::vector<std::string> span_names;
+  span_names.reserve(n_sol);
+  for (const auto& key : cfg.solutions) span_names.push_back("solve/" + key);
 
   // One output slot per (point, taskset, solution); tasksets are generated
   // once per (point, taskset) under a once_flag and shared by that
@@ -155,48 +168,65 @@ ExperimentResult run_schedulability_experiment(
   int points_done = 0;
 
   util::ThreadPool pool(static_cast<unsigned>(cfg.jobs));
-  for (int pi = 0; pi < n_points; ++pi) {
-    for (int rep = 0; rep < reps; ++rep) {
-      const std::size_t ti =
-          static_cast<std::size_t>(pi) * reps + static_cast<std::size_t>(rep);
-      for (std::size_t si = 0; si < n_sol; ++si) {
-        pool.submit([&, pi, ti, si] {
-          std::call_once(taskset_once[ti], [&] {
-            workload::GeneratorConfig gen;
-            gen.grid = cfg.platform.grid;
-            gen.target_ref_utilization = cfg.util_lo + cfg.util_step * pi;
-            gen.dist = cfg.dist;
-            gen.num_vms = cfg.num_vms;
-            util::Rng gen_rng = streams[ti].gen;
-            tasksets[ti] = workload::generate_taskset(gen, gen_rng);
-          });
-          util::Rng solve_rng = streams[ti].solve[si];
-          const auto res = solve(*strategies[si], tasksets[ti],
-                                 cfg.platform, cfg.solve, solve_rng);
-          Cell& cell = cells[ti * n_sol + si];
-          cell.schedulable = res.schedulable;
-          cell.seconds = res.seconds;
-          cell.counters = res.counters;
-          // Validate before the collector lock: the taskset may be freed
-          // the moment this item is accounted as the rep's last.
-          if (cfg.validate && res.schedulable)
-            cell.validated =
-                cfg.validate(tasksets[ti], res,
-                             mix_seed(cfg.seed, ti * n_sol + si));
+  const auto sweep_start = std::chrono::steady_clock::now();
+  {
+    VC2M_PROFILE_PHASE("sweep");
+    for (int pi = 0; pi < n_points; ++pi) {
+      for (int rep = 0; rep < reps; ++rep) {
+        const std::size_t ti = static_cast<std::size_t>(pi) * reps +
+                               static_cast<std::size_t>(rep);
+        for (std::size_t si = 0; si < n_sol; ++si) {
+          pool.submit([&, pi, ti, si] {
+            std::call_once(taskset_once[ti], [&] {
+              VC2M_PROFILE_PHASE("generate");
+              workload::GeneratorConfig gen;
+              gen.grid = cfg.platform.grid;
+              gen.target_ref_utilization = cfg.util_lo + cfg.util_step * pi;
+              gen.dist = cfg.dist;
+              gen.num_vms = cfg.num_vms;
+              util::Rng gen_rng = streams[ti].gen;
+              tasksets[ti] = workload::generate_taskset(gen, gen_rng);
+            });
+            util::Rng solve_rng = streams[ti].solve[si];
+            Cell& cell = cells[ti * n_sol + si];
+            {
+              VC2M_PROFILE_PHASE(span_names[si]);
+              const auto res = solve(*strategies[si], tasksets[ti],
+                                     cfg.platform, cfg.solve, solve_rng);
+              cell.schedulable = res.schedulable;
+              cell.seconds = res.seconds;
+              cell.counters = res.counters;
+              // Validate before the collector lock: the taskset may be
+              // freed the moment this item is accounted as the rep's last.
+              if (cfg.validate && res.schedulable)
+                cell.validated =
+                    cfg.validate(tasksets[ti], res,
+                                 mix_seed(cfg.seed, ti * n_sol + si));
+            }
 
-          std::lock_guard<std::mutex> lk(collector_mu);
-          if (--rep_items_left[ti] == 0) tasksets[ti] = model::Taskset{};
-          if (--point_items_left[pi] == 0) {
-            ++points_done;
-            if (progress) progress(points_done, n_points);
-          }
-        });
+            std::lock_guard<std::mutex> lk(collector_mu);
+            if (--rep_items_left[ti] == 0) tasksets[ti] = model::Taskset{};
+            if (--point_items_left[pi] == 0) {
+              ++points_done;
+              const auto t = pool.telemetry();
+              result.pool_samples.push_back(
+                  {util::Time::ns(
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - sweep_start)
+                           .count()),
+                   t.total_executed(), t.total_steals(), pool.pending()});
+              if (progress) progress(points_done, n_points);
+            }
+          });
+        }
       }
     }
+    pool.wait();
   }
-  pool.wait();
+  result.pool = pool.telemetry();
 
   // Deterministic assembly in serial (point, taskset, solution) order.
+  VC2M_PROFILE_PHASE("assemble");
   result.points.reserve(static_cast<std::size_t>(n_points));
   for (int pi = 0; pi < n_points; ++pi) {
     UtilizationPoint point;
@@ -212,6 +242,7 @@ ExperimentResult run_schedulability_experiment(
         sp.schedulable += cell.schedulable ? 1 : 0;
         sp.validated += cell.validated ? 1 : 0;
         sp.total_seconds += cell.seconds;
+        result.solve_seconds.add(cell.seconds);
       }
     }
     result.points.push_back(std::move(point));

@@ -18,7 +18,10 @@
 
 #include "core/solutions.h"
 #include "model/platform.h"
+#include "util/log_histogram.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/time.h"
 #include "workload/generator.h"
 
 namespace vc2m::core {
@@ -82,6 +85,27 @@ struct UtilizationPoint {
 struct ExperimentResult {
   ExperimentConfig cfg;
   std::vector<UtilizationPoint> points;
+
+  /// Distribution of per-solve analysis seconds over the whole sweep,
+  /// accumulated in serial (point, taskset, solution) order. The *set* of
+  /// samples is jobs-independent; individual wall times are not.
+  util::LogHistogram solve_seconds;
+
+  /// Pool counters at the end of the sweep (executed/steals/idle per
+  /// worker). Executed totals are deterministic; steal/idle split depends
+  /// on OS scheduling — report, never gate.
+  util::PoolTelemetry pool;
+
+  /// Pool counter time series, sampled by the collector each time a
+  /// utilization point completes (`at` is the wall offset from sweep
+  /// start). Rendered as Perfetto counter tracks by the CLI.
+  struct PoolSample {
+    util::Time at;
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::size_t pending = 0;
+  };
+  std::vector<PoolSample> pool_samples;
 
   /// Largest utilization u such that every point ≤ u has schedulable
   /// fraction ≥ `threshold` for the given solution — the paper's

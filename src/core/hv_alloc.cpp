@@ -11,6 +11,7 @@
 #include "core/packing.h"
 #include "util/error.h"
 #include "util/instrument.h"
+#include "util/phase_profiler.h"
 
 namespace vc2m::core {
 
@@ -257,6 +258,7 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
                                  const HvAllocConfig& cfg, util::Rng& rng) {
   VC2M_CHECK(!vcpus.empty());
   PhaseTimer timer(&util::AllocCounters::hv_alloc_seconds);
+  VC2M_PROFILE_PHASE("hv_alloc");
   const auto& grid = platform.grid;
 
   // Fast infeasibility screens at the full allocation (C, B).
@@ -275,7 +277,10 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
   std::vector<std::vector<double>> points;
   points.reserve(vcpus.size());
   for (const auto& v : vcpus) points.push_back(v.slowdown().flat());
-  const auto clusters = cluster_members(kmeans(points, k, rng), k);
+  const auto clusters = [&] {
+    VC2M_PROFILE_PHASE("cluster");
+    return cluster_members(kmeans(points, k, rng), k);
+  }();
 
   for (unsigned m = 1; m <= platform.cores; ++m) {
     if (m * grid.c_min > platform.total_cache() ||
@@ -283,14 +288,25 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
       break;  // larger m cannot satisfy the per-core minimums either
     for (unsigned perm_iter = 0; perm_iter < cfg.max_permutations;
          ++perm_iter) {
-      CoreState st =
-          phase1_pack(vcpus, clusters, rng.permutation(k), m, grid);
+      CoreState st = [&] {
+        VC2M_PROFILE_PHASE("phase1_pack");
+        return phase1_pack(vcpus, clusters, rng.permutation(k), m, grid);
+      }();
       if (auto* ctr = util::alloc_counters()) ++ctr->candidate_packings;
       for (unsigned round = 0; round < cfg.max_balance_rounds; ++round) {
-        if (phase2_resources(st, platform, cfg.phase2))
-          return to_result(std::move(st), true);
-        if (!cfg.load_balance) break;           // ablation: no Phase 3
-        if (!phase3_balance(vcpus, st)) break;  // no benefit in balancing
+        bool feasible;
+        {
+          VC2M_PROFILE_PHASE("phase2_resources");
+          feasible = phase2_resources(st, platform, cfg.phase2);
+        }
+        if (feasible) return to_result(std::move(st), true);
+        if (!cfg.load_balance) break;  // ablation: no Phase 3
+        bool improved;
+        {
+          VC2M_PROFILE_PHASE("phase3_balance");
+          improved = phase3_balance(vcpus, st);
+        }
+        if (!improved) break;  // no benefit in balancing
       }
     }
   }
@@ -301,6 +317,8 @@ HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
                                       const model::PlatformSpec& platform) {
   VC2M_CHECK(!vcpus.empty());
   PhaseTimer timer(&util::AllocCounters::hv_alloc_seconds);
+  VC2M_PROFILE_PHASE("hv_alloc");
+  VC2M_PROFILE_PHASE("even_partition");
   const auto& grid = platform.grid;
   const unsigned m = platform.cores;
   const unsigned c_even =

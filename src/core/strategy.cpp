@@ -10,6 +10,7 @@
 #include "core/packing.h"
 #include "core/vm_alloc.h"
 #include "util/error.h"
+#include "util/phase_profiler.h"
 
 namespace vc2m::core {
 
@@ -250,6 +251,7 @@ SolveResult solve(const Strategy& strategy, const model::Taskset& tasks,
                   const model::PlatformSpec& platform, const SolveConfig& cfg,
                   util::Rng& rng) {
   VC2M_CHECK(!tasks.empty());
+  VC2M_PROFILE_PHASE("solve");
   model::Taskset inflated = tasks;
   analysis::inflate_tasks(inflated, cfg.task_inflation);
 

@@ -12,6 +12,7 @@
 #include "core/kmeans.h"
 #include "util/error.h"
 #include "util/instrument.h"
+#include "util/phase_profiler.h"
 
 namespace vc2m::core {
 
@@ -129,7 +130,10 @@ std::vector<model::Vcpu> allocate_vm_heuristic(
   points.reserve(n);
   for (const std::size_t i : vm_task_idx)
     points.push_back(tasks[i].slowdown().flat());
-  const auto clusters = cluster_members(kmeans(points, k, rng), k);
+  const auto clusters = [&] {
+    VC2M_PROFILE_PHASE("cluster");
+    return cluster_members(kmeans(points, k, rng), k);
+  }();
 
   // Pack tasks onto the m VCPUs worst-fit in decreasing reference
   // utilization (so VCPU loads stay similar), iterating clusters in
@@ -175,6 +179,7 @@ std::vector<model::Vcpu> allocate_vm_heuristic(
 
   std::vector<model::Vcpu> vcpus;
   vcpus.reserve(vcpu_tasks.size());
+  VC2M_PROFILE_PHASE("vcpu_analysis");
   for (const auto& idx : vcpu_tasks) {
     switch (cfg.analysis) {
       case VcpuAnalysis::kRegulated:
@@ -205,6 +210,7 @@ std::vector<model::Vcpu> allocate_vms_heuristic(
     const model::Taskset& tasks, const VmAllocConfig& cfg,
     analysis::AnalysisContext& ctx, util::Rng& rng) {
   const auto t0 = std::chrono::steady_clock::now();
+  VC2M_PROFILE_PHASE("vm_alloc");
   std::vector<model::Vcpu> all;
   for (const auto& vm_idx : tasks_by_vm(tasks)) {
     auto vcpus = allocate_vm_heuristic(tasks, vm_idx, cfg, ctx, rng);

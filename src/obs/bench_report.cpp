@@ -1,0 +1,633 @@
+#include "obs/bench_report.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vc2m::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void write_phase(std::ostream& os, const PhaseStats& p, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\"name\": \"" << json_escape(p.name)
+     << "\", \"count\": " << p.count << ", \"total_sec\": " << num(p.total_sec)
+     << ", \"self_sec\": " << num(p.self_sec) << ", \"children\": [";
+  for (std::size_t i = 0; i < p.children.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_phase(os, p.children[i], indent + 2);
+  }
+  if (!p.children.empty()) os << "\n" << pad;
+  os << "]}";
+}
+
+void write_histogram(std::ostream& os, const HistogramSummary& h) {
+  os << "{\"count\": " << h.count << ", \"mean\": " << num(h.mean)
+     << ", \"min\": " << num(h.min) << ", \"max\": " << num(h.max)
+     << ", \"p50\": " << num(h.p50) << ", \"p90\": " << num(h.p90)
+     << ", \"p95\": " << num(h.p95) << ", \"p99\": " << num(h.p99) << "}";
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader: just enough for documents this module writes.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    VC2M_CHECK_MSG(pos_ == s_.size(),
+                   "bench report JSON: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    VC2M_CHECK_MSG(pos_ < s_.size(), "bench report JSON: unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    VC2M_CHECK_MSG(peek() == c, "bench report JSON: expected '"
+                                    << c << "' at offset " << pos_ << ", got '"
+                                    << s_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': return boolean();
+      case 'n': {
+        literal("null");
+        return {};
+      }
+      default: return number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      VC2M_CHECK_MSG(pos_ < s_.size() && s_[pos_] == *p,
+                     "bench report JSON: bad literal at offset " << pos_);
+      ++pos_;
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (s_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    VC2M_CHECK_MSG(pos_ > start,
+                   "bench report JSON: expected a value at offset " << start);
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    VC2M_CHECK_MSG(end && *end == '\0' && std::isfinite(d),
+                   "bench report JSON: bad number '" << tok << "'");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      VC2M_CHECK_MSG(pos_ < s_.size(),
+                     "bench report JSON: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        VC2M_CHECK_MSG(pos_ < s_.size(),
+                       "bench report JSON: dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default:
+            VC2M_CHECK_MSG(false, "bench report JSON: unsupported escape '\\"
+                                      << e << "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      std::string key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+double get_number(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == JsonValue::Kind::kNumber,
+                 "bench report JSON: missing number field '" << key << "'");
+  return v->number;
+}
+
+std::string get_string(const JsonValue& obj, const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == JsonValue::Kind::kString,
+                 "bench report JSON: missing string field '" << key << "'");
+  return v->str;
+}
+
+PhaseStats parse_phase(const JsonValue& v) {
+  VC2M_CHECK_MSG(v.kind == JsonValue::Kind::kObject,
+                 "bench report JSON: phase entries must be objects");
+  PhaseStats p;
+  p.name = get_string(v, "name");
+  p.count = static_cast<std::uint64_t>(get_number(v, "count"));
+  p.total_sec = get_number(v, "total_sec");
+  p.self_sec = get_number(v, "self_sec");
+  if (const JsonValue* kids = v.find("children")) {
+    VC2M_CHECK_MSG(kids->kind == JsonValue::Kind::kArray,
+                   "bench report JSON: 'children' must be an array");
+    for (const auto& c : kids->array) p.children.push_back(parse_phase(c));
+  }
+  return p;
+}
+
+HistogramSummary parse_histogram(const JsonValue& v) {
+  VC2M_CHECK_MSG(v.kind == JsonValue::Kind::kObject,
+                 "bench report JSON: histogram entries must be objects");
+  HistogramSummary h;
+  h.count = static_cast<std::uint64_t>(get_number(v, "count"));
+  h.mean = get_number(v, "mean");
+  h.min = get_number(v, "min");
+  h.max = get_number(v, "max");
+  h.p50 = get_number(v, "p50");
+  h.p90 = get_number(v, "p90");
+  h.p95 = get_number(v, "p95");
+  h.p99 = get_number(v, "p99");
+  return h;
+}
+
+/// Counters where growth means the run did *better* (more reuse, more
+/// admissions) or that measure solution quality rather than effort — the
+/// diff gate must not flag them as regressions.
+bool counter_exempt(const std::string& name) {
+  const auto ends_with = [&](const char* suffix) {
+    const std::string suf(suffix);
+    return name.size() >= suf.size() &&
+           name.compare(name.size() - suf.size(), suf.size(), suf) == 0;
+  };
+  return ends_with("cache_hits") || ends_with("passed") ||
+         ends_with("final_shift");
+}
+
+}  // namespace
+
+HistogramSummary HistogramSummary::of(const util::LogHistogram& h) {
+  HistogramSummary out;
+  out.count = h.count();
+  if (h.empty()) return out;
+  out.mean = h.mean();
+  out.min = h.min();
+  out.max = h.max();
+  out.p50 = h.quantile(0.50);
+  out.p90 = h.quantile(0.90);
+  out.p95 = h.quantile(0.95);
+  out.p99 = h.quantile(0.99);
+  return out;
+}
+
+HistogramSummary HistogramSummary::of(const util::SampleStats& s) {
+  HistogramSummary out;
+  out.count = s.count();
+  if (s.empty()) return out;
+  out.mean = s.mean();
+  out.min = s.min();
+  out.max = s.max();
+  out.p50 = s.p(0.50);
+  out.p90 = s.p(0.90);
+  out.p95 = s.p(0.95);
+  out.p99 = s.p(0.99);
+  return out;
+}
+
+PoolSummary PoolSummary::of(const util::PoolTelemetry& t) {
+  PoolSummary out;
+  out.workers.reserve(t.workers.size());
+  for (const auto& w : t.workers)
+    out.workers.push_back({w.executed, w.steals,
+                           static_cast<double>(w.idle_ns) * 1e-9,
+                           static_cast<std::uint64_t>(w.max_queue)});
+  return out;
+}
+
+std::string build_git_rev() {
+#ifdef VC2M_GIT_REV
+  return VC2M_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+void set_counters(BenchReport& r, const util::AllocCounters& c) {
+  r.counters["kmeans_runs"] = static_cast<double>(c.kmeans_runs);
+  r.counters["kmeans_iterations"] = static_cast<double>(c.kmeans_iterations);
+  r.counters["kmeans_final_shift"] = c.kmeans_final_shift;
+  r.counters["admission_tests"] = static_cast<double>(c.admission_tests);
+  r.counters["admission_passed"] = static_cast<double>(c.admission_passed);
+  r.counters["dbf_evaluations"] = static_cast<double>(c.dbf_evaluations);
+  r.counters["budget_evaluations"] =
+      static_cast<double>(c.budget_evaluations);
+  r.counters["budget_cache_hits"] = static_cast<double>(c.budget_cache_hits);
+  r.counters["load_cache_hits"] = static_cast<double>(c.load_cache_hits);
+  r.counters["candidate_packings"] =
+      static_cast<double>(c.candidate_packings);
+  r.counters["partition_grants"] = static_cast<double>(c.partition_grants);
+  r.counters["vcpu_migrations"] = static_cast<double>(c.vcpu_migrations);
+  r.counters["vm_alloc_seconds"] = c.vm_alloc_seconds;
+  r.counters["hv_alloc_seconds"] = c.hv_alloc_seconds;
+}
+
+void write_bench_report(std::ostream& os, const BenchReport& r) {
+  os << "{\n";
+  os << "\"schema\": \"" << json_escape(r.schema) << "\",\n";
+  os << "\"name\": \"" << json_escape(r.name) << "\",\n";
+  os << "\"git_rev\": \"" << json_escape(r.git_rev) << "\",\n";
+
+  os << "\"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : r.config) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(k) << "\": \""
+       << json_escape(v) << "\"";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "},\n";
+
+  os << "\"counters\": {";
+  first = true;
+  for (const auto& [k, v] : r.counters) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(k)
+       << "\": " << num(v);
+    first = false;
+  }
+  os << (first ? "" : "\n") << "},\n";
+
+  os << "\"phases\": [";
+  for (std::size_t i = 0; i < r.phases.children.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_phase(os, r.phases.children[i], 2);
+  }
+  os << (r.phases.children.empty() ? "" : "\n") << "],\n";
+
+  os << "\"histograms\": {";
+  first = true;
+  for (const auto& [k, h] : r.histograms) {
+    os << (first ? "\n" : ",\n") << "  \"" << json_escape(k) << "\": ";
+    write_histogram(os, h);
+    first = false;
+  }
+  os << (first ? "" : "\n") << "},\n";
+
+  os << "\"pool\": {\"workers\": [";
+  for (std::size_t i = 0; i < r.pool.workers.size(); ++i) {
+    const auto& w = r.pool.workers[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"executed\": " << w.executed
+       << ", \"steals\": " << w.steals << ", \"idle_sec\": " << num(w.idle_sec)
+       << ", \"max_queue\": " << w.max_queue << "}";
+  }
+  os << (r.pool.workers.empty() ? "" : "\n") << "]}\n";
+  os << "}\n";
+}
+
+void write_bench_report_file(const std::string& path, const BenchReport& r) {
+  std::ofstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  write_bench_report(f, r);
+  VC2M_CHECK_MSG(f.good(), "error writing " << path);
+}
+
+BenchReport read_bench_report(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string text = buf.str();
+  JsonValue root = JsonParser(text).parse();
+  VC2M_CHECK_MSG(root.kind == JsonValue::Kind::kObject,
+                 "bench report JSON: top level must be an object");
+
+  BenchReport r;
+  r.schema = get_string(root, "schema");
+  VC2M_CHECK_MSG(r.schema.rfind("vc2m-bench-report/", 0) == 0,
+                 "not a vc2m bench report (schema '" << r.schema << "')");
+  r.name = get_string(root, "name");
+  r.git_rev = get_string(root, "git_rev");
+
+  if (const JsonValue* cfg = root.find("config")) {
+    VC2M_CHECK_MSG(cfg->kind == JsonValue::Kind::kObject,
+                   "bench report JSON: 'config' must be an object");
+    for (const auto& [k, v] : cfg->object) {
+      VC2M_CHECK_MSG(v.kind == JsonValue::Kind::kString,
+                     "bench report JSON: config values must be strings");
+      r.config[k] = v.str;
+    }
+  }
+  if (const JsonValue* ctr = root.find("counters")) {
+    VC2M_CHECK_MSG(ctr->kind == JsonValue::Kind::kObject,
+                   "bench report JSON: 'counters' must be an object");
+    for (const auto& [k, v] : ctr->object) {
+      VC2M_CHECK_MSG(v.kind == JsonValue::Kind::kNumber,
+                     "bench report JSON: counter values must be numbers");
+      r.counters[k] = v.number;
+    }
+  }
+  if (const JsonValue* ph = root.find("phases")) {
+    VC2M_CHECK_MSG(ph->kind == JsonValue::Kind::kArray,
+                   "bench report JSON: 'phases' must be an array");
+    for (const auto& p : ph->array)
+      r.phases.children.push_back(parse_phase(p));
+  }
+  if (const JsonValue* hs = root.find("histograms")) {
+    VC2M_CHECK_MSG(hs->kind == JsonValue::Kind::kObject,
+                   "bench report JSON: 'histograms' must be an object");
+    for (const auto& [k, v] : hs->object) r.histograms[k] = parse_histogram(v);
+  }
+  if (const JsonValue* pool = root.find("pool")) {
+    VC2M_CHECK_MSG(pool->kind == JsonValue::Kind::kObject,
+                   "bench report JSON: 'pool' must be an object");
+    if (const JsonValue* ws = pool->find("workers")) {
+      VC2M_CHECK_MSG(ws->kind == JsonValue::Kind::kArray,
+                     "bench report JSON: 'pool.workers' must be an array");
+      for (const auto& w : ws->array) {
+        VC2M_CHECK_MSG(w.kind == JsonValue::Kind::kObject,
+                       "bench report JSON: pool workers must be objects");
+        PoolSummary::Worker out;
+        out.executed = static_cast<std::uint64_t>(get_number(w, "executed"));
+        out.steals = static_cast<std::uint64_t>(get_number(w, "steals"));
+        out.idle_sec = get_number(w, "idle_sec");
+        out.max_queue = static_cast<std::uint64_t>(get_number(w, "max_queue"));
+        r.pool.workers.push_back(out);
+      }
+    }
+  }
+  return r;
+}
+
+BenchReport read_bench_report_file(const std::string& path) {
+  std::ifstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  return read_bench_report(f);
+}
+
+PerfDiffResult diff_reports(const BenchReport& base, const BenchReport& current,
+                            const PerfDiffOptions& opt) {
+  PerfDiffResult d;
+  const auto regressed = [&](double b, double c, double floor) {
+    return c > b * (1.0 + opt.max_regress) && c - b > floor;
+  };
+
+  // Phases: compare total wall seconds per path.
+  std::map<std::string, FlatPhase> base_phases, cur_phases;
+  for (const auto& p : flatten_profile(base.phases)) base_phases[p.path] = p;
+  for (const auto& p : flatten_profile(current.phases)) cur_phases[p.path] = p;
+  for (const auto& [path, bp] : base_phases) {
+    const auto it = cur_phases.find(path);
+    if (it == cur_phases.end()) {
+      d.notes.push_back("phase '" + path + "' only in base report");
+      continue;
+    }
+    PerfDiffEntry e;
+    e.kind = "phase";
+    e.key = path;
+    e.base = bp.total_sec;
+    e.current = it->second.total_sec;
+    e.regression = regressed(e.base, e.current, opt.min_abs_sec);
+    d.entries.push_back(e);
+  }
+  for (const auto& [path, cp] : cur_phases)
+    if (!base_phases.count(path))
+      d.notes.push_back("phase '" + path + "' only in current report");
+
+  // Counters: effort must not grow; more-is-better counters are exempt.
+  for (const auto& [name, b] : base.counters) {
+    const auto it = current.counters.find(name);
+    if (it == current.counters.end()) {
+      d.notes.push_back("counter '" + name + "' only in base report");
+      continue;
+    }
+    if (counter_exempt(name)) continue;
+    PerfDiffEntry e;
+    e.kind = "counter";
+    e.key = name;
+    e.base = b;
+    e.current = it->second;
+    const bool is_time = name.size() >= 8 &&
+                         name.compare(name.size() - 8, 8, "_seconds") == 0;
+    e.regression = regressed(e.base, e.current,
+                             is_time ? opt.min_abs_sec : opt.min_abs_count);
+    d.entries.push_back(e);
+  }
+  for (const auto& [name, c] : current.counters)
+    if (!base.counters.count(name))
+      d.notes.push_back("counter '" + name + "' only in current report");
+
+  // Histograms: gate the p95 (tail latency), report mean informationally.
+  for (const auto& [name, b] : base.histograms) {
+    const auto it = current.histograms.find(name);
+    if (it == current.histograms.end()) {
+      d.notes.push_back("histogram '" + name + "' only in base report");
+      continue;
+    }
+    PerfDiffEntry p95;
+    p95.kind = "histogram";
+    p95.key = name + ".p95";
+    p95.base = b.p95;
+    p95.current = it->second.p95;
+    p95.regression = regressed(p95.base, p95.current, opt.min_abs_sec);
+    d.entries.push_back(p95);
+    PerfDiffEntry mean;
+    mean.kind = "histogram";
+    mean.key = name + ".mean";
+    mean.base = b.mean;
+    mean.current = it->second.mean;
+    mean.regression = false;  // informational; the p95 is the gate
+    d.entries.push_back(mean);
+  }
+  for (const auto& [name, c] : current.histograms)
+    if (!base.histograms.count(name))
+      d.notes.push_back("histogram '" + name + "' only in current report");
+
+  // Pool telemetry: informational only — steals and idle time depend on OS
+  // scheduling, so they never gate.
+  if (!base.pool.empty() && !current.pool.empty()) {
+    std::uint64_t be = 0, bs = 0, ce = 0, cs = 0;
+    for (const auto& w : base.pool.workers) {
+      be += w.executed;
+      bs += w.steals;
+    }
+    for (const auto& w : current.pool.workers) {
+      ce += w.executed;
+      cs += w.steals;
+    }
+    PerfDiffEntry exec{"pool", "total_executed", static_cast<double>(be),
+                       static_cast<double>(ce), false};
+    PerfDiffEntry steals{"pool", "total_steals", static_cast<double>(bs),
+                         static_cast<double>(cs), false};
+    d.entries.push_back(exec);
+    d.entries.push_back(steals);
+  }
+
+  return d;
+}
+
+void write_perfdiff(std::ostream& os, const PerfDiffResult& d) {
+  const auto saved_flags = os.flags();
+  const auto saved_precision = os.precision();
+  std::size_t key_width = 8;
+  for (const auto& e : d.entries)
+    key_width = std::max(key_width, e.kind.size() + 1 + e.key.size());
+  key_width += 2;
+  os << "quantity" << std::string(key_width - 8, ' ') << std::setw(14)
+     << "base" << std::setw(14) << "current" << std::setw(10) << "delta"
+     << "\n";
+  for (const auto& e : d.entries) {
+    const std::string label = e.kind + ":" + e.key;
+    double pct = 0;
+    if (e.base != 0)
+      pct = (e.current - e.base) / e.base * 100.0;
+    else if (e.current != 0)
+      pct = 100.0;
+    char delta[24];
+    std::snprintf(delta, sizeof delta, "%+.1f%%", pct);
+    os << label << std::string(key_width - label.size(), ' ') << std::setw(14)
+       << std::fixed << std::setprecision(4) << e.base << std::setw(14)
+       << e.current << std::setw(10) << delta
+       << (e.regression ? "  REGRESS" : "") << "\n";
+  }
+  for (const auto& n : d.notes) os << "note: " << n << "\n";
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+}
+
+}  // namespace vc2m::obs

@@ -1,0 +1,124 @@
+// Machine-readable bench reports (`BENCH_*.json`) and the perf-diff gate.
+//
+// Every bench binary (and `vc2m experiment --profile`) can serialise one
+// BenchReport: what ran (name, git rev, config strings), how hard the
+// allocator worked (AllocCounters), where the wall time went (merged
+// phase-profiler tree), latency distributions (histogram quantiles) and
+// thread-pool telemetry. The JSON schema is versioned
+// ("vc2m-bench-report/1") and read back by `vc2m perfdiff`, which compares
+// two reports per-phase and per-counter and exits nonzero on regression —
+// the gate scripts/check.sh runs on every bench smoke.
+//
+// The reader is a small recursive-descent JSON parser (no third-party
+// dependency); it accepts exactly the documents the writer produces plus
+// ordinary whitespace variations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/profiler.h"
+#include "util/instrument.h"
+#include "util/log_histogram.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace vc2m::obs {
+
+/// Fixed-quantile summary of a latency distribution — enough for the diff
+/// gate without shipping raw buckets.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  static HistogramSummary of(const util::LogHistogram& h);
+  static HistogramSummary of(const util::SampleStats& s);
+};
+
+/// Thread-pool telemetry as report data (idle time in seconds).
+struct PoolSummary {
+  struct Worker {
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    double idle_sec = 0;
+    std::uint64_t max_queue = 0;
+  };
+  std::vector<Worker> workers;
+
+  bool empty() const { return workers.empty(); }
+  static PoolSummary of(const util::PoolTelemetry& t);
+};
+
+/// One bench run, ready to serialise. `phases` is the merged profile root
+/// (synthetic unnamed node; see obs/profiler.h).
+struct BenchReport {
+  std::string schema = "vc2m-bench-report/1";
+  std::string name;
+  std::string git_rev;
+  std::map<std::string, std::string> config;
+  std::map<std::string, double> counters;
+  PhaseStats phases;
+  std::map<std::string, HistogramSummary> histograms;
+  PoolSummary pool;
+};
+
+/// The git revision baked in at configure time ("unknown" outside a
+/// checkout).
+std::string build_git_rev();
+
+/// Flatten an AllocCounters into the report's counter map (names match the
+/// struct fields).
+void set_counters(BenchReport& r, const util::AllocCounters& c);
+
+void write_bench_report(std::ostream& os, const BenchReport& r);
+void write_bench_report_file(const std::string& path, const BenchReport& r);
+
+/// Throws util::Error on malformed JSON or a schema the reader does not
+/// understand.
+BenchReport read_bench_report(std::istream& is);
+BenchReport read_bench_report_file(const std::string& path);
+
+struct PerfDiffOptions {
+  double max_regress = 0.10;    ///< allowed fractional growth (0.10 = +10%)
+  double min_abs_sec = 1e-4;    ///< ignore time deltas below this (noise)
+  double min_abs_count = 1.0;   ///< ignore counter deltas below this
+};
+
+struct PerfDiffEntry {
+  std::string kind;   ///< "phase", "counter", "histogram", "pool"
+  std::string key;    ///< phase path / counter name / histogram.quantile
+  double base = 0;
+  double current = 0;
+  bool regression = false;
+};
+
+struct PerfDiffResult {
+  std::vector<PerfDiffEntry> entries;   ///< every compared quantity
+  std::vector<std::string> notes;       ///< keys present on one side only
+  bool has_regression() const {
+    for (const auto& e : entries)
+      if (e.regression) return true;
+    return false;
+  }
+};
+
+/// Compare `current` against `base`. A quantity regresses when it grows by
+/// more than max_regress relative AND more than the absolute floor — small
+/// absolute jitter on a near-zero phase must not fail a gate. Counters
+/// where more is better (cache hits, admissions passed) are skipped.
+PerfDiffResult diff_reports(const BenchReport& base, const BenchReport& current,
+                            const PerfDiffOptions& opt = {});
+
+/// Human-readable rendering of a diff (regressions flagged with "REGRESS").
+void write_perfdiff(std::ostream& os, const PerfDiffResult& d);
+
+}  // namespace vc2m::obs

@@ -90,7 +90,8 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
     out.push_back({name, MetricSample::Kind::kGauge, g.value(), 0, 0, 0});
   for (const auto& [name, h] : histograms_)
     out.push_back({name, MetricSample::Kind::kHistogram, h.mean(), h.count(),
-                   h.min(), h.max()});
+                   h.min(), h.max(), h.quantile(0.50), h.quantile(0.95),
+                   h.quantile(0.99)});
   std::sort(out.begin(), out.end(),
             [](const MetricSample& a, const MetricSample& b) {
               return a.name < b.name;

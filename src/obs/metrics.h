@@ -78,6 +78,7 @@ struct MetricSample {
   double value = 0;           ///< counter/gauge value; histogram mean
   std::uint64_t count = 0;    ///< histogram sample count
   double min = 0, max = 0;    ///< histogram extrema
+  double p50 = 0, p95 = 0, p99 = 0;  ///< histogram quantile estimates
 };
 
 class MetricsRegistry {

@@ -1,0 +1,123 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace vc2m::obs {
+
+namespace {
+
+// Accumulation node keyed by name so merge order (thread registration
+// order, which is scheduling-dependent) cannot affect the result.
+struct MergeNode {
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::map<std::string, MergeNode> children;
+};
+
+void accumulate(MergeNode& into, const util::PhaseNode& from) {
+  into.count += from.count;
+  into.total_ns += from.total_ns;
+  for (const auto& [name, child] : from.children)
+    accumulate(into.children[name], *child);
+}
+
+PhaseStats to_stats(const std::string& name, const MergeNode& node) {
+  PhaseStats out;
+  out.name = name;
+  out.count = node.count;
+  out.total_sec = static_cast<double>(node.total_ns) * 1e-9;
+  double child_total = 0;
+  out.children.reserve(node.children.size());
+  for (const auto& [child_name, child] : node.children) {
+    out.children.push_back(to_stats(child_name, child));
+    child_total += out.children.back().total_sec;
+  }
+  out.self_sec = std::max(0.0, out.total_sec - child_total);
+  return out;
+}
+
+int tree_depth(const PhaseStats& node) {
+  int d = 0;
+  for (const auto& c : node.children) d = std::max(d, tree_depth(c));
+  return d + 1;
+}
+
+void write_node(std::ostream& os, const PhaseStats& node, int indent,
+                std::size_t name_width) {
+  os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << node.name
+     << std::string(
+            name_width - static_cast<std::size_t>(indent) * 2 -
+                std::min(name_width - static_cast<std::size_t>(indent) * 2,
+                         node.name.size()),
+            ' ')
+     << std::setw(10) << node.count << std::setw(12) << std::fixed
+     << std::setprecision(4) << node.total_sec << std::setw(12)
+     << node.self_sec << "\n";
+  for (const auto& c : node.children)
+    write_node(os, c, indent + 1, name_width);
+}
+
+std::size_t max_label_width(const PhaseStats& node, int indent) {
+  std::size_t w = static_cast<std::size_t>(indent) * 2 + node.name.size();
+  for (const auto& c : node.children)
+    w = std::max(w, max_label_width(c, indent + 1));
+  return w;
+}
+
+void flatten_into(const PhaseStats& node, const std::string& prefix,
+                  std::vector<FlatPhase>& out) {
+  for (const auto& c : node.children) {
+    const std::string path = prefix.empty() ? c.name : prefix + "/" + c.name;
+    out.push_back({path, c.count, c.total_sec, c.self_sec});
+    flatten_into(c, path, out);
+  }
+}
+
+}  // namespace
+
+PhaseStats merge_trees(
+    const std::vector<std::shared_ptr<const util::PhaseNode>>& trees) {
+  MergeNode root;
+  for (const auto& tree : trees) {
+    if (!tree) continue;
+    for (const auto& [name, child] : tree->children)
+      accumulate(root.children[name], *child);
+  }
+  PhaseStats out = to_stats("", root);
+  out.count = 0;  // the synthetic root has no entries of its own
+  return out;
+}
+
+PhaseStats merged_profile() {
+  return merge_trees(util::PhaseProfiler::trees());
+}
+
+void write_profile(std::ostream& os, const PhaseStats& root) {
+  if (root.children.empty()) {
+    os << "(no phases recorded)\n";
+    return;
+  }
+  std::size_t name_width = 5;  // at least "phase"
+  for (const auto& c : root.children)
+    name_width = std::max(name_width, max_label_width(c, 0));
+  name_width += 2;
+  const auto saved_flags = os.flags();
+  const auto saved_precision = os.precision();
+  os << "phase" << std::string(name_width - 5, ' ') << std::setw(10)
+     << "count" << std::setw(12) << "total(s)" << std::setw(12) << "self(s)"
+     << "\n";
+  for (const auto& c : root.children) write_node(os, c, 0, name_width);
+  os.flags(saved_flags);
+  os.precision(saved_precision);
+}
+
+std::vector<FlatPhase> flatten_profile(const PhaseStats& root) {
+  std::vector<FlatPhase> out;
+  flatten_into(root, "", out);
+  return out;
+}
+
+}  // namespace vc2m::obs

@@ -1,0 +1,59 @@
+// Deterministic merge + rendering for util::PhaseProfiler trees.
+//
+// The util layer owns the raw per-thread trees (src/util/phase_profiler.h)
+// so the allocator can carry span markers without linking obs; this module
+// folds those trees into one name-sorted PhaseStats tree whose *structure
+// and counts* are identical regardless of how work was spread over
+// ThreadPool workers — only the wall-time fields vary run to run. That is
+// the property the report/diff pipeline relies on: two runs of the same
+// workload produce comparable phase paths.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/phase_profiler.h"
+
+namespace vc2m::obs {
+
+/// One merged phase: entry count, total wall seconds (including children)
+/// and self seconds (total minus the children's totals, floored at 0).
+/// Children are sorted by name, so traversal order is deterministic.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_sec = 0;
+  double self_sec = 0;
+  std::vector<PhaseStats> children;
+};
+
+/// Merge every registered per-thread tree (quiescent snapshot — call after
+/// ThreadPool::wait()) into a single root. The root is an unnamed synthetic
+/// node whose children are the top-level phases.
+PhaseStats merged_profile();
+
+/// Merge an explicit set of trees (for tests and saved snapshots).
+PhaseStats merge_trees(
+    const std::vector<std::shared_ptr<const util::PhaseNode>>& trees);
+
+/// Render the tree as an indented table:
+///   phase                              count    total(s)     self(s)
+///   experiment                             1      1.2340      0.0010
+///     sweep                                1      1.2000      0.2000
+/// Wall-time columns are fixed 4-decimal seconds.
+void write_profile(std::ostream& os, const PhaseStats& root);
+
+/// Depth-first flatten to "a/b/c"-style paths (root's synthetic node is
+/// skipped). Used by the bench report writer and perfdiff.
+struct FlatPhase {
+  std::string path;
+  std::uint64_t count = 0;
+  double total_sec = 0;
+  double self_sec = 0;
+};
+std::vector<FlatPhase> flatten_profile(const PhaseStats& root);
+
+}  // namespace vc2m::obs

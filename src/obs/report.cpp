@@ -128,6 +128,13 @@ void write_metrics_dump(std::ostream& os, const MetricsRegistry& registry) {
         break;
     }
     os << '\n';
+    // Histograms get companion quantile lines so a dump diffs without
+    // access to the live registry.
+    if (m.kind == MetricSample::Kind::kHistogram) {
+      os << m.name << ".p50 " << fmt(m.p50, 6) << '\n';
+      os << m.name << ".p95 " << fmt(m.p95, 6) << '\n';
+      os << m.name << ".p99 " << fmt(m.p99, 6) << '\n';
+    }
   }
 }
 

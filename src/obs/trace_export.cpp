@@ -16,6 +16,7 @@ namespace {
 
 constexpr int kCorePid = 1;   ///< Chrome "process" grouping the core tracks
 constexpr int kVcpuPid = 2;   ///< ... and the VCPU tracks
+constexpr int kTelemetryPid = 3;  ///< counter tracks (pool telemetry etc.)
 
 /// Chrome `ts` is in microseconds; three decimals keep ns precision.
 std::string ts_us(util::Time t) {
@@ -77,6 +78,17 @@ void instant_event(JsonWriter& w, int pid, int tid, const char* scope,
     os << "}";
   }
   os << "}";
+  w.line(os.str());
+}
+
+void counter_event(JsonWriter& w, const std::string& track, util::Time at,
+                   double value) {
+  char num[40];
+  std::snprintf(num, sizeof num, "%.3f", value);
+  std::ostringstream os;
+  os << "{\"ph\":\"C\",\"pid\":" << kTelemetryPid << ",\"tid\":0,\"ts\":"
+     << ts_us(at) << ",\"name\":\"" << json_escape(track)
+     << "\",\"args\":{\"value\":" << num << "}}";
   w.line(os.str());
 }
 
@@ -142,6 +154,19 @@ void write_chrome_trace(std::ostream& os,
     if (j < meta.vcpu_vm.size() && meta.vcpu_vm[j] >= 0)
       name += " (vm " + std::to_string(meta.vcpu_vm[j]) + ")";
     meta_event(w, kVcpuPid, static_cast<int>(j), "thread_name", name);
+  }
+
+  // Counter tracks ("C" events) live in their own "telemetry" process so
+  // the schedule tracks stay uncluttered. Nothing is emitted when no track
+  // has samples, keeping golden traces byte-identical.
+  bool any_counters = false;
+  for (const auto& track : meta.counters)
+    any_counters = any_counters || !track.samples.empty();
+  if (any_counters) {
+    meta_event(w, kTelemetryPid, 0, "process_name", "telemetry");
+    for (const auto& track : meta.counters)
+      for (const auto& [at, value] : track.samples)
+        counter_event(w, track.name, at, value);
   }
 
   // Single pass: pair schedule/deschedule and throttle/unthrottle into

@@ -17,12 +17,21 @@
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulation.h"
 #include "sim/trace.h"
 
 namespace vc2m::obs {
+
+/// A numeric time series rendered as a Perfetto counter track ("C" phase
+/// events): thread-pool executed/steal/pending telemetry, queue depths…
+/// Samples must be in nondecreasing time order.
+struct CounterTrack {
+  std::string name;
+  std::vector<std::pair<util::Time, double>> samples;
+};
 
 /// Track labelling for the JSON exporter (which core each VCPU lives on,
 /// which VM it belongs to). Derivable from a SimConfig; default-constructed
@@ -32,6 +41,10 @@ struct TraceMeta {
   std::vector<int> vcpu_core;        ///< per VCPU; -1 = unknown
   std::vector<int> vcpu_vm;          ///< per VCPU; -1 = unknown
   std::vector<std::string> task_labels;  ///< optional, per task
+  /// Optional counter tracks shown as a separate "telemetry" process.
+  /// Empty (the default) emits nothing, so existing golden traces are
+  /// byte-identical.
+  std::vector<CounterTrack> counters;
 
   static TraceMeta from_config(const sim::SimConfig& cfg);
 };

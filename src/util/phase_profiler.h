@@ -1,0 +1,165 @@
+// Hierarchical wall-clock phase profiler — the span primitive.
+//
+// `VC2M_PROFILE_PHASE("hv_alloc")` opens an RAII span on the current
+// thread; nested spans build a per-thread call tree with per-phase entry
+// counts and total wall time. The primitive lives in util (like the
+// AllocCounters hooks in instrument.h) so the allocation and analysis
+// layers can carry markers without depending on src/obs; merging the
+// per-thread trees into one deterministic report tree is obs::profiler's
+// job.
+//
+// Cost model: profiling is off by default, and a span on the disabled
+// path is one relaxed atomic load and a branch — cheap enough for markers
+// inside the min-budget search. When enabled, a span is a map lookup in
+// the current node's children plus two steady_clock reads.
+//
+// Threading contract: spans touch only their own thread's tree, so
+// concurrent spans never contend. PhaseProfiler::trees() and reset() must
+// run at a quiescent point (no spans open on other threads) — after
+// ThreadPool::wait(), which also gives the reader a happens-before edge
+// over the workers' writes. The profiler records wall time only; it never
+// touches RNG streams or analysis state, so enabling it cannot perturb
+// result bit-identity.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vc2m::util {
+
+/// One node of a per-thread phase tree. `children` is name-keyed (and so
+/// deterministically ordered); `total_ns` is wall time including children
+/// (self time is derived at report level).
+struct PhaseNode {
+  std::string name;
+  PhaseNode* parent = nullptr;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::map<std::string, std::unique_ptr<PhaseNode>> children;
+
+  PhaseNode* child(const std::string& child_name) {
+    auto& slot = children[child_name];
+    if (!slot) {
+      slot = std::make_unique<PhaseNode>();
+      slot->name = child_name;
+      slot->parent = this;
+    }
+    return slot.get();
+  }
+};
+
+namespace detail {
+
+struct ProfilerGlobals {
+  std::atomic<bool> enabled{false};
+  /// Bumped by reset(); threads whose cached epoch is stale re-register a
+  /// fresh tree on their next span.
+  std::atomic<std::uint64_t> epoch{1};
+  std::mutex mu;
+  /// Every thread's root, live and finished threads alike (shared_ptr
+  /// keeps a tree readable after its thread exits).
+  std::vector<std::shared_ptr<PhaseNode>> trees;
+
+  static ProfilerGlobals& instance() {
+    static ProfilerGlobals g;
+    return g;
+  }
+};
+
+struct ProfilerThreadState {
+  std::shared_ptr<PhaseNode> root;
+  PhaseNode* current = nullptr;
+  std::uint64_t epoch = 0;
+};
+
+inline ProfilerThreadState& profiler_thread_state() {
+  thread_local ProfilerThreadState state;
+  return state;
+}
+
+}  // namespace detail
+
+class PhaseProfiler {
+ public:
+  static void set_enabled(bool on) {
+    detail::ProfilerGlobals::instance().enabled.store(
+        on, std::memory_order_relaxed);
+  }
+  static bool enabled() {
+    return detail::ProfilerGlobals::instance().enabled.load(
+        std::memory_order_relaxed);
+  }
+
+  /// Snapshot of every registered per-thread tree. Quiescent use only
+  /// (see the header comment); the pointers stay valid across reset().
+  static std::vector<std::shared_ptr<const PhaseNode>> trees() {
+    auto& g = detail::ProfilerGlobals::instance();
+    std::lock_guard<std::mutex> lk(g.mu);
+    return {g.trees.begin(), g.trees.end()};
+  }
+
+  /// Drop all registered trees; threads start fresh ones on their next
+  /// span. Quiescent use only.
+  static void reset() {
+    auto& g = detail::ProfilerGlobals::instance();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.trees.clear();
+    g.epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// RAII phase span; use via VC2M_PROFILE_PHASE, or construct directly
+/// when the label is computed at runtime (e.g. "solve/" + key).
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name) {
+    if (PhaseProfiler::enabled()) open(name);
+  }
+  explicit PhaseSpan(const std::string& name) {
+    if (PhaseProfiler::enabled()) open(name);
+  }
+  ~PhaseSpan() {
+    if (!node_) return;
+    node_->total_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+    detail::profiler_thread_state().current = node_->parent;
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  void open(const std::string& name) {
+    auto& ts = detail::profiler_thread_state();
+    auto& g = detail::ProfilerGlobals::instance();
+    const std::uint64_t epoch = g.epoch.load(std::memory_order_relaxed);
+    if (ts.epoch != epoch || !ts.root) {
+      ts.root = std::make_shared<PhaseNode>();
+      ts.current = ts.root.get();
+      ts.epoch = epoch;
+      std::lock_guard<std::mutex> lk(g.mu);
+      g.trees.push_back(ts.root);
+    }
+    node_ = ts.current->child(name);
+    ++node_->count;
+    ts.current = node_;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  PhaseNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#define VC2M_PROFILE_CONCAT2(a, b) a##b
+#define VC2M_PROFILE_CONCAT(a, b) VC2M_PROFILE_CONCAT2(a, b)
+#define VC2M_PROFILE_PHASE(name) \
+  ::vc2m::util::PhaseSpan VC2M_PROFILE_CONCAT(vc2m_phase_span_, __COUNTER__)(name)
+
+}  // namespace vc2m::util

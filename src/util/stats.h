@@ -28,6 +28,7 @@ class SampleStats {
     sum_ += x;
     samples_.push_back(x);
     sorted_ = false;
+    stddev_valid_ = false;
   }
 
   std::size_t count() const { return samples_.size(); }
@@ -45,12 +46,20 @@ class SampleStats {
     VC2M_CHECK(!empty());
     return sum_ / static_cast<double>(samples_.size());
   }
+  /// Population stddev. Cached like the sort order: the two-pass scan runs
+  /// at most once between additions, so bench loops that interleave
+  /// stddev()/percentile() queries over a settled sample set pay O(n) once
+  /// instead of per call.
   double stddev() const {
     VC2M_CHECK(!empty());
-    const double m = mean();
-    double s = 0;
-    for (double x : samples_) s += (x - m) * (x - m);
-    return std::sqrt(s / static_cast<double>(samples_.size()));
+    if (!stddev_valid_) {
+      const double m = mean();
+      double s = 0;
+      for (double x : samples_) s += (x - m) * (x - m);
+      stddev_ = std::sqrt(s / static_cast<double>(samples_.size()));
+      stddev_valid_ = true;
+    }
+    return stddev_;
   }
   /// p in [0, 1]; linear-interpolated percentile. The samples are sorted
   /// at most once between additions, so a batch of percentile queries
@@ -78,6 +87,8 @@ class SampleStats {
   }
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+  mutable bool stddev_valid_ = false;
+  mutable double stddev_ = 0;
   double min_ = 0;
   double max_ = 0;
   double sum_ = 0;

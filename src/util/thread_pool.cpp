@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/error.h"
 
@@ -39,9 +40,16 @@ void ThreadPool::submit(std::function<void()> task) {
     ++in_flight_;
     victim = next_++ % workers_.size();
   }
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lk(workers_[victim]->mu);
     workers_[victim]->tasks.push_back(std::move(task));
+    depth = workers_[victim]->tasks.size();
+  }
+  std::size_t seen = workers_[victim]->max_queue.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !workers_[victim]->max_queue.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
   }
   // The push must land before queued_ counts it, so a worker woken by the
   // notify below always finds the task when it scans the deques.
@@ -68,6 +76,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      workers_[self]->steals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -89,6 +98,7 @@ void ThreadPool::worker_loop(std::size_t self) {
         if (!first_error_) first_error_ = std::current_exception();
       }
       task = nullptr;  // release captures before declaring the task done
+      workers_[self]->executed.fetch_add(1, std::memory_order_relaxed);
       bool idle;
       {
         std::lock_guard<std::mutex> lk(pool_mu_);
@@ -96,8 +106,14 @@ void ThreadPool::worker_loop(std::size_t self) {
       }
       if (idle) idle_cv_.notify_all();
     } else {
+      const auto park_start = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lk(pool_mu_);
       work_cv_.wait(lk, [&] { return stop_ || queued_ > 0; });
+      workers_[self]->idle_ns.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - park_start)
+              .count(),
+          std::memory_order_relaxed);
       if (stop_ && queued_ <= 0) return;
     }
   }
@@ -112,6 +128,25 @@ void ThreadPool::wait() {
     lk.unlock();
     std::rethrow_exception(err);
   }
+}
+
+PoolTelemetry ThreadPool::telemetry() const {
+  PoolTelemetry t;
+  t.workers.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    PoolTelemetry::Worker out;
+    out.executed = w->executed.load(std::memory_order_relaxed);
+    out.steals = w->steals.load(std::memory_order_relaxed);
+    out.idle_ns = w->idle_ns.load(std::memory_order_relaxed);
+    out.max_queue = w->max_queue.load(std::memory_order_relaxed);
+    t.workers.push_back(out);
+  }
+  return t;
+}
+
+std::size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lk(pool_mu_);
+  return in_flight_;
 }
 
 void ThreadPool::parallel_for(std::size_t n,

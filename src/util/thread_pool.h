@@ -15,8 +15,11 @@
 // and docs/parallelism.md for the contract this enables).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -26,6 +29,40 @@
 #include <vector>
 
 namespace vc2m::util {
+
+/// Snapshot of the pool's per-worker execution telemetry. Counters are
+/// monotone over the pool's lifetime (never reset by wait()); sample at
+/// two quiescent points and subtract to attribute work to a region.
+struct PoolTelemetry {
+  struct Worker {
+    std::uint64_t executed = 0;  ///< tasks this worker ran to completion
+    std::uint64_t steals = 0;    ///< tasks it took from another deque
+    std::int64_t idle_ns = 0;    ///< wall time spent parked on the work cv
+    std::size_t max_queue = 0;   ///< high-water mark of its own deque
+  };
+  std::vector<Worker> workers;
+
+  std::uint64_t total_executed() const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers) n += w.executed;
+    return n;
+  }
+  std::uint64_t total_steals() const {
+    std::uint64_t n = 0;
+    for (const auto& w : workers) n += w.steals;
+    return n;
+  }
+  std::int64_t total_idle_ns() const {
+    std::int64_t n = 0;
+    for (const auto& w : workers) n += w.idle_ns;
+    return n;
+  }
+  std::size_t max_queue_depth() const {
+    std::size_t n = 0;
+    for (const auto& w : workers) n = std::max(n, w.max_queue);
+    return n;
+  }
+};
 
 class ThreadPool {
  public:
@@ -62,10 +99,25 @@ class ThreadPool {
   /// max(1, std::thread::hardware_concurrency()).
   static unsigned hardware_workers();
 
+  /// Per-worker execution counters (see PoolTelemetry). The counters are
+  /// updated with relaxed atomics, so a snapshot taken while tasks are
+  /// running is approximate; snapshot after wait() for exact numbers.
+  PoolTelemetry telemetry() const;
+
+  /// Tasks submitted but not yet finished (the value wait() drains to 0).
+  std::size_t pending() const;
+
  private:
   struct WorkerState {
     std::mutex mu;
     std::deque<std::function<void()>> tasks;
+    // Telemetry: written by the owning worker (executed/steals/idle_ns)
+    // or the submitter (max_queue), read by telemetry(). Relaxed is fine —
+    // these are statistics, not synchronization.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::int64_t> idle_ns{0};
+    std::atomic<std::size_t> max_queue{0};
   };
 
   bool try_pop(std::size_t self, std::function<void()>& out);
@@ -77,7 +129,7 @@ class ThreadPool {
   // pool_mu_ guards everything below. queued_ counts tasks pushed minus
   // tasks popped (transiently negative while a push's bookkeeping races a
   // steal); in_flight_ counts submitted minus finished.
-  std::mutex pool_mu_;
+  mutable std::mutex pool_mu_;  ///< mutable so pending() can stay const
   std::condition_variable work_cv_;  ///< workers sleep here when idle
   std::condition_variable idle_cv_;  ///< wait() sleeps here
   std::ptrdiff_t queued_ = 0;

@@ -1,16 +1,21 @@
 // Observability layer: metrics registry, trace export/import, the metrics
-// recorder, and the trace invariant checker.
+// recorder, the trace invariant checker, profiler merge/rendering, bench
+// reports and the perfdiff gate.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 
+#include "obs/bench_report.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
 #include "obs/trace_check.h"
 #include "obs/trace_export.h"
 #include "sim/simulation.h"
 #include "util/error.h"
+#include "util/log_histogram.h"
 
 namespace vc2m::obs {
 namespace {
@@ -592,6 +597,292 @@ TEST(Recorder, EndToEndWithSimulator) {
   std::ostringstream dump;
   write_metrics_dump(dump, reg);
   EXPECT_NE(dump.str().find("sim.jobs_completed"), std::string::npos);
+}
+
+TEST(MetricsDump, HistogramsEmitQuantileCompanionLines) {
+  MetricsRegistry reg;
+  auto& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+  for (int i = 0; i < 90; ++i) h.add(0.5);
+  for (int i = 0; i < 10; ++i) h.add(3.0);
+  std::ostringstream dump;
+  write_metrics_dump(dump, reg);
+  const std::string out = dump.str();
+  EXPECT_NE(out.find("lat.p50 1.000000"), std::string::npos) << out;
+  EXPECT_NE(out.find("lat.p95 4.000000"), std::string::npos) << out;
+  EXPECT_NE(out.find("lat.p99 4.000000"), std::string::npos) << out;
+}
+
+// -------------------------------------------- profiler merge & reports ----
+
+/// Hand-built per-thread tree: root -> {phases...} with given counts and
+/// per-phase total nanoseconds.
+std::shared_ptr<util::PhaseNode> thread_tree(
+    const std::vector<std::pair<std::string, std::int64_t>>& phases) {
+  auto root = std::make_shared<util::PhaseNode>();
+  for (const auto& [name, ns] : phases) {
+    auto* n = root->child(name);
+    ++n->count;
+    n->total_ns += ns;
+  }
+  return root;
+}
+
+TEST(ProfilerMerge, StructureAndCountsAreOrderInvariant) {
+  // Worker threads register trees in a nondeterministic order; the merged
+  // result must not depend on it.
+  const auto a = thread_tree({{"solve", 4'000'000}, {"generate", 1'000'000}});
+  const auto b = thread_tree({{"solve", 6'000'000}});
+  auto* deep = a->child("solve")->child("hv_alloc");
+  deep->count = 4;
+  deep->total_ns = 3'000'000;
+
+  const auto ab = merge_trees({a, b});
+  const auto ba = merge_trees({b, a});
+  const auto fa = flatten_profile(ab);
+  const auto fb = flatten_profile(ba);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].path, fb[i].path);
+    EXPECT_EQ(fa[i].count, fb[i].count);
+    EXPECT_DOUBLE_EQ(fa[i].total_sec, fb[i].total_sec);
+  }
+  // Children are name-sorted, counts and times sum across threads.
+  ASSERT_EQ(fa.size(), 3u);
+  EXPECT_EQ(fa[0].path, "generate");
+  EXPECT_EQ(fa[1].path, "solve");
+  EXPECT_EQ(fa[2].path, "solve/hv_alloc");
+  EXPECT_EQ(fa[1].count, 2u);  // one "solve" entry on each thread
+  EXPECT_DOUBLE_EQ(fa[1].total_sec, 0.010);
+  EXPECT_EQ(fa[2].count, 4u);
+}
+
+TEST(ProfilerMerge, SelfTimeIsTotalMinusChildren) {
+  const auto t = thread_tree({{"outer", 10'000'000}});
+  auto* inner = t->child("outer")->child("inner");
+  inner->count = 2;
+  inner->total_ns = 4'000'000;
+  const auto merged = merge_trees({t});
+  ASSERT_EQ(merged.children.size(), 1u);
+  const auto& outer = merged.children[0];
+  EXPECT_DOUBLE_EQ(outer.total_sec, 0.010);
+  EXPECT_DOUBLE_EQ(outer.self_sec, 0.006);
+  ASSERT_EQ(outer.children.size(), 1u);
+  EXPECT_DOUBLE_EQ(outer.children[0].self_sec, 0.004);
+}
+
+TEST(ProfilerMerge, WriteProfileRendersIndentedTable) {
+  const auto t = thread_tree({{"experiment", 2'000'000}});
+  t->child("experiment")->child("sweep")->count = 1;
+  t->child("experiment")->child("sweep")->total_ns = 1'000'000;
+  std::ostringstream os;
+  write_profile(os, merge_trees({t}));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("experiment"), std::string::npos);
+  EXPECT_NE(out.find("  sweep"), std::string::npos);  // indented child
+  EXPECT_NE(out.find("0.0020"), std::string::npos);
+  EXPECT_NE(out.find("0.0010"), std::string::npos);
+}
+
+/// A fully-populated report with values that survive %.9g round-trips.
+BenchReport sample_report() {
+  BenchReport r;
+  r.name = "unit";
+  r.git_rev = "deadbeef0123";
+  r.config["platform"] = "A";
+  r.config["note"] = "quotes \" and \\ and\nnewlines";
+  r.counters["dbf_evaluations"] = 8192;
+  r.counters["vm_alloc_seconds"] = 0.125;
+  r.counters["budget_cache_hits"] = 512;
+  PhaseStats solve;
+  solve.name = "solve";
+  solve.count = 9;
+  solve.total_sec = 1.5;
+  solve.self_sec = 0.25;
+  PhaseStats inner;
+  inner.name = "hv_alloc";
+  inner.count = 9;
+  inner.total_sec = 1.25;
+  inner.self_sec = 1.25;
+  solve.children.push_back(inner);
+  r.phases.children.push_back(solve);
+  HistogramSummary h;
+  h.count = 100;
+  h.mean = 0.5;
+  h.min = 0.125;
+  h.max = 2.0;
+  h.p50 = 0.5;
+  h.p90 = 1.0;
+  h.p95 = 1.5;
+  h.p99 = 2.0;
+  r.histograms["solve_seconds"] = h;
+  r.pool.workers.push_back({40, 3, 0.25, 17});
+  r.pool.workers.push_back({38, 5, 0.5, 12});
+  return r;
+}
+
+TEST(BenchReport, JsonRoundTrip) {
+  const auto r = sample_report();
+  std::stringstream ss;
+  write_bench_report(ss, r);
+  const auto back = read_bench_report(ss);
+  EXPECT_EQ(back.schema, r.schema);
+  EXPECT_EQ(back.name, r.name);
+  EXPECT_EQ(back.git_rev, r.git_rev);
+  EXPECT_EQ(back.config, r.config);
+  EXPECT_EQ(back.counters, r.counters);
+  ASSERT_EQ(back.phases.children.size(), 1u);
+  EXPECT_EQ(back.phases.children[0].name, "solve");
+  EXPECT_EQ(back.phases.children[0].count, 9u);
+  EXPECT_DOUBLE_EQ(back.phases.children[0].total_sec, 1.5);
+  ASSERT_EQ(back.phases.children[0].children.size(), 1u);
+  EXPECT_EQ(back.phases.children[0].children[0].name, "hv_alloc");
+  ASSERT_EQ(back.histograms.count("solve_seconds"), 1u);
+  const auto& h = back.histograms.at("solve_seconds");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.p95, 1.5);
+  ASSERT_EQ(back.pool.workers.size(), 2u);
+  EXPECT_EQ(back.pool.workers[1].executed, 38u);
+  EXPECT_DOUBLE_EQ(back.pool.workers[1].idle_sec, 0.5);
+  EXPECT_EQ(back.pool.workers[0].max_queue, 17u);
+}
+
+TEST(BenchReport, ReaderRejectsGarbageAndForeignSchemas) {
+  std::stringstream garbage("this is not json");
+  EXPECT_THROW(read_bench_report(garbage), util::Error);
+  std::stringstream wrong("{\"schema\": \"somebody-elses/9\"}");
+  EXPECT_THROW(read_bench_report(wrong), util::Error);
+  std::stringstream trailing("{\"schema\": \"vc2m-bench-report/1\"} junk");
+  EXPECT_THROW(read_bench_report(trailing), util::Error);
+}
+
+TEST(BenchReport, SummarisesLogHistogramQuantiles) {
+  util::LogHistogram lh;
+  for (int i = 1; i <= 1000; ++i) lh.add(static_cast<double>(i));
+  const auto s = HistogramSummary::of(lh);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  // Log-bucketed estimates: within one bucket ratio of the exact ranks.
+  EXPECT_NEAR(s.p50, 500.0, 500.0 * (lh.bucket_ratio() - 1 + 1e-9));
+  EXPECT_NEAR(s.p99, 990.0, 990.0 * (lh.bucket_ratio() - 1 + 1e-9));
+}
+
+// ----------------------------------------------------------- perfdiff ----
+
+TEST(PerfDiff, SelfCompareIsClean) {
+  const auto r = sample_report();
+  const auto d = diff_reports(r, r);
+  EXPECT_FALSE(d.has_regression());
+  EXPECT_TRUE(d.notes.empty());
+  EXPECT_FALSE(d.entries.empty());
+  for (const auto& e : d.entries) {
+    EXPECT_FALSE(e.regression) << e.kind << ":" << e.key;
+    EXPECT_DOUBLE_EQ(e.base, e.current) << e.kind << ":" << e.key;
+  }
+}
+
+TEST(PerfDiff, DoubledPhaseTimeTripsTheGate) {
+  const auto base = sample_report();
+  auto cur = base;
+  cur.phases.children[0].total_sec *= 2;  // "solve": 1.5 s -> 3.0 s
+  const auto d = diff_reports(base, cur);
+  EXPECT_TRUE(d.has_regression());
+  bool flagged = false;
+  for (const auto& e : d.entries)
+    if (e.kind == "phase" && e.key == "solve") {
+      flagged = true;
+      EXPECT_TRUE(e.regression);
+      EXPECT_DOUBLE_EQ(e.base, 1.5);
+      EXPECT_DOUBLE_EQ(e.current, 3.0);
+    }
+  EXPECT_TRUE(flagged);
+  std::ostringstream os;
+  write_perfdiff(os, d);
+  EXPECT_NE(os.str().find("REGRESS"), std::string::npos);
+  // A generous threshold lets the same pair through.
+  PerfDiffOptions lax;
+  lax.max_regress = 1.5;
+  EXPECT_FALSE(diff_reports(base, cur, lax).has_regression());
+}
+
+TEST(PerfDiff, HistogramP95GatesButMeanIsInformational) {
+  const auto base = sample_report();
+  auto cur = base;
+  cur.histograms["solve_seconds"].mean *= 10;
+  EXPECT_FALSE(diff_reports(base, cur).has_regression());
+  cur = base;
+  cur.histograms["solve_seconds"].p95 *= 2;
+  EXPECT_TRUE(diff_reports(base, cur).has_regression());
+}
+
+TEST(PerfDiff, ImprovementsExemptCountersAndPoolNeverTrip) {
+  const auto base = sample_report();
+  auto cur = base;
+  cur.phases.children[0].total_sec /= 2;        // faster is fine
+  cur.counters["budget_cache_hits"] = 1;        // more-is-better: exempt
+  cur.pool.workers[0].steals += 1000;           // telemetry: informational
+  cur.pool.workers[0].executed += 1000;
+  EXPECT_FALSE(diff_reports(base, cur).has_regression());
+}
+
+TEST(PerfDiff, TinyAbsoluteDeltasAreNoise) {
+  // +50% on a 20 µs phase is under the 100 µs absolute floor: not a
+  // regression, however large the relative growth.
+  BenchReport base;
+  PhaseStats p;
+  p.name = "blip";
+  p.count = 1;
+  p.total_sec = 2e-5;
+  p.self_sec = 2e-5;
+  base.phases.children.push_back(p);
+  auto cur = base;
+  cur.phases.children[0].total_sec = 3e-5;
+  EXPECT_FALSE(diff_reports(base, cur).has_regression());
+}
+
+TEST(PerfDiff, OneSidedKeysBecomeNotes) {
+  const auto base = sample_report();
+  auto cur = base;
+  cur.counters.erase("dbf_evaluations");
+  cur.counters["brand_new_counter"] = 7;
+  const auto d = diff_reports(base, cur);
+  EXPECT_FALSE(d.has_regression());
+  EXPECT_FALSE(d.notes.empty());
+  bool missing = false, fresh = false;
+  for (const auto& n : d.notes) {
+    if (n.find("dbf_evaluations") != std::string::npos) missing = true;
+    if (n.find("brand_new_counter") != std::string::npos) fresh = true;
+  }
+  EXPECT_TRUE(missing);
+  EXPECT_TRUE(fresh);
+}
+
+// ------------------------------------------------- pool counter tracks ----
+
+TEST(TraceExport, CounterTracksRenderAsTelemetryProcess) {
+  TraceMeta meta;
+  meta.counters.push_back(
+      {"pool/executed", {{Time::ms(1), 5.0}, {Time::ms(2), 9.0}}});
+  meta.counters.push_back({"pool/pending", {{Time::ms(1), 3.0}}});
+  std::ostringstream os;
+  write_chrome_trace(os, {}, meta);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"name\":\"process_name\",\"args\":{\"name\":"
+                     "\"telemetry\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"ph\":\"C\",\"pid\":3,\"tid\":0,\"ts\":1000.000,"
+                     "\"name\":\"pool/executed\",\"args\":{\"value\":5.000}}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"value\":9.000"), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"pool/pending\""), std::string::npos);
+  // Empty tracks emit nothing: the golden serialisation stays untouched.
+  TraceMeta with_empty;
+  with_empty.counters.push_back({"pool/executed", {}});
+  std::ostringstream plain, empty_tracks;
+  write_chrome_trace(plain, {});
+  write_chrome_trace(empty_tracks, {}, with_empty);
+  EXPECT_EQ(plain.str(), empty_tracks.str());
 }
 
 }  // namespace

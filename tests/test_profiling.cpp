@@ -1,0 +1,163 @@
+// Profiling + telemetry over the real experiment engine: the phase
+// profiler must not perturb the determinism contract (bit-identical
+// results with profiling on or off, at any --jobs), and the merged phase
+// tree's *structure and counts* must themselves be deterministic across
+// job counts — only wall times may vary run to run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "model/platform.h"
+#include "obs/profiler.h"
+#include "util/instrument.h"
+#include "util/phase_profiler.h"
+
+namespace vc2m {
+namespace {
+
+core::ExperimentConfig small_sweep(std::uint64_t seed, int jobs) {
+  core::ExperimentConfig cfg;
+  cfg.platform = model::PlatformSpec::A();
+  cfg.util_lo = 0.4;
+  cfg.util_hi = 1.0;
+  cfg.util_step = 0.3;
+  cfg.tasksets_per_point = 4;
+  cfg.seed = seed;
+  cfg.jobs = jobs;
+  // One representative of every fast analysis family (skip existing-CSA).
+  cfg.solutions = {"flat", "ovf", "even", "baseline"};
+  return cfg;
+}
+
+constexpr int kPoints = 3;      // utils 0.4, 0.7, 1.0
+constexpr int kTasksets = 4;
+constexpr int kSolutions = 4;
+constexpr int kCells = kPoints * kTasksets * kSolutions;
+
+/// Run one profiled sweep and return its flattened merged phase tree.
+struct ProfiledSweep {
+  core::ExperimentResult result;
+  std::vector<obs::FlatPhase> phases;
+};
+
+ProfiledSweep profiled_sweep(std::uint64_t seed, int jobs) {
+  util::PhaseProfiler::reset();
+  util::PhaseProfiler::set_enabled(true);
+  ProfiledSweep out;
+  out.result = core::run_schedulability_experiment(small_sweep(seed, jobs));
+  out.phases = obs::flatten_profile(obs::merged_profile());
+  util::PhaseProfiler::set_enabled(false);
+  util::PhaseProfiler::reset();
+  return out;
+}
+
+std::uint64_t count_of(const std::vector<obs::FlatPhase>& phases,
+                       const std::string& path) {
+  for (const auto& p : phases)
+    if (p.path == path) return p.count;
+  return 0;
+}
+
+TEST(ProfilingDeterminism, PhaseTreeStructureIdenticalAcrossJobCounts) {
+  const auto r1 = profiled_sweep(42, 1);
+  const auto r2 = profiled_sweep(42, 2);
+  const auto r8 = profiled_sweep(42, 8);
+  for (const auto* other : {&r2, &r8}) {
+    ASSERT_EQ(r1.phases.size(), other->phases.size());
+    for (std::size_t i = 0; i < r1.phases.size(); ++i) {
+      EXPECT_EQ(r1.phases[i].path, other->phases[i].path) << i;
+      EXPECT_EQ(r1.phases[i].count, other->phases[i].count)
+          << r1.phases[i].path;
+    }
+  }
+}
+
+TEST(ProfilingDeterminism, MergedCountsMatchTheWorkload) {
+  const auto r = profiled_sweep(7, 3);
+  EXPECT_EQ(count_of(r.phases, "experiment"), 1u);
+  EXPECT_EQ(count_of(r.phases, "experiment/sweep"), 1u);
+  // Tasksets are generated once per (point, taskset) via call_once.
+  EXPECT_EQ(count_of(r.phases, "generate"),
+            static_cast<std::uint64_t>(kPoints * kTasksets));
+  // Every (point, taskset) cell solves each named solution exactly once.
+  for (const std::string key : {"flat", "ovf", "even", "baseline"})
+    EXPECT_EQ(count_of(r.phases, "solve/" + key),
+              static_cast<std::uint64_t>(kPoints * kTasksets))
+        << key;
+}
+
+TEST(ProfilingDeterminism, ProfilerOnOffPreservesBitIdentity) {
+  util::PhaseProfiler::reset();
+  util::PhaseProfiler::set_enabled(false);
+  util::AllocCounterScope off_scope;
+  const auto off = core::run_schedulability_experiment(small_sweep(42, 4));
+  const auto off_counters = off_scope.counters();
+
+  util::PhaseProfiler::set_enabled(true);
+  util::AllocCounterScope on_scope;
+  const auto on = core::run_schedulability_experiment(small_sweep(42, 4));
+  const auto on_counters = on_scope.counters();
+  util::PhaseProfiler::set_enabled(false);
+  util::PhaseProfiler::reset();
+
+  std::ostringstream t_off, t_on;
+  off.to_table().print(t_off);
+  on.to_table().print(t_on);
+  EXPECT_EQ(t_off.str(), t_on.str());
+  EXPECT_EQ(off_counters.kmeans_runs, on_counters.kmeans_runs);
+  EXPECT_EQ(off_counters.kmeans_final_shift, on_counters.kmeans_final_shift);
+  EXPECT_EQ(off_counters.admission_tests, on_counters.admission_tests);
+  EXPECT_EQ(off_counters.dbf_evaluations, on_counters.dbf_evaluations);
+  EXPECT_EQ(off_counters.budget_evaluations, on_counters.budget_evaluations);
+  EXPECT_EQ(off_counters.candidate_packings, on_counters.candidate_packings);
+  EXPECT_EQ(off_counters.partition_grants, on_counters.partition_grants);
+  // The per-cell schedulable verdicts match bitwise, not just in aggregate.
+  ASSERT_EQ(off.points.size(), on.points.size());
+  for (std::size_t pi = 0; pi < off.points.size(); ++pi)
+    for (std::size_t si = 0; si < off.points[pi].per_solution.size(); ++si)
+      EXPECT_EQ(off.points[pi].per_solution[si].schedulable,
+                on.points[pi].per_solution[si].schedulable)
+          << "point " << pi << " solution " << si;
+}
+
+TEST(ProfilingTelemetry, PoolAccountsEveryWorkItem) {
+  const auto result = core::run_schedulability_experiment(small_sweep(11, 3));
+  ASSERT_EQ(result.pool.workers.size(), 3u);
+  // One work item per (point, taskset, solution) cell; every one executed
+  // exactly once, wherever it ran.
+  EXPECT_EQ(result.pool.total_executed(),
+            static_cast<std::uint64_t>(kCells));
+  EXPECT_GT(result.pool.max_queue_depth(), 0u);
+
+  // One telemetry sample per completed sweep point, nondecreasing in both
+  // time and cumulative counts; the last sample saw all work submitted.
+  ASSERT_EQ(result.pool_samples.size(), static_cast<std::size_t>(kPoints));
+  for (std::size_t i = 1; i < result.pool_samples.size(); ++i) {
+    EXPECT_GE(result.pool_samples[i].at.raw_ns(),
+              result.pool_samples[i - 1].at.raw_ns());
+    EXPECT_GE(result.pool_samples[i].executed,
+              result.pool_samples[i - 1].executed);
+    EXPECT_GE(result.pool_samples[i].steals,
+              result.pool_samples[i - 1].steals);
+  }
+  EXPECT_LE(result.pool_samples.back().executed,
+            static_cast<std::uint64_t>(kCells));
+}
+
+TEST(ProfilingTelemetry, SolveSecondsHistogramCoversEveryCell) {
+  const auto result = core::run_schedulability_experiment(small_sweep(5, 2));
+  EXPECT_EQ(result.solve_seconds.count(),
+            static_cast<std::uint64_t>(kCells));
+  EXPECT_FALSE(result.solve_seconds.empty());
+  EXPECT_GT(result.solve_seconds.max(), 0.0);
+  EXPECT_GE(result.solve_seconds.quantile(0.95),
+            result.solve_seconds.quantile(0.50));
+}
+
+}  // namespace
+}  // namespace vc2m

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "util/error.h"
+#include "util/log_histogram.h"
+#include "util/phase_profiler.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -198,6 +203,179 @@ TEST(OnlineStats, MatchesBatchComputation) {
   EXPECT_NEAR(o.stddev(), s.stddev(), 1e-9);
   EXPECT_DOUBLE_EQ(o.min(), s.min());
   EXPECT_DOUBLE_EQ(o.max(), s.max());
+}
+
+TEST(SampleStats, StddevCacheInvalidatedByLaterAdds) {
+  // stddev() caches its two-pass scan; additions must invalidate the cache
+  // so later queries see the full sample set, not the stale value.
+  SampleStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // cached path
+  s.add(5.0);  // mean stays 5, spread shrinks
+  const double m = s.mean();
+  double sq = 0;
+  for (const double x : s.samples()) sq += (x - m) * (x - m);
+  EXPECT_DOUBLE_EQ(s.stddev(),
+                   std::sqrt(sq / static_cast<double>(s.count())));
+  EXPECT_LT(s.stddev(), 2.0);
+}
+
+TEST(SampleStats, StddevMatchesWelfordOnOffsetData) {
+  // Accuracy check for the naive two-pass stddev against Welford on data
+  // with a large common offset — the regime where a single-pass
+  // sum-of-squares formula catastrophically cancels. Both implementations
+  // here must agree to many digits.
+  SampleStats naive;
+  OnlineStats welford;
+  Rng rng(99);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = 1e9 + rng.uniform(0, 1);  // stddev ~0.2887
+    naive.add(x);
+    welford.add(x);
+  }
+  EXPECT_NEAR(naive.stddev(), welford.stddev(), 1e-6);
+  EXPECT_NEAR(naive.stddev(), 1.0 / std::sqrt(12.0), 5e-3);
+}
+
+// ------------------------------------------------------- log histogram ----
+
+TEST(LogHistogram, QuantileWithinBucketRatioOfExactRank) {
+  // The histogram promises any quantile is within one bucket ratio of a
+  // true sample at that rank. Compare against the exact nearest-rank
+  // statistic over the same samples.
+  LogHistogram h;
+  std::vector<double> v;
+  Rng rng(7);
+  for (int i = 0; i < 20'000; ++i) {
+    const double x = std::exp(rng.uniform(-10, 3));  // ~45 µs .. ~20 s
+    h.add(x);
+    v.push_back(x);
+  }
+  std::sort(v.begin(), v.end());
+  const double tol = h.bucket_ratio();  // 2^(1/32) ≈ 1.0219
+  for (const double q : {0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999}) {
+    const auto rank =
+        static_cast<std::size_t>(q * static_cast<double>(v.size() - 1));
+    const double exact = v[rank];
+    const double est = h.quantile(q);
+    EXPECT_LE(est, exact * tol) << "q=" << q;
+    EXPECT_GE(est, exact / tol) << "q=" << q;
+  }
+  // The extreme quantiles are bucket-midpoint estimates too: within one
+  // bucket ratio of the observed extremes, never outside [min, max].
+  EXPECT_LE(h.quantile(0.0), h.min() * tol);
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+  EXPECT_GE(h.quantile(1.0), h.max() / tol);
+}
+
+TEST(LogHistogram, MergeIsAssociativeAndCommutative) {
+  Rng rng(21);
+  LogHistogram parts[3];
+  for (int p = 0; p < 3; ++p)
+    for (int i = 0; i < 500; ++i)
+      parts[p].add(std::exp(rng.uniform(-8, 2)));
+
+  LogHistogram ab_c = parts[0];   // (a + b) + c
+  ab_c.merge(parts[1]);
+  ab_c.merge(parts[2]);
+  LogHistogram a_bc = parts[1];   // a + (b + c), built right-to-left
+  a_bc.merge(parts[2]);
+  LogHistogram left = parts[0];
+  left.merge(a_bc);
+  LogHistogram cba = parts[2];    // reversed order
+  cba.merge(parts[1]);
+  cba.merge(parts[0]);
+
+  for (const auto* h : {&left, &cba}) {
+    EXPECT_EQ(h->count(), ab_c.count());
+    EXPECT_EQ(h->bucket_counts(), ab_c.bucket_counts());
+    EXPECT_DOUBLE_EQ(h->min(), ab_c.min());
+    EXPECT_DOUBLE_EQ(h->max(), ab_c.max());
+    EXPECT_NEAR(h->sum(), ab_c.sum(), 1e-9 * std::abs(ab_c.sum()));
+    EXPECT_DOUBLE_EQ(h->quantile(0.5), ab_c.quantile(0.5));
+  }
+}
+
+TEST(LogHistogram, NonpositiveSamplesReportAsObservedMinimum) {
+  LogHistogram h;
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.nonpositive_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 2.0);
+}
+
+TEST(LogHistogram, MergeRejectsMismatchedLayouts) {
+  LogHistogram a;
+  LogHistogram b(LogHistogram::Config{6, -30, 34});
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), Error);
+}
+
+TEST(LogHistogram, EmptyAndWeightedAdds) {
+  LogHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.add(3.0, 10);
+  h.add(3.0, 0);  // zero weight is a no-op
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+// ------------------------------------------------------ phase profiler ----
+
+TEST(PhaseProfiler, DisabledSpansRecordNothing) {
+  PhaseProfiler::reset();
+  PhaseProfiler::set_enabled(false);
+  { VC2M_PROFILE_PHASE("should_not_appear"); }
+  EXPECT_TRUE(PhaseProfiler::trees().empty());
+}
+
+TEST(PhaseProfiler, SpansNestIntoACallTree) {
+  PhaseProfiler::reset();
+  PhaseProfiler::set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    VC2M_PROFILE_PHASE("outer");
+    { VC2M_PROFILE_PHASE("inner"); }
+    { VC2M_PROFILE_PHASE("inner"); }
+  }
+  PhaseProfiler::set_enabled(false);
+  const auto trees = PhaseProfiler::trees();
+  ASSERT_EQ(trees.size(), 1u);  // one thread registered
+  const auto& root = *trees[0];
+  ASSERT_EQ(root.children.size(), 1u);
+  const auto& outer = *root.children.begin()->second;
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.count, 3u);
+  ASSERT_EQ(outer.children.size(), 1u);
+  const auto& inner = *outer.children.begin()->second;
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(inner.count, 6u);
+  EXPECT_GE(outer.total_ns, inner.total_ns);
+  PhaseProfiler::reset();
+}
+
+TEST(PhaseProfiler, ResetDropsRegisteredTrees) {
+  PhaseProfiler::reset();
+  PhaseProfiler::set_enabled(true);
+  { VC2M_PROFILE_PHASE("ephemeral"); }
+  EXPECT_EQ(PhaseProfiler::trees().size(), 1u);
+  PhaseProfiler::set_enabled(false);
+  PhaseProfiler::reset();
+  EXPECT_TRUE(PhaseProfiler::trees().empty());
+  // A new span after reset re-registers the thread's tree.
+  PhaseProfiler::set_enabled(true);
+  { VC2M_PROFILE_PHASE("fresh"); }
+  PhaseProfiler::set_enabled(false);
+  const auto trees = PhaseProfiler::trees();
+  ASSERT_EQ(trees.size(), 1u);
+  EXPECT_EQ(trees[0]->children.count("fresh"), 1u);
+  PhaseProfiler::reset();
 }
 
 // --------------------------------------------------------------- table ----

@@ -37,6 +37,12 @@
 //       (single VCPU per core, no execution while throttled, release/
 //       completion matching).
 //
+//   vc2m perfdiff base.json current.json [--max-regress 10%]
+//       Compare two BENCH_*.json reports (written by the bench binaries
+//       with --json) per phase, per allocator counter and per histogram
+//       p95; exits nonzero when any tracked quantity regressed by more
+//       than the threshold (default 10%, accepted as "10%" or "0.1").
+//
 //   vc2m experiment [--platform P] [--dist D] [--vms N] [--seed S]
 //                   [--tasksets N] [--step S] [--util-lo U] [--util-hi U]
 //                   [--jobs N] [--solutions NAME[,NAME...]]
@@ -53,6 +59,14 @@
 //       solution: the fraction that stays schedulable under faults
 //       (critical tasks free of misses and kills).
 //
+//   --profile (simulate, experiment) enables the hierarchical phase
+//   profiler and prints the merged allocator phase tree (counts, total and
+//   self wall seconds) after the run; experiment also prints per-worker
+//   thread-pool telemetry (tasks executed, steals, idle time, peak queue
+//   depth). --pool-trace FILE (experiment) additionally writes the pool
+//   telemetry time series as Perfetto counter tracks, viewable in
+//   https://ui.perfetto.dev alongside any scheduling trace.
+//
 // CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
 // from the profile's slowdown vectors scaled to the given reference WCET.
 #include <fstream>
@@ -64,6 +78,8 @@
 #include "core/experiment.h"
 #include "core/solutions.h"
 #include "hw/cat.h"
+#include "obs/bench_report.h"
+#include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
 #include "obs/trace_check.h"
@@ -74,6 +90,7 @@
 #include "sim/simulation.h"
 #include "model/platform.h"
 #include "util/error.h"
+#include "util/phase_profiler.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -107,6 +124,11 @@ struct Args {
   std::string policy = "strict"; ///< enforcement policy name
   int fault_horizon = 1;         ///< hyperperiods per fault validation run
   std::string solutions;         ///< comma-separated sweep keys, empty = all
+  // profiling / perf reports
+  bool profile = false;          ///< render the phase tree after the run
+  std::string pool_trace;        ///< experiment: counter-track trace file
+  std::string max_regress;       ///< perfdiff threshold, "10%" or "0.1"
+  std::vector<std::string> positional;  ///< perfdiff report files
 };
 
 [[noreturn]] void usage(int code) {
@@ -118,10 +140,13 @@ struct Args {
                "[--solution S] [--seed S]\n"
                "       vc2m simulate --file tasks.csv [--platform P] "
                "[--solution S] [--seed S]\n"
-               "                     [--trace out.json|out.csv] [--report]\n"
+               "                     [--trace out.json|out.csv] [--report] "
+               "[--profile]\n"
                "                     [--faults SPEC] "
                "[--policy strict|kill|throttle|degrade]\n"
                "       vc2m check --trace out.json|out.csv\n"
+               "       vc2m perfdiff base.json current.json "
+               "[--max-regress 10%|0.1]\n"
                "       vc2m experiment [--platform P] [--dist D] [--vms N] "
                "[--seed S]\n"
                "                       [--tasksets N] [--step S] "
@@ -129,7 +154,8 @@ struct Args {
                "                       [--jobs N] "
                "[--solutions NAME[,NAME...]]\n"
                "                       [--faults SPEC] "
-               "[--policy P] [--fault-horizon H]\n";
+               "[--policy P] [--fault-horizon H]\n"
+               "                       [--profile] [--pool-trace out.json]\n";
   std::exit(code);
 }
 
@@ -161,9 +187,35 @@ Args parse(int argc, char** argv) {
     else if (arg == "--policy") a.policy = next();
     else if (arg == "--fault-horizon") a.fault_horizon = std::stoi(next());
     else if (arg == "--solutions") a.solutions = next();
+    else if (arg == "--profile") a.profile = true;
+    else if (arg == "--pool-trace") a.pool_trace = next();
+    else if (arg == "--max-regress") a.max_regress = next();
+    else if (!arg.empty() && arg[0] != '-') a.positional.push_back(arg);
     else usage(2);
   }
   return a;
+}
+
+/// Parse a perfdiff threshold: "10%" means 10 percent, a bare number is a
+/// fraction ("0.1" == "10%").
+double regress_of(const std::string& s) {
+  std::string num = s;
+  double scale = 1.0;
+  if (!num.empty() && num.back() == '%') {
+    num.pop_back();
+    scale = 0.01;
+  }
+  std::size_t used = 0;
+  double v = 0;
+  try {
+    v = std::stod(num, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (num.empty() || used != num.size() || v < 0)
+    throw util::Error("--max-regress: bad threshold '" + s +
+                      "' (want e.g. 10% or 0.1)");
+  return v * scale;
 }
 
 model::PlatformSpec platform_of(const std::string& name) {
@@ -219,6 +271,27 @@ workload::UtilDist dist_of(const std::string& name) {
   if (name == "medium") return workload::UtilDist::kBimodalMedium;
   if (name == "heavy") return workload::UtilDist::kBimodalHeavy;
   throw util::Error("unknown distribution '" + name + "'");
+}
+
+/// Render the merged phase tree captured by the profiler (--profile).
+void print_profile() {
+  std::cout << '\n';
+  obs::write_profile(std::cout, obs::merged_profile());
+}
+
+/// Per-worker thread-pool telemetry table (--profile on experiment).
+void print_pool(const util::PoolTelemetry& t) {
+  if (t.workers.empty()) return;
+  util::Table table({"worker", "executed", "steals", "idle(s)", "max queue"});
+  table.set_precision(3);
+  for (std::size_t w = 0; w < t.workers.size(); ++w)
+    table.add_row(static_cast<int>(w), t.workers[w].executed,
+                  t.workers[w].steals, t.workers[w].idle_ns * 1e-9,
+                  t.workers[w].max_queue);
+  table.add_row(std::string("total"), t.total_executed(), t.total_steals(),
+                t.total_idle_ns() * 1e-9, t.max_queue_depth());
+  std::cout << '\n';
+  table.print(std::cout, "thread-pool telemetry");
 }
 
 int cmd_profiles() {
@@ -306,6 +379,7 @@ int cmd_solve(const Args& a) {
 
 int cmd_simulate(const Args& a) {
   if (a.file.empty()) usage(2);
+  if (a.profile) util::PhaseProfiler::set_enabled(true);
   const auto platform = platform_of(a.platform);
   const auto tasks = workload::read_taskset_csv(a.file, platform.grid);
   util::Rng rng(a.seed);
@@ -376,6 +450,7 @@ int cmd_simulate(const Args& a) {
                     st.core_busy_fraction[k]);
     table.print(std::cout);
   }
+  if (a.profile) print_profile();
   // Under injected faults, misses/kills are the experiment, not a failure;
   // only a trace-invariant violation (checked under --report) is an error.
   if (faulty) return 0;
@@ -385,6 +460,7 @@ int cmd_simulate(const Args& a) {
 int cmd_experiment(const Args& a) {
   if (a.jobs < 0)
     throw util::Error("--jobs must be >= 0 (0 = hardware concurrency)");
+  if (a.profile) util::PhaseProfiler::set_enabled(true);
   core::ExperimentConfig cfg;
   cfg.platform = platform_of(a.platform);
   cfg.dist = dist_of(a.dist);
@@ -431,6 +507,52 @@ int cmd_experiment(const Args& a) {
                     result.breakdown_utilization(si));
   std::cout << '\n';
   summary.print(std::cout);
+
+  if (a.profile) {
+    print_profile();
+    print_pool(result.pool);
+  }
+  if (!a.pool_trace.empty()) {
+    obs::TraceMeta meta;
+    obs::CounterTrack executed{"pool/executed", {}};
+    obs::CounterTrack steals{"pool/steals", {}};
+    obs::CounterTrack pending{"pool/pending", {}};
+    for (const auto& s : result.pool_samples) {
+      executed.samples.emplace_back(s.at, static_cast<double>(s.executed));
+      steals.samples.emplace_back(s.at, static_cast<double>(s.steals));
+      pending.samples.emplace_back(s.at, static_cast<double>(s.pending));
+    }
+    meta.counters = {std::move(executed), std::move(steals),
+                     std::move(pending)};
+    obs::write_trace_file(a.pool_trace, {}, meta);
+    std::cout << "Wrote " << result.pool_samples.size()
+              << " pool telemetry samples to " << a.pool_trace << "\n";
+  }
+  return 0;
+}
+
+int cmd_perfdiff(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::cerr << "perfdiff wants exactly two report files "
+                 "(base.json current.json)\n";
+    usage(2);
+  }
+  const auto base = obs::read_bench_report_file(a.positional[0]);
+  const auto current = obs::read_bench_report_file(a.positional[1]);
+  obs::PerfDiffOptions opt;
+  if (!a.max_regress.empty()) opt.max_regress = regress_of(a.max_regress);
+  const auto diff = obs::diff_reports(base, current, opt);
+  std::cout << "perfdiff " << a.positional[0] << " (" << base.git_rev
+            << ") -> " << a.positional[1] << " (" << current.git_rev
+            << "), threshold " << opt.max_regress * 100 << "%\n\n";
+  obs::write_perfdiff(std::cout, diff);
+  if (diff.has_regression()) {
+    std::cout << "\nFAIL: performance regression above "
+              << opt.max_regress * 100 << "%\n";
+    return 1;
+  }
+  std::cout << "\nOK: no regression above " << opt.max_regress * 100
+            << "%\n";
   return 0;
 }
 
@@ -459,6 +581,7 @@ int main(int argc, char** argv) {
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "check") return cmd_check(a);
     if (a.command == "experiment") return cmd_experiment(a);
+    if (a.command == "perfdiff") return cmd_perfdiff(a);
     usage(2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
