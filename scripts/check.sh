@@ -19,7 +19,12 @@
 # evaluations) and the bench_micro_ops --smoke memoization-counter check.
 # Finally the address pass runs the perf smoke: bench_micro_ops --smoke
 # --json must emit a schema-valid BENCH_*.json, `vc2m perfdiff` must pass a
-# self-compare and must flag a synthetic 3x phase-time regression.
+# self-compare and must flag a synthetic 3x phase-time regression — and the
+# explain smoke: `vc2m explain` on a feasible profile must print the
+# headroom table, on an infeasible one a per-VM rejection chain with a
+# named constraint and margin, the vc2m-explain-report/1 artifact must be
+# schema-valid JSON that the strict reader round-trips, and the golden
+# suite must stay bit-identical with decision recording on (test_explain).
 # Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -109,6 +114,56 @@ EOF
   echo "--- perf smoke passed ---"
 }
 
+explain_smoke() {
+  # $1 = build dir with a tools/vc2m binary.
+  local vc2m="$1/tools/vc2m"
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+
+  echo "--- explain: feasible profile prints headroom ---"
+  "$vc2m" generate --util 0.4 --vms 2 --seed 7 > "$work/feasible.csv"
+  "$vc2m" explain "$work/feasible.csv" --solution ovf \
+    --json "$work/feasible.json" > "$work/feasible.txt"
+  grep -q 'verdict: SCHEDULABLE' "$work/feasible.txt" \
+    || { echo "feasible explain missing verdict"; cat "$work/feasible.txt"; return 1; }
+  grep -q 'headroom per core' "$work/feasible.txt" \
+    || { echo "feasible explain missing headroom table"; return 1; }
+
+  echo "--- explain: infeasible profile names constraint + margin per VM ---"
+  "$vc2m" generate --util 3.5 --vms 3 --seed 9 > "$work/infeasible.csv"
+  "$vc2m" explain "$work/infeasible.csv" --solution ovf \
+    --json "$work/infeasible.json" > "$work/infeasible.txt"
+  grep -q 'verdict: NOT SCHEDULABLE' "$work/infeasible.txt" \
+    || { echo "infeasible explain missing verdict"; cat "$work/infeasible.txt"; return 1; }
+  grep -Eq 'VM [0-9]+ rejected \[[a-z_]+\].*margin' "$work/infeasible.txt" \
+    || { echo "infeasible explain missing rejection chain"; cat "$work/infeasible.txt"; return 1; }
+
+  echo "--- explain reports are schema-valid JSON ---"
+  python3 - "$work/feasible.json" "$work/infeasible.json" <<'EOF'
+import json, sys
+for path in sys.argv[1:]:
+    r = json.load(open(path))
+    required = ["schema", "strategy", "git_rev", "config", "schedulable",
+                "cores_used", "headroom", "rejections", "events",
+                "events_dropped"]
+    missing = [k for k in required if k not in r]
+    assert not missing, f"{path}: missing top-level keys: {missing}"
+    assert r["schema"].startswith("vc2m-explain-report/"), r["schema"]
+    assert r["events"], f"{path}: empty event stream"
+    if r["schedulable"]:
+        assert r["headroom"]["cores"], f"{path}: no per-core headroom"
+    else:
+        assert r["rejections"], f"{path}: no rejection chain"
+        for rej in r["rejections"]:
+            assert rej["constraint"] != "none", rej
+            assert rej["margin"] > 0, rej
+EOF
+
+  echo "--- golden digests unchanged with decision recording on ---"
+  "$1/tests/test_explain"
+  echo "--- explain smoke passed ---"
+}
+
 for san in "${sanitizers[@]}"; do
   case "$san" in
     address)   dir=build-asan ;;
@@ -137,6 +192,8 @@ for san in "${sanitizers[@]}"; do
     "$dir/bench/bench_micro_ops" --smoke
     echo "=== ${san}: perf smoke (bench report + perfdiff gate) ==="
     perf_smoke "$dir"
+    echo "=== ${san}: explain smoke (rejection chains + headroom) ==="
+    explain_smoke "$dir"
   fi
 done
 

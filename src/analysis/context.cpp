@@ -1,6 +1,9 @@
 #include "analysis/context.h"
 
+#include <algorithm>
+
 #include "analysis/prm.h"
+#include "obs/decision_log.h"
 #include "util/phase_profiler.h"
 
 namespace vc2m::analysis {
@@ -27,6 +30,22 @@ std::optional<util::Time> AnalysisContext::min_budget(
   const auto theta = feasible_hint
                          ? min_budget_edf_bounded(tasks, period, *feasible_hint)
                          : min_budget_edf(tasks, period);
+  if (auto* log = obs::decision_log()) {
+    obs::DecisionEvent e;
+    e.kind = obs::DecisionKind::kBudgetSearch;
+    if (theta) {
+      e.accepted = true;
+      e.value = theta->ratio(period);
+      e.margin = 1.0 - e.value;
+    } else {
+      double u = 0;
+      for (const auto& t : tasks) u += t.wcet.ratio(t.period);
+      e.constraint = obs::DecisionConstraint::kNoFeasibleBudget;
+      e.value = u;
+      e.margin = std::max(0.0, u - 1.0);
+    }
+    log->emit(e);
+  }
   budget_memo_.emplace(std::move(key), theta);
   return theta;
 }

@@ -5,6 +5,7 @@
 
 #include "analysis/context.h"
 #include "core/core_load.h"
+#include "obs/decision_log.h"
 #include "util/error.h"
 
 namespace vc2m::core {
@@ -97,6 +98,32 @@ AdmitResult admit_vm(const AdmissionState& current,
       const auto fit =
           fit_with_grants(with_new, next.mapping.cache[k],
                           next.mapping.bw[k], free_c, free_b, grid);
+      if (auto* log = obs::decision_log()) {
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kAdmitPlacement;
+        e.vm = vm_id;
+        e.entity = static_cast<std::int32_t>(vi);
+        e.core = static_cast<std::int32_t>(k);
+        if (fit) {
+          e.accepted = true;
+          e.cache = static_cast<std::int32_t>(fit->first);
+          e.bw = static_cast<std::int32_t>(fit->second);
+          const double u = with_new.utilization(fit->first, fit->second);
+          e.value = u;
+          e.margin = 1.0 - u;
+        } else {
+          // No grant sequence from the current partitions makes the core
+          // schedulable with the VCPU added.
+          e.constraint = obs::DecisionConstraint::kNoBeneficialGrant;
+          e.cache = static_cast<std::int32_t>(next.mapping.cache[k]);
+          e.bw = static_cast<std::int32_t>(next.mapping.bw[k]);
+          const double u = with_new.utilization(next.mapping.cache[k],
+                                                next.mapping.bw[k]);
+          e.value = u;
+          e.margin = std::max(0.0, u - 1.0);
+        }
+        log->emit(e);
+      }
       if (!fit) continue;
       const unsigned cost = (fit->first - next.mapping.cache[k]) +
                             (fit->second - next.mapping.bw[k]);
@@ -116,6 +143,29 @@ AdmitResult admit_vm(const AdmissionState& current,
       const auto fit =
           fit_with_grants(alone, grid.c_min, grid.b_min, free_c - grid.c_min,
                           free_b - grid.b_min, grid);
+      if (auto* log = obs::decision_log()) {
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kAdmitPlacement;
+        e.vm = vm_id;
+        e.entity = static_cast<std::int32_t>(vi);
+        e.core = static_cast<std::int32_t>(next.mapping.cores_used);  // new
+        if (fit) {
+          e.accepted = true;
+          e.cache = static_cast<std::int32_t>(fit->first);
+          e.bw = static_cast<std::int32_t>(fit->second);
+          const double u = alone.utilization(fit->first, fit->second);
+          e.value = u;
+          e.margin = 1.0 - u;
+        } else {
+          e.constraint = obs::DecisionConstraint::kNoBeneficialGrant;
+          e.cache = static_cast<std::int32_t>(grid.c_min);
+          e.bw = static_cast<std::int32_t>(grid.b_min);
+          const double u = alone.utilization(grid.c_min, grid.b_min);
+          e.value = u;
+          e.margin = std::max(0.0, u - 1.0);
+        }
+        log->emit(e);
+      }
       if (fit) {
         const unsigned cost = fit->first + fit->second;
         const double u = alone.utilization(fit->first, fit->second);
@@ -126,7 +176,28 @@ AdmitResult admit_vm(const AdmissionState& current,
         }
       }
     }
-    if (!have_candidate) return result;  // rejection: `current` untouched
+    if (!have_candidate) {  // rejection: `current` untouched
+      if (auto* log = obs::decision_log()) {
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kAdmitVerdict;
+        e.vm = vm_id;
+        e.entity = static_cast<std::int32_t>(vi);
+        e.value = next.vcpus[vi].reference_utilization();
+        if (next.mapping.cores_used >= platform.cores) {
+          e.constraint = obs::DecisionConstraint::kCoreLimit;
+        } else if (free_c < grid.c_min) {
+          e.constraint = obs::DecisionConstraint::kCachePoolExhausted;
+          e.margin = static_cast<double>(grid.c_min - free_c);
+        } else if (free_b < grid.b_min) {
+          e.constraint = obs::DecisionConstraint::kBwPoolExhausted;
+          e.margin = static_cast<double>(grid.b_min - free_b);
+        } else {
+          e.constraint = obs::DecisionConstraint::kNoBeneficialGrant;
+        }
+        log->emit(e);
+      }
+      return result;
+    }
 
     if (best_core < next.mapping.cores_used) {
       free_c -= best_alloc.first - next.mapping.cache[best_core];
@@ -144,6 +215,15 @@ AdmitResult admit_vm(const AdmissionState& current,
     }
   }
 
+  if (auto* log = obs::decision_log()) {
+    obs::DecisionEvent e;
+    e.kind = obs::DecisionKind::kAdmitVerdict;
+    e.accepted = true;
+    e.vm = vm_id;
+    e.core = static_cast<std::int32_t>(next.mapping.cores_used);
+    e.value = static_cast<double>(new_vcpus.size());
+    log->emit(e);
+  }
   next.mapping.schedulable = true;
   result.admitted = true;
   result.state = std::move(next);

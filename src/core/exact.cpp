@@ -1,11 +1,13 @@
 #include "core/exact.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "core/core_load.h"
+#include "obs/decision_log.h"
 #include "util/error.h"
 
 namespace vc2m::core {
@@ -90,7 +92,17 @@ class ExactSearch {
     dp[0][0] = 0;
     for (std::size_t k = 0; k < m; ++k) {
       const Frontier& f = frontier(cores_[k]);
-      if (!f.feasible) return false;
+      if (!f.feasible) {
+        if (auto* log = obs::decision_log()) {
+          obs::DecisionEvent e;
+          e.kind = obs::DecisionKind::kExactPartition;
+          e.constraint = obs::DecisionConstraint::kNoFeasiblePartition;
+          e.core = static_cast<std::int32_t>(k);
+          e.value = static_cast<double>(m);
+          log->emit(e);
+        }
+        return false;
+      }
       for (unsigned x = 0; x <= C; ++x) {
         if (dp[k][x] == kInfeasible) continue;
         for (unsigned c = grid_.c_min; c <= grid_.c_max && x + c <= C; ++c) {
@@ -108,7 +120,29 @@ class ExactSearch {
     for (unsigned x = 0; x <= C; ++x)
       if (dp[m][x] <= B && (best_x > C || dp[m][x] < dp[m][best_x]))
         best_x = x;
-    if (best_x > C) return false;
+    if (best_x > C) {
+      if (auto* log = obs::decision_log()) {
+        unsigned min_b = kInfeasible;
+        for (unsigned x = 0; x <= C; ++x) min_b = std::min(min_b, dp[m][x]);
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kExactPartition;
+        e.constraint = obs::DecisionConstraint::kBwPoolExhausted;
+        e.value = static_cast<double>(m);
+        if (min_b != kInfeasible)
+          e.margin = static_cast<double>(min_b - B);  // partitions short
+        log->emit(e);
+      }
+      return false;
+    }
+
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kExactPartition;
+      e.accepted = true;
+      e.value = static_cast<double>(m);
+      e.margin = static_cast<double>(B - dp[m][best_x]);  // spare bandwidth
+      log->emit(e);
+    }
 
     // Reconstruct.
     out.schedulable = true;

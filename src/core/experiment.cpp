@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 
+#include "obs/decision_log.h"
 #include "util/error.h"
 #include "util/instrument.h"
 #include "util/phase_profiler.h"
@@ -153,7 +155,14 @@ ExperimentResult run_schedulability_experiment(
     bool validated = false;
     double seconds = 0;
     util::AllocCounters counters;
+    obs::DecisionLog log;  ///< per-item decision capture (recording runs only)
   };
+  // Decision recording state is thread-local, so worker threads see none of
+  // the caller's scope. If the caller is recording, each work item records
+  // into its own cell; the captures are appended to the caller's log in
+  // serial (point, taskset, solution) order after the sweep — the same
+  // jobs-independence contract the counters follow.
+  const bool record_decisions = obs::decision_log() != nullptr;
   std::vector<Cell> cells(n_reps_total * n_sol);
   std::vector<model::Taskset> tasksets(n_reps_total);
   std::unique_ptr<std::once_flag[]> taskset_once(
@@ -191,6 +200,8 @@ ExperimentResult run_schedulability_experiment(
             Cell& cell = cells[ti * n_sol + si];
             {
               VC2M_PROFILE_PHASE(span_names[si]);
+              std::optional<obs::DecisionLogScope> rec;
+              if (record_decisions) rec.emplace(cell.log);
               const auto res = solve(*strategies[si], tasksets[ti],
                                      cfg.platform, cfg.solve, solve_rng);
               cell.schedulable = res.schedulable;
@@ -253,6 +264,8 @@ ExperimentResult run_schedulability_experiment(
   // counters into it here, in serial order, for jobs-independent totals.
   if (auto* outer = util::alloc_counters())
     for (const Cell& cell : cells) outer->merge(cell.counters);
+  if (auto* outer = obs::decision_log())
+    for (const Cell& cell : cells) outer->append(cell.log);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "core/core_load.h"
 #include "core/kmeans.h"
 #include "core/packing.h"
+#include "obs/decision_log.h"
 #include "util/error.h"
 #include "util/instrument.h"
 #include "util/phase_profiler.h"
@@ -49,6 +50,40 @@ bool all_schedulable(CoreState& st) {
   for (std::size_t i = 0; i < st.cores.size(); ++i)
     if (!sched_of(st, i)) return false;
   return true;
+}
+
+/// Record why a grant loop stopped: which pool (or gain) bound, and how far
+/// the closest unschedulable core still was from Σ Θ/Π ≤ 1.
+void log_grant_exhausted(obs::DecisionLog& log, CoreState& st,
+                         const std::vector<std::size_t>& unsched,
+                         unsigned pool_c, unsigned pool_b,
+                         const model::ResourceGrid& grid) {
+  bool could_c = false, could_b = false;
+  for (const std::size_t i : unsched) {
+    could_c = could_c || (pool_c > 0 && st.cache[i] < grid.c_max);
+    could_b = could_b || (pool_b > 0 && st.bw[i] < grid.b_max);
+  }
+  double min_excess = std::numeric_limits<double>::infinity();
+  std::size_t closest = unsched.front();
+  for (const std::size_t i : unsched) {
+    const double excess = util_of(st, i) - 1.0;
+    if (excess < min_excess) {
+      min_excess = excess;
+      closest = i;
+    }
+  }
+  obs::DecisionEvent e;
+  e.kind = obs::DecisionKind::kGrantExhausted;
+  e.constraint = (could_c || could_b)
+                     ? obs::DecisionConstraint::kNoBeneficialGrant
+                     : (pool_c == 0 ? obs::DecisionConstraint::kCachePoolExhausted
+                                    : obs::DecisionConstraint::kBwPoolExhausted);
+  e.core = static_cast<std::int32_t>(closest);
+  e.cache = static_cast<std::int32_t>(pool_c);
+  e.bw = static_cast<std::int32_t>(pool_b);
+  e.value = util_of(st, closest);
+  e.margin = std::max(0.0, min_excess);
+  log.emit(e);
 }
 
 /// Phase 1: pack clusters (in permutation order) worst-fit decreasing by
@@ -118,10 +153,25 @@ bool phase2_resources(CoreState& st, const model::PlatformSpec& platform,
           --pool_b;
           granted = true;
         }
-        if (granted)
+        if (granted) {
           if (auto* ctr = util::alloc_counters()) ++ctr->partition_grants;
+          if (auto* log = obs::decision_log()) {
+            obs::DecisionEvent e;
+            e.kind = obs::DecisionKind::kPartitionGrant;
+            e.accepted = true;
+            e.core = static_cast<std::int32_t>(i);
+            e.cache = static_cast<std::int32_t>(st.cache[i]);
+            e.bw = static_cast<std::int32_t>(st.bw[i]);
+            e.value = util_of(st, i);
+            log->emit(e);
+          }
+        }
       }
-      if (!granted) return false;  // pools dry or cores saturated
+      if (!granted) {
+        if (auto* log = obs::decision_log())
+          log_grant_exhausted(*log, st, unsched, pool_c, pool_b, grid);
+        return false;  // pools dry or cores saturated
+      }
       continue;
     }
 
@@ -151,7 +201,11 @@ bool phase2_resources(CoreState& st, const model::PlatformSpec& platform,
         }
       }
     }
-    if (best_core == m || best_gain <= 1e-15) return false;  // no impact
+    if (best_core == m || best_gain <= 1e-15) {  // no impact
+      if (auto* log = obs::decision_log())
+        log_grant_exhausted(*log, st, unsched, pool_c, pool_b, grid);
+      return false;
+    }
     if (auto* ctr = util::alloc_counters()) ++ctr->partition_grants;
     if (best_is_cache) {
       ++st.cache[best_core];
@@ -159,6 +213,16 @@ bool phase2_resources(CoreState& st, const model::PlatformSpec& platform,
     } else {
       ++st.bw[best_core];
       --pool_b;
+    }
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kPartitionGrant;
+      e.accepted = true;
+      e.core = static_cast<std::int32_t>(best_core);
+      e.cache = static_cast<std::int32_t>(st.cache[best_core]);
+      e.bw = static_cast<std::int32_t>(st.bw[best_core]);
+      e.value = best_gain;  // utilization reduction bought by this grant
+      log->emit(e);
     }
   }
 }
@@ -186,7 +250,18 @@ bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
           dest = j;
         }
       }
-      if (dest == m) return moved_any;  // nowhere to migrate
+      if (dest == m) {  // nowhere to migrate
+        if (auto* log = obs::decision_log()) {
+          obs::DecisionEvent e;
+          e.kind = obs::DecisionKind::kMigration;
+          e.constraint = obs::DecisionConstraint::kCoreOverUtilized;
+          e.core = static_cast<std::int32_t>(i);
+          e.value = util_of(st, i);
+          e.margin = std::max(0.0, e.value - 1.0);
+          log->emit(e);
+        }
+        return moved_any;
+      }
 
       // Largest VCPU the destination absorbs while staying schedulable.
       const auto& src = st.cores[i].members();
@@ -209,9 +284,19 @@ bool phase3_balance(std::span<const model::Vcpu> vcpus, CoreState& st) {
         }
       }
       const std::size_t pos = pick_pos < src.size() ? pick_pos : fallback_pos;
-      st.cores[dest].add(st.cores[i].remove_at(pos));
+      const std::size_t moved = st.cores[i].remove_at(pos);
+      st.cores[dest].add(moved);
       moved_any = true;
       if (auto* ctr = util::alloc_counters()) ++ctr->vcpu_migrations;
+      if (auto* log = obs::decision_log()) {
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kMigration;
+        e.accepted = true;
+        e.entity = static_cast<std::int32_t>(moved);
+        e.core = static_cast<std::int32_t>(dest);
+        e.value = vcpus[moved].utilization(st.cache[dest], st.bw[dest]);
+        log->emit(e);
+      }
     }
   }
   return moved_any;
@@ -263,13 +348,41 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
 
   // Fast infeasibility screens at the full allocation (C, B).
   double best_total = 0;
-  for (const auto& v : vcpus) {
-    const double u = v.utilization(grid.c_max, grid.b_max);
-    if (u > 1.0) return HvAllocResult{};  // one VCPU exceeds any core
+  bool screened_out = false;
+  for (std::size_t vi = 0; vi < vcpus.size(); ++vi) {
+    const double u = vcpus[vi].utilization(grid.c_max, grid.b_max);
+    if (u > 1.0) {  // one VCPU exceeds any core
+      auto* log = obs::decision_log();
+      if (!log) return HvAllocResult{};
+      // Recording on: keep scanning so every oversized VCPU (and its VM)
+      // gets a rejection event — same verdict, complete provenance.
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kVcpuScreen;
+      e.constraint = obs::DecisionConstraint::kVcpuExceedsCore;
+      e.vm = vcpus[vi].vm;
+      e.entity = static_cast<std::int32_t>(vi);
+      e.cache = static_cast<std::int32_t>(grid.c_max);
+      e.bw = static_cast<std::int32_t>(grid.b_max);
+      e.value = u;
+      e.margin = u - 1.0;
+      log->emit(e);
+      screened_out = true;
+    }
     best_total += u;
   }
-  if (best_total > static_cast<double>(platform.cores))
+  if (screened_out) return HvAllocResult{};
+  if (best_total > static_cast<double>(platform.cores)) {
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kCapacityScreen;
+      e.constraint = obs::DecisionConstraint::kUtilizationExceedsCores;
+      e.core = static_cast<std::int32_t>(platform.cores);
+      e.value = best_total;
+      e.margin = best_total - static_cast<double>(platform.cores);
+      log->emit(e);
+    }
     return HvAllocResult{};
+  }
 
   // Cluster VCPUs by slowdown vector once; reused for every core count.
   const std::size_t k =
@@ -293,6 +406,15 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
         return phase1_pack(vcpus, clusters, rng.permutation(k), m, grid);
       }();
       if (auto* ctr = util::alloc_counters()) ++ctr->candidate_packings;
+      if (auto* log = obs::decision_log()) {
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kPackingCandidate;
+        e.accepted = true;
+        e.entity = static_cast<std::int32_t>(perm_iter);
+        e.core = static_cast<std::int32_t>(m);
+        e.value = static_cast<double>(vcpus.size());
+        log->emit(e);
+      }
       for (unsigned round = 0; round < cfg.max_balance_rounds; ++round) {
         bool feasible;
         {
@@ -309,6 +431,16 @@ HvAllocResult allocate_heuristic(std::span<const model::Vcpu> vcpus,
         if (!improved) break;  // no benefit in balancing
       }
     }
+  }
+  if (auto* log = obs::decision_log()) {
+    // Every candidate at every core count failed; the per-candidate
+    // kGrantExhausted events above carry the specific margins.
+    obs::DecisionEvent e;
+    e.kind = obs::DecisionKind::kHvAttempt;
+    e.constraint = obs::DecisionConstraint::kCoreLimit;
+    e.core = static_cast<std::int32_t>(platform.cores);
+    e.value = best_total;
+    log->emit(e);
   }
   return HvAllocResult{};
 }
@@ -333,7 +465,31 @@ HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
   for (const auto& v : vcpus) weights.push_back(v.utilization(c_even, b_even));
 
   auto bins = packing::best_fit_decreasing(weights, 1.0, m);
-  if (!bins) return HvAllocResult{};
+  if (!bins) {
+    if (auto* log = obs::decision_log()) {
+      double w_max = 0;
+      std::size_t worst = 0;
+      for (std::size_t vi = 0; vi < weights.size(); ++vi)
+        if (weights[vi] > w_max) {
+          w_max = weights[vi];
+          worst = vi;
+        }
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kBinPack;
+      e.constraint = w_max > 1.0
+                         ? obs::DecisionConstraint::kVcpuExceedsCore
+                         : obs::DecisionConstraint::kCoreLimit;
+      e.vm = vcpus[worst].vm;
+      e.entity = static_cast<std::int32_t>(worst);
+      e.core = static_cast<std::int32_t>(m);
+      e.cache = static_cast<std::int32_t>(c_even);
+      e.bw = static_cast<std::int32_t>(b_even);
+      e.value = w_max;
+      e.margin = std::max(0.0, w_max - 1.0);
+      log->emit(e);
+    }
+    return HvAllocResult{};
+  }
 
   CoreState st;
   st.cores.reserve(bins->size());
@@ -341,6 +497,32 @@ HvAllocResult allocate_even_partition(std::span<const model::Vcpu> vcpus,
   st.cache.assign(st.cores.size(), c_even);
   st.bw.assign(st.cores.size(), b_even);
   const bool ok = all_schedulable(st);
+  if (!ok) {
+    if (auto* log = obs::decision_log()) {
+      for (std::size_t i = 0; i < st.cores.size(); ++i) {
+        if (sched_of(st, i)) continue;
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kHvAttempt;
+        e.constraint = obs::DecisionConstraint::kCoreOverUtilized;
+        e.core = static_cast<std::int32_t>(i);
+        e.cache = static_cast<std::int32_t>(c_even);
+        e.bw = static_cast<std::int32_t>(b_even);
+        e.value = util_of(st, i);
+        e.margin = std::max(0.0, e.value - 1.0);
+        // The VM of the core's heaviest VCPU: the most likely culprit.
+        double u_max = -1;
+        for (const std::size_t v : st.cores[i].members()) {
+          const double uv = vcpus[v].utilization(c_even, b_even);
+          if (uv > u_max) {
+            u_max = uv;
+            e.vm = vcpus[v].vm;
+            e.entity = static_cast<std::int32_t>(v);
+          }
+        }
+        log->emit(e);
+      }
+    }
+  }
   return to_result(std::move(st), ok);
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/decision_log.h"
 #include "util/error.h"
 
 namespace vc2m::core::packing {
@@ -41,13 +42,44 @@ std::optional<std::vector<std::vector<std::size_t>>> best_fit_decreasing(
       }
     }
     if (best == bins.size()) {
-      if (bins.size() >= max_bins || weights[item] > capacity + 1e-12)
+      if (bins.size() >= max_bins || weights[item] > capacity + 1e-12) {
+        if (auto* log = obs::decision_log()) {
+          obs::DecisionEvent e;
+          e.kind = obs::DecisionKind::kBinPack;
+          e.entity = static_cast<std::int32_t>(item);
+          e.core = static_cast<std::int32_t>(bins.size());
+          e.value = weights[item];
+          if (weights[item] > capacity + 1e-12) {
+            e.constraint = obs::DecisionConstraint::kTaskOverflowsVcpu;
+            e.margin = weights[item] - capacity;
+          } else {
+            // All max_bins bins are open and none fits: short by the gap to
+            // the roomiest bin.
+            e.constraint = obs::DecisionConstraint::kCoreLimit;
+            double max_residual = 0;
+            for (const double l : load)
+              max_residual = std::max(max_residual, capacity - l);
+            e.margin = weights[item] - max_residual;
+          }
+          log->emit(e);
+        }
         return std::nullopt;
+      }
       bins.emplace_back();
       load.push_back(0);
     }
     bins[best].push_back(item);
     load[best] += weights[item];
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kBinPack;
+      e.accepted = true;
+      e.entity = static_cast<std::int32_t>(item);
+      e.core = static_cast<std::int32_t>(best);
+      e.value = weights[item];
+      e.margin = capacity - load[best];  // residual after placement
+      log->emit(e);
+    }
   }
   return bins;
 }

@@ -9,6 +9,7 @@
 #include "core/exact.h"
 #include "core/packing.h"
 #include "core/vm_alloc.h"
+#include "obs/decision_log.h"
 #include "util/error.h"
 #include "util/phase_profiler.h"
 
@@ -30,7 +31,20 @@ std::vector<model::Vcpu> pack_best_fit(const model::Taskset& tasks,
     for (const std::size_t i : vm_idx) weights.push_back(weight(i));
     const auto bins = packing::best_fit_decreasing(
         weights, 1.0, /*max_bins=*/vm_idx.size());
-    if (!bins) return {};  // a single task overflows a unit bin
+    if (!bins) {  // a single task overflows a unit bin
+      if (auto* log = obs::decision_log()) {
+        double w_max = 0;
+        for (const double w : weights) w_max = std::max(w_max, w);
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kVmOutcome;
+        e.constraint = obs::DecisionConstraint::kTaskOverflowsVcpu;
+        e.vm = tasks[vm_idx.front()].vm;
+        e.value = w_max;
+        e.margin = std::max(0.0, w_max - 1.0);
+        log->emit(e);
+      }
+      return {};
+    }
     for (const auto& bin : *bins) {
       std::vector<std::size_t> global;
       global.reserve(bin.size());
@@ -191,13 +205,24 @@ StrategyRegistry::StrategyRegistry() {
   const auto heur_hv = std::make_shared<HeuristicHvPolicy>();
   const auto even_hv = std::make_shared<EvenPartitionHvPolicy>();
 
-  add({"flat", "Heuristic (flattening)", flat_vm, heur_hv});
-  add({"ovf", "Heuristic (overhead-free CSA)", ovf_vm, heur_hv});
-  add({"existing", "Heuristic (existing CSA)", csa_vm, heur_hv});
-  add({"even", "Evenly-partition (overhead-free CSA)", even_vm, even_hv});
-  add({"baseline", "Baseline (existing CSA)", base_vm, even_hv});
-  add({"exact-ovf", "Exact search (overhead-free CSA)", ovf_vm,
-       std::make_shared<ExactHvPolicy>()});
+  add({"flat", "Heuristic (flattening)",
+       "Theorem-1 flattened VCPUs, three-phase packing with max-gain grants",
+       flat_vm, heur_hv});
+  add({"ovf", "Heuristic (overhead-free CSA)",
+       "Theorem-2 regulated VCPUs, three-phase packing with max-gain grants",
+       ovf_vm, heur_hv});
+  add({"existing", "Heuristic (existing CSA)",
+       "Existing-CSA VCPU budgets, three-phase packing with max-gain grants",
+       csa_vm, heur_hv});
+  add({"even", "Evenly-partition (overhead-free CSA)",
+       "Theorem-2 regulated VCPUs, best-fit cores with even partition split",
+       even_vm, even_hv});
+  add({"baseline", "Baseline (existing CSA)",
+       "Existing-CSA VCPU budgets, best-fit cores with even partition split",
+       base_vm, even_hv});
+  add({"exact-ovf", "Exact search (overhead-free CSA)",
+       "Theorem-2 regulated VCPUs, exhaustive core/partition search yardstick",
+       ovf_vm, std::make_shared<ExactHvPolicy>()});
 }
 
 StrategyRegistry& StrategyRegistry::instance() {
@@ -259,12 +284,36 @@ SolveResult solve(const Strategy& strategy, const model::Taskset& tasks,
   SolveResult res;
   {
     analysis::AnalysisContext ctx;  // shared by both levels; owns counters
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kSolveBegin;
+      e.accepted = true;
+      e.value = static_cast<double>(inflated.size());
+      log->emit(e);
+    }
     auto vcpus = strategy.vm->allocate(inflated, platform, cfg, ctx, rng);
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kVmOutcome;
+      e.accepted = !vcpus.empty();
+      if (vcpus.empty())
+        e.constraint = obs::DecisionConstraint::kTaskOverflowsVcpu;
+      e.value = static_cast<double>(vcpus.size());
+      log->emit(e);
+    }
     if (!vcpus.empty()) {  // empty = VM-level packing already failed
       analysis::inflate_vcpus(vcpus, cfg.vcpu_inflation);
       res.mapping = strategy.hv->allocate(vcpus, platform, cfg, ctx, rng);
       res.schedulable = res.mapping.schedulable;
       res.vcpus = std::move(vcpus);
+    }
+    if (auto* log = obs::decision_log()) {
+      obs::DecisionEvent e;
+      e.kind = obs::DecisionKind::kVerdict;
+      e.accepted = res.schedulable;
+      e.core = static_cast<std::int32_t>(res.mapping.cores_used);
+      e.value = static_cast<double>(res.vcpus.size());
+      log->emit(e);
     }
     res.counters = ctx.counters();
   }

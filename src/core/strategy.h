@@ -86,6 +86,9 @@ class HvPolicy {
 struct Strategy {
   std::string key;      ///< registry key, e.g. "ovf"
   std::string display;  ///< paper name, e.g. "Heuristic (overhead-free CSA)"
+  /// One-line summary shown by `vc2m solutions` — what the composition does,
+  /// not how it is keyed.
+  std::string description;
   std::shared_ptr<const VmPolicy> vm;
   std::shared_ptr<const HvPolicy> hv;
 };

@@ -10,6 +10,7 @@
 #include "analysis/dbf.h"
 #include "analysis/theorems.h"
 #include "core/kmeans.h"
+#include "obs/decision_log.h"
 #include "util/error.h"
 #include "util/instrument.h"
 #include "util/phase_profiler.h"
@@ -56,6 +57,27 @@ model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
       if (up && (!hint || *up < *hint)) hint = up;
       const auto theta = ctx.min_budget(ptasks, pi, hint);
       v.budget.set(c, b, theta ? *theta : pi * 2);
+      if (auto* log = obs::decision_log()) {
+        obs::DecisionEvent e;
+        e.kind = obs::DecisionKind::kBudgetPoint;
+        e.vm = v.vm;
+        e.cache = static_cast<std::int32_t>(c);
+        e.bw = static_cast<std::int32_t>(b);
+        if (theta) {
+          e.accepted = true;
+          e.value = theta->ratio(pi);   // budget fraction Θ/Π
+          e.margin = 1.0 - e.value;     // headroom to a fully-loaded VCPU
+        } else {
+          // Θ ≥ u·Π is a lower bound on any feasible budget, so the cell is
+          // short by at least u − 1 budget fractions.
+          double u = 0;
+          for (const auto& t : ptasks) u += t.wcet.ratio(t.period);
+          e.constraint = obs::DecisionConstraint::kNoFeasibleBudget;
+          e.value = u;
+          e.margin = std::max(0.0, u - 1.0);
+        }
+        log->emit(e);
+      }
       left = theta;
       prev_row[b - grid.b_min] = theta;
     }

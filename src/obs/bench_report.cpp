@@ -1,50 +1,24 @@
 #include "obs/bench_report.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.h"
 #include "util/error.h"
 
 namespace vc2m::obs {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-std::string num(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.9g", v);
-  return buf;
-}
+// The JSON primitives live in obs/json.{h,cpp}, shared with the explain
+// report; these aliases keep the writer below readable.
+std::string json_escape(const std::string& s) { return json::escape(s); }
+std::string num(double v) { return json::number(v); }
 
 void write_phase(std::ostream& os, const PhaseStats& p, int indent) {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
@@ -66,185 +40,9 @@ void write_histogram(std::ostream& os, const HistogramSummary& h) {
      << ", \"p95\": " << num(h.p95) << ", \"p99\": " << num(h.p99) << "}";
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader: just enough for documents this module writes.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object)
-      if (k == key) return &v;
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    VC2M_CHECK_MSG(pos_ == s_.size(),
-                   "bench report JSON: trailing garbage at offset " << pos_);
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  char peek() {
-    skip_ws();
-    VC2M_CHECK_MSG(pos_ < s_.size(), "bench report JSON: unexpected end");
-    return s_[pos_];
-  }
-
-  void expect(char c) {
-    VC2M_CHECK_MSG(peek() == c, "bench report JSON: expected '"
-                                    << c << "' at offset " << pos_ << ", got '"
-                                    << s_[pos_] << "'");
-    ++pos_;
-  }
-
-  bool consume(char c) {
-    if (peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.str = string();
-        return v;
-      }
-      case 't':
-      case 'f': return boolean();
-      case 'n': {
-        literal("null");
-        return {};
-      }
-      default: return number();
-    }
-  }
-
-  void literal(const char* word) {
-    for (const char* p = word; *p; ++p) {
-      VC2M_CHECK_MSG(pos_ < s_.size() && s_[pos_] == *p,
-                     "bench report JSON: bad literal at offset " << pos_);
-      ++pos_;
-    }
-  }
-
-  JsonValue boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::kBool;
-    if (s_[pos_] == 't') {
-      literal("true");
-      v.boolean = true;
-    } else {
-      literal("false");
-    }
-    return v;
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-            s_[pos_] == 'e' || s_[pos_] == 'E'))
-      ++pos_;
-    VC2M_CHECK_MSG(pos_ > start,
-                   "bench report JSON: expected a value at offset " << start);
-    const std::string tok = s_.substr(start, pos_ - start);
-    char* end = nullptr;
-    const double d = std::strtod(tok.c_str(), &end);
-    VC2M_CHECK_MSG(end && *end == '\0' && std::isfinite(d),
-                   "bench report JSON: bad number '" << tok << "'");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    v.number = d;
-    return v;
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      VC2M_CHECK_MSG(pos_ < s_.size(),
-                     "bench report JSON: unterminated string");
-      const char c = s_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        VC2M_CHECK_MSG(pos_ < s_.size(),
-                       "bench report JSON: dangling escape");
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out.push_back('"'); break;
-          case '\\': out.push_back('\\'); break;
-          case '/': out.push_back('/'); break;
-          case 'n': out.push_back('\n'); break;
-          case 't': out.push_back('\t'); break;
-          case 'r': out.push_back('\r'); break;
-          default:
-            VC2M_CHECK_MSG(false, "bench report JSON: unsupported escape '\\"
-                                      << e << "'");
-        }
-      } else {
-        out.push_back(c);
-      }
-    }
-    return out;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    if (consume(']')) return v;
-    while (true) {
-      v.array.push_back(value());
-      if (consume(']')) return v;
-      expect(',');
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    if (consume('}')) return v;
-    while (true) {
-      std::string key = string();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      if (consume('}')) return v;
-      expect(',');
-    }
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
+// The reader parses through obs::json (strict: duplicate keys and
+// non-finite numbers are rejected with byte offsets).
+using JsonValue = json::Value;
 
 double get_number(const JsonValue& obj, const std::string& key) {
   const JsonValue* v = obj.find(key);
@@ -433,7 +231,7 @@ BenchReport read_bench_report(std::istream& is) {
   std::ostringstream buf;
   buf << is.rdbuf();
   const std::string text = buf.str();
-  JsonValue root = JsonParser(text).parse();
+  JsonValue root = json::parse(text, "bench report");
   VC2M_CHECK_MSG(root.kind == JsonValue::Kind::kObject,
                  "bench report JSON: top level must be an object");
 

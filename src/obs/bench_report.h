@@ -9,9 +9,11 @@
 // two reports per-phase and per-counter and exits nonzero on regression —
 // the gate scripts/check.sh runs on every bench smoke.
 //
-// The reader is a small recursive-descent JSON parser (no third-party
-// dependency); it accepts exactly the documents the writer produces plus
-// ordinary whitespace variations.
+// The reader is a small recursive-descent JSON parser (obs/json.h, no
+// third-party dependency); it accepts exactly the documents the writer
+// produces plus ordinary whitespace variations, and rejects duplicate
+// object keys and non-finite numbers with a byte-offset error instead of
+// silently accepting a corrupted report.
 #pragma once
 
 #include <cstdint>

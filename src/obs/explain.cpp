@@ -1,0 +1,481 @@
+#include "obs/explain.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "analysis/schedulability.h"
+#include "obs/bench_report.h"
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace vc2m::obs {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+/// Specificity rank of a VM-attributed rejecting event: lower wins. An
+/// oversized VCPU or an infeasible budget surface names the real cause; a
+/// phase outcome only restates that something failed.
+int vm_rank(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kVcpuScreen: return 0;
+    case DecisionKind::kBudgetPoint: return 1;
+    case DecisionKind::kBinPack: return 2;
+    case DecisionKind::kHvAttempt: return 3;
+    case DecisionKind::kVmOutcome: return 4;
+    case DecisionKind::kAdmitVerdict: return 5;
+    default: return 9;
+  }
+}
+
+/// Specificity rank of a system-level rejecting event (no single VM).
+int system_rank(DecisionKind k) {
+  switch (k) {
+    case DecisionKind::kCapacityScreen: return 0;
+    case DecisionKind::kGrantExhausted: return 1;
+    case DecisionKind::kMigration: return 2;
+    case DecisionKind::kExactPartition: return 3;
+    case DecisionKind::kBinPack: return 4;
+    case DecisionKind::kHvAttempt: return 5;
+    case DecisionKind::kVmOutcome: return 6;
+    case DecisionKind::kVerdict: return 8;
+    default: return 9;
+  }
+}
+
+std::string constraint_detail(const DecisionEvent& e) {
+  switch (e.constraint) {
+    case DecisionConstraint::kNoFeasibleBudget:
+      return fmt("no (c,b) cell with Θ≤Π at (c=%d,b=%d); best cell short by "
+                 "%.3g budget",
+                 e.cache, e.bw, e.margin);
+    case DecisionConstraint::kVcpuExceedsCore:
+      return fmt("VCPU #%d needs utilization %.3g even at the full "
+                 "allocation (c=%d,b=%d) — over a whole core by %.3g",
+                 e.entity, e.value, e.cache, e.bw, e.margin);
+    case DecisionConstraint::kTaskOverflowsVcpu:
+      return fmt("an item of weight %.3g overflows a unit bin by %.3g",
+                 e.value, e.margin);
+    case DecisionConstraint::kUtilizationExceedsCores:
+      return fmt("total best-case demand %.3g exceeds %d cores by %.3g",
+                 e.value, e.core, e.margin);
+    case DecisionConstraint::kCoreOverUtilized:
+      return fmt("core %d stays at utilization %.3g — over by %.3g",
+                 e.core, e.value, e.margin);
+    case DecisionConstraint::kCachePoolExhausted:
+      return fmt("cache partition pool exhausted; closest core still %.3g "
+                 "over capacity",
+                 e.margin);
+    case DecisionConstraint::kBwPoolExhausted:
+      return fmt("bandwidth partition pool exhausted; closest core still "
+                 "%.3g over capacity",
+                 e.margin);
+    case DecisionConstraint::kNoBeneficialGrant:
+      return fmt("no remaining partition grant reduces utilization; closest "
+                 "core still %.3g over capacity",
+                 e.margin);
+    case DecisionConstraint::kCoreLimit:
+      return fmt("no packing onto up to %d cores admits the load", e.core);
+    case DecisionConstraint::kNoFeasiblePartition:
+      return "no cache/bandwidth split over the pools is feasible";
+    case DecisionConstraint::kNone: break;
+  }
+  return describe(e);
+}
+
+/// The binding rejection for one VM: the most specific rejecting event
+/// attributed to it, with budget-surface rejections aggregated (the margin
+/// of the *best* cell is what the VM was short by).
+VmRejection vm_rejection(int vm, const std::vector<DecisionEvent>& events) {
+  VmRejection out;
+  out.vm = vm;
+  const DecisionEvent* best = nullptr;
+  int best_rank = std::numeric_limits<int>::max();
+  std::size_t budget_cells = 0;
+  for (const auto& e : events) {
+    if (e.accepted || e.vm != vm) continue;
+    const int rank = vm_rank(e.kind);
+    if (e.kind == DecisionKind::kBudgetPoint) ++budget_cells;
+    if (rank < best_rank ||
+        (rank == best_rank && best && e.margin < best->margin)) {
+      best_rank = rank;
+      best = &e;
+    }
+  }
+  if (!best) return out;  // caller falls back to the system-level cause
+  out.constraint = best->constraint;
+  out.margin = best->margin;
+  out.detail = constraint_detail(*best);
+  if (best->kind == DecisionKind::kBudgetPoint && budget_cells > 1)
+    out.detail += fmt(" (%zu cells infeasible)", budget_cells);
+  return out;
+}
+
+/// The system-level binding rejection (capacity screens, grant exhaustion)
+/// — attached to every rejected VM without a cause of its own.
+const DecisionEvent* system_cause(const std::vector<DecisionEvent>& events) {
+  const DecisionEvent* best = nullptr;
+  int best_rank = std::numeric_limits<int>::max();
+  for (const auto& e : events) {
+    if (e.accepted || e.vm >= 0) continue;
+    const int rank = system_rank(e.kind);
+    if (rank < best_rank ||
+        (rank == best_rank && best && e.margin < best->margin)) {
+      best_rank = rank;
+      best = &e;
+    }
+  }
+  return best;
+}
+
+HeadroomReport build_headroom(const core::SolveResult& result,
+                              const model::PlatformSpec& platform) {
+  HeadroomReport h;
+  const auto& grid = platform.grid;
+  const auto& mapping = result.mapping;
+  std::span<const model::Vcpu> vcpus(result.vcpus);
+  unsigned used_c = 0, used_b = 0;
+  for (unsigned k = 0; k < mapping.cores_used; ++k) {
+    const auto& members = mapping.vcpus_on_core[k];
+    CoreHeadroom ch;
+    ch.core = k;
+    ch.cache = mapping.cache[k];
+    ch.bw = mapping.bw[k];
+    ch.vcpus = members.size();
+    ch.utilization =
+        analysis::core_utilization(vcpus, members, ch.cache, ch.bw);
+    ch.slack = 1.0 - ch.utilization;
+    // Shrink each resource independently, one partition at a time, for as
+    // long as the core stays schedulable — purely counterfactual probing,
+    // the allocation itself is never modified.
+    unsigned c = ch.cache;
+    while (c > grid.c_min &&
+           analysis::core_schedulable(vcpus, members, c - 1, ch.bw))
+      --c;
+    ch.reclaimable_cache = ch.cache - c;
+    unsigned b = ch.bw;
+    while (b > grid.b_min &&
+           analysis::core_schedulable(vcpus, members, ch.cache, b - 1))
+      --b;
+    ch.reclaimable_bw = ch.bw - b;
+    used_c += ch.cache;
+    used_b += ch.bw;
+    h.cores.push_back(ch);
+  }
+  h.spare_cache = platform.total_cache() - used_c;
+  h.spare_bw = platform.total_bw() - used_b;
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// JSON (schema "vc2m-explain-report/1", written in the bench-report style).
+
+void write_event(std::ostream& os, const DecisionEvent& e) {
+  os << "{\"kind\": \"" << to_string(e.kind) << "\", \"accepted\": "
+     << (e.accepted ? "true" : "false") << ", \"constraint\": \""
+     << to_string(e.constraint) << "\", \"vm\": " << e.vm
+     << ", \"entity\": " << e.entity << ", \"core\": " << e.core
+     << ", \"cache\": " << e.cache << ", \"bw\": " << e.bw
+     << ", \"value\": " << json::number(e.value)
+     << ", \"margin\": " << json::number(e.margin) << "}";
+}
+
+double get_number(const json::Value& obj, const std::string& key) {
+  const json::Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == json::Value::Kind::kNumber,
+                 "explain report JSON: missing number field '" << key << "'");
+  return v->number;
+}
+
+std::string get_string(const json::Value& obj, const std::string& key) {
+  const json::Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == json::Value::Kind::kString,
+                 "explain report JSON: missing string field '" << key << "'");
+  return v->str;
+}
+
+bool get_bool(const json::Value& obj, const std::string& key) {
+  const json::Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == json::Value::Kind::kBool,
+                 "explain report JSON: missing boolean field '" << key << "'");
+  return v->boolean;
+}
+
+DecisionEvent parse_event(const json::Value& v) {
+  VC2M_CHECK_MSG(v.kind == json::Value::Kind::kObject,
+                 "explain report JSON: events must be objects");
+  DecisionEvent e;
+  const std::string kind = get_string(v, "kind");
+  VC2M_CHECK_MSG(decision_kind_from_string(kind, e.kind),
+                 "explain report JSON: unknown event kind '" << kind << "'");
+  e.accepted = get_bool(v, "accepted");
+  const std::string constraint = get_string(v, "constraint");
+  VC2M_CHECK_MSG(decision_constraint_from_string(constraint, e.constraint),
+                 "explain report JSON: unknown constraint '" << constraint
+                                                             << "'");
+  e.vm = static_cast<std::int32_t>(get_number(v, "vm"));
+  e.entity = static_cast<std::int32_t>(get_number(v, "entity"));
+  e.core = static_cast<std::int32_t>(get_number(v, "core"));
+  e.cache = static_cast<std::int32_t>(get_number(v, "cache"));
+  e.bw = static_cast<std::int32_t>(get_number(v, "bw"));
+  e.value = get_number(v, "value");
+  e.margin = get_number(v, "margin");
+  return e;
+}
+
+}  // namespace
+
+ExplainReport build_explain_report(const DecisionLog& log,
+                                   const core::SolveResult& result,
+                                   const model::Taskset& tasks,
+                                   const model::PlatformSpec& platform) {
+  ExplainReport r;
+  r.git_rev = build_git_rev();
+  r.schedulable = result.schedulable;
+  r.cores_used = result.mapping.cores_used;
+  r.events = log.events();
+  r.events_dropped = log.dropped();
+
+  if (result.schedulable) {
+    r.headroom = build_headroom(result, platform);
+  } else {
+    r.headroom.spare_cache = platform.total_cache();
+    r.headroom.spare_bw = platform.total_bw();
+    std::set<int> vms;
+    for (const auto& t : tasks) vms.insert(t.vm);
+    const DecisionEvent* fallback = system_cause(r.events);
+    for (const int vm : vms) {
+      VmRejection rej = vm_rejection(vm, r.events);
+      if (rej.constraint == DecisionConstraint::kNone && fallback) {
+        rej.constraint = fallback->constraint;
+        rej.margin = fallback->margin;
+        rej.detail = constraint_detail(*fallback);
+      }
+      if (rej.constraint == DecisionConstraint::kNone)
+        rej.detail = r.events_dropped > 0
+                         ? "no rejecting event retained (log truncated)"
+                         : "no rejecting event recorded";
+      r.rejections.push_back(std::move(rej));
+    }
+  }
+  return r;
+}
+
+ExplainReport explain_solve(const core::Strategy& strategy,
+                            const model::Taskset& tasks,
+                            const model::PlatformSpec& platform,
+                            const core::SolveConfig& cfg, util::Rng& rng,
+                            core::SolveResult* out_result) {
+  DecisionLogScope scope;
+  core::SolveResult result = core::solve(strategy, tasks, platform, cfg, rng);
+  ExplainReport r =
+      build_explain_report(scope.log(), result, tasks, platform);
+  r.strategy = strategy.key;
+  r.config["strategy_display"] = strategy.display;
+  r.config["cores"] = std::to_string(platform.cores);
+  r.config["total_cache"] = std::to_string(platform.total_cache());
+  r.config["total_bw"] = std::to_string(platform.total_bw());
+  r.config["tasks"] = std::to_string(tasks.size());
+  std::set<int> vms;
+  for (const auto& t : tasks) vms.insert(t.vm);
+  r.config["vms"] = std::to_string(vms.size());
+  if (out_result) *out_result = std::move(result);
+  return r;
+}
+
+void write_explain_report(std::ostream& os, const ExplainReport& r) {
+  os << "{\n";
+  os << "\"schema\": \"" << json::escape(r.schema) << "\",\n";
+  os << "\"strategy\": \"" << json::escape(r.strategy) << "\",\n";
+  os << "\"git_rev\": \"" << json::escape(r.git_rev) << "\",\n";
+
+  os << "\"config\": {";
+  bool first = true;
+  for (const auto& [k, v] : r.config) {
+    os << (first ? "\n" : ",\n") << "  \"" << json::escape(k) << "\": \""
+       << json::escape(v) << "\"";
+    first = false;
+  }
+  os << (first ? "" : "\n") << "},\n";
+
+  os << "\"schedulable\": " << (r.schedulable ? "true" : "false") << ",\n";
+  os << "\"cores_used\": " << r.cores_used << ",\n";
+
+  os << "\"headroom\": {\"spare_cache\": " << r.headroom.spare_cache
+     << ", \"spare_bw\": " << r.headroom.spare_bw << ", \"cores\": [";
+  for (std::size_t i = 0; i < r.headroom.cores.size(); ++i) {
+    const auto& c = r.headroom.cores[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"core\": " << c.core
+       << ", \"cache\": " << c.cache << ", \"bw\": " << c.bw
+       << ", \"vcpus\": " << c.vcpus
+       << ", \"utilization\": " << json::number(c.utilization)
+       << ", \"slack\": " << json::number(c.slack)
+       << ", \"reclaimable_cache\": " << c.reclaimable_cache
+       << ", \"reclaimable_bw\": " << c.reclaimable_bw << "}";
+  }
+  os << (r.headroom.cores.empty() ? "" : "\n") << "]},\n";
+
+  os << "\"rejections\": [";
+  for (std::size_t i = 0; i < r.rejections.size(); ++i) {
+    const auto& rej = r.rejections[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {\"vm\": " << rej.vm
+       << ", \"constraint\": \"" << to_string(rej.constraint)
+       << "\", \"margin\": " << json::number(rej.margin) << ", \"detail\": \""
+       << json::escape(rej.detail) << "\"}";
+  }
+  os << (r.rejections.empty() ? "" : "\n") << "],\n";
+
+  os << "\"events_dropped\": " << r.events_dropped << ",\n";
+  os << "\"events\": [";
+  for (std::size_t i = 0; i < r.events.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "  ";
+    write_event(os, r.events[i]);
+  }
+  os << (r.events.empty() ? "" : "\n") << "]\n";
+  os << "}\n";
+}
+
+void write_explain_report_file(const std::string& path,
+                               const ExplainReport& r) {
+  std::ofstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  write_explain_report(f, r);
+  VC2M_CHECK_MSG(f.good(), "error writing " << path);
+}
+
+ExplainReport read_explain_report(std::istream& is) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const json::Value root = json::parse(buf.str(), "explain report");
+  VC2M_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+                 "explain report JSON: top level must be an object");
+
+  ExplainReport r;
+  r.schema = get_string(root, "schema");
+  VC2M_CHECK_MSG(r.schema.rfind("vc2m-explain-report/", 0) == 0,
+                 "not a vc2m explain report (schema '" << r.schema << "')");
+  r.strategy = get_string(root, "strategy");
+  r.git_rev = get_string(root, "git_rev");
+  if (const json::Value* cfg = root.find("config")) {
+    VC2M_CHECK_MSG(cfg->kind == json::Value::Kind::kObject,
+                   "explain report JSON: 'config' must be an object");
+    for (const auto& [k, v] : cfg->object) {
+      VC2M_CHECK_MSG(v.kind == json::Value::Kind::kString,
+                     "explain report JSON: config values must be strings");
+      r.config[k] = v.str;
+    }
+  }
+  r.schedulable = get_bool(root, "schedulable");
+  r.cores_used = static_cast<unsigned>(get_number(root, "cores_used"));
+
+  const json::Value* h = root.find("headroom");
+  VC2M_CHECK_MSG(h && h->kind == json::Value::Kind::kObject,
+                 "explain report JSON: missing 'headroom' object");
+  r.headroom.spare_cache =
+      static_cast<unsigned>(get_number(*h, "spare_cache"));
+  r.headroom.spare_bw = static_cast<unsigned>(get_number(*h, "spare_bw"));
+  if (const json::Value* cores = h->find("cores")) {
+    VC2M_CHECK_MSG(cores->kind == json::Value::Kind::kArray,
+                   "explain report JSON: 'headroom.cores' must be an array");
+    for (const auto& v : cores->array) {
+      VC2M_CHECK_MSG(v.kind == json::Value::Kind::kObject,
+                     "explain report JSON: headroom cores must be objects");
+      CoreHeadroom c;
+      c.core = static_cast<unsigned>(get_number(v, "core"));
+      c.cache = static_cast<unsigned>(get_number(v, "cache"));
+      c.bw = static_cast<unsigned>(get_number(v, "bw"));
+      c.vcpus = static_cast<std::size_t>(get_number(v, "vcpus"));
+      c.utilization = get_number(v, "utilization");
+      c.slack = get_number(v, "slack");
+      c.reclaimable_cache =
+          static_cast<unsigned>(get_number(v, "reclaimable_cache"));
+      c.reclaimable_bw =
+          static_cast<unsigned>(get_number(v, "reclaimable_bw"));
+      r.headroom.cores.push_back(c);
+    }
+  }
+
+  if (const json::Value* rejs = root.find("rejections")) {
+    VC2M_CHECK_MSG(rejs->kind == json::Value::Kind::kArray,
+                   "explain report JSON: 'rejections' must be an array");
+    for (const auto& v : rejs->array) {
+      VC2M_CHECK_MSG(v.kind == json::Value::Kind::kObject,
+                     "explain report JSON: rejections must be objects");
+      VmRejection rej;
+      rej.vm = static_cast<int>(get_number(v, "vm"));
+      const std::string c = get_string(v, "constraint");
+      VC2M_CHECK_MSG(decision_constraint_from_string(c, rej.constraint),
+                     "explain report JSON: unknown constraint '" << c << "'");
+      rej.margin = get_number(v, "margin");
+      rej.detail = get_string(v, "detail");
+      r.rejections.push_back(std::move(rej));
+    }
+  }
+
+  r.events_dropped =
+      static_cast<std::uint64_t>(get_number(root, "events_dropped"));
+  if (const json::Value* evs = root.find("events")) {
+    VC2M_CHECK_MSG(evs->kind == json::Value::Kind::kArray,
+                   "explain report JSON: 'events' must be an array");
+    for (const auto& v : evs->array) r.events.push_back(parse_event(v));
+  }
+  return r;
+}
+
+ExplainReport read_explain_report_file(const std::string& path) {
+  std::ifstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  return read_explain_report(f);
+}
+
+void render_explain(std::ostream& os, const ExplainReport& r,
+                    bool show_events) {
+  os << "strategy " << r.strategy;
+  if (const auto it = r.config.find("strategy_display");
+      it != r.config.end())
+    os << " — " << it->second;
+  os << " (rev " << r.git_rev << ")\n";
+  if (r.schedulable) {
+    os << "verdict: SCHEDULABLE on " << r.cores_used << " core"
+       << (r.cores_used == 1 ? "" : "s") << "\n\n";
+    os << "headroom per core:\n";
+    os << "  core  cache  bw  vcpus   util  slack  reclaim(c)  reclaim(b)\n";
+    for (const auto& c : r.headroom.cores) {
+      os << fmt("  %4u  %5u  %2u  %5zu  %5.3f  %5.3f  %10u  %10u\n", c.core,
+                c.cache, c.bw, c.vcpus, c.utilization, c.slack,
+                c.reclaimable_cache, c.reclaimable_bw);
+    }
+    os << "spare pools: " << r.headroom.spare_cache << " cache, "
+       << r.headroom.spare_bw << " bw partitions\n";
+  } else {
+    os << "verdict: NOT SCHEDULABLE\n\n";
+    os << "rejection chain:\n";
+    for (const auto& rej : r.rejections) {
+      os << "  VM " << rej.vm << " rejected ["
+         << to_string(rej.constraint) << "]: " << rej.detail;
+      if (rej.margin > 0) os << fmt(" (margin %.3g)", rej.margin);
+      os << "\n";
+    }
+  }
+  os << "\nevents: " << r.events.size() << " recorded";
+  if (r.events_dropped > 0) os << " (" << r.events_dropped << " dropped)";
+  os << "\n";
+  if (show_events)
+    for (const auto& e : r.events) os << "  " << describe(e) << "\n";
+}
+
+}  // namespace vc2m::obs

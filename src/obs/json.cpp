@@ -1,0 +1,231 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace vc2m::obs::json {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, const std::string& what)
+      : s_(text), what_(what) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    VC2M_CHECK_MSG(pos_ == s_.size(),
+                   what_ << " JSON: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    VC2M_CHECK_MSG(pos_ < s_.size(), what_ << " JSON: unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    VC2M_CHECK_MSG(peek() == c, what_ << " JSON: expected '" << c
+                                      << "' at offset " << pos_ << ", got '"
+                                      << s_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.str = string();
+        return v;
+      }
+      case 't':
+      case 'f': return boolean();
+      case 'n': {
+        literal("null");
+        return {};
+      }
+      // NaN / Infinity / -Infinity are not JSON. Name them explicitly: the
+      // generic "expected a value" message would hide what went wrong.
+      case 'N':
+      case 'I':
+        VC2M_CHECK_MSG(false, what_ << " JSON: non-finite number at offset "
+                                    << pos_);
+        std::abort();  // unreachable
+      default: return number_value();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      VC2M_CHECK_MSG(pos_ < s_.size() && s_[pos_] == *p,
+                     what_ << " JSON: bad literal at offset " << pos_);
+      ++pos_;
+    }
+  }
+
+  Value boolean() {
+    Value v;
+    v.kind = Value::Kind::kBool;
+    if (s_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Value number_value() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) {
+      VC2M_CHECK_MSG(pos_ + 1 >= s_.size() ||
+                         (s_[pos_ + 1] != 'I' && s_[pos_ + 1] != 'N'),
+                     what_ << " JSON: non-finite number at offset " << start);
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    VC2M_CHECK_MSG(pos_ > start,
+                   what_ << " JSON: expected a value at offset " << start);
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    VC2M_CHECK_MSG(end && *end == '\0', what_ << " JSON: bad number '" << tok
+                                              << "' at offset " << start);
+    VC2M_CHECK_MSG(std::isfinite(d),
+                   what_ << " JSON: non-finite number '" << tok
+                         << "' at offset " << start);
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      VC2M_CHECK_MSG(pos_ < s_.size(), what_ << " JSON: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        VC2M_CHECK_MSG(pos_ < s_.size(), what_ << " JSON: dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          default:
+            VC2M_CHECK_MSG(false, what_ << " JSON: unsupported escape '\\"
+                                        << e << "'");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      const std::size_t key_at = pos_;
+      std::string key = string();
+      VC2M_CHECK_MSG(v.find(key) == nullptr,
+                     what_ << " JSON: duplicate key '" << key
+                           << "' at offset " << key_at);
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& s_;
+  const std::string& what_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text, const std::string& what) {
+  return Parser(text, what).parse();
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace vc2m::obs::json

@@ -10,6 +10,10 @@
 // --jobs 1/2/8 and records the seed allocator's total dbf-evaluation count,
 // against which the memoizing engine must be *strictly* cheaper.
 //
+// The digest helpers, scenario grid, and golden-file loader live in
+// tests/golden_util.h, shared with test_explain.cpp (decision recording must
+// reproduce these digests bit-identically).
+//
 // Regenerating (only when an intentional behavior change is accepted):
 //   VC2M_GOLDEN_CAPTURE=1 ./test_golden
 // Note the `seed-effort` line is a pre-refactor measurement: recapturing
@@ -30,6 +34,7 @@
 #include "core/exact.h"
 #include "core/experiment.h"
 #include "core/solutions.h"
+#include "golden_util.h"
 #include "model/platform.h"
 #include "util/instrument.h"
 #include "util/rng.h"
@@ -38,127 +43,9 @@
 namespace {
 
 using namespace vc2m;
-
-#ifndef VC2M_GOLDEN_DIR
-#error "VC2M_GOLDEN_DIR must point at tests/golden"
-#endif
-
-const char* const kGoldenFile = VC2M_GOLDEN_DIR "/engine.golden";
+using namespace vc2m::golden;
 
 bool capture_mode() { return std::getenv("VC2M_GOLDEN_CAPTURE") != nullptr; }
-
-// ---------------------------------------------------------------------------
-// Digest helpers
-
-std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xFF;
-    h *= 0x100000001B3ull;
-  }
-  return h;
-}
-
-/// Hash of everything that defines a VCPU vector: periods, owners, served
-/// task lists, and the full budget surface in raw nanoseconds.
-std::uint64_t vcpu_hash(const std::vector<model::Vcpu>& vcpus) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const auto& v : vcpus) {
-    h = fnv1a(h, static_cast<std::uint64_t>(v.period.raw_ns()));
-    h = fnv1a(h, static_cast<std::uint64_t>(v.vm));
-    for (const std::size_t t : v.tasks) h = fnv1a(h, t);
-    const auto& g = v.budget.grid();
-    for (unsigned c = g.c_min; c <= g.c_max; ++c)
-      for (unsigned b = g.b_min; b <= g.b_max; ++b)
-        h = fnv1a(h, static_cast<std::uint64_t>(v.budget.at(c, b).raw_ns()));
-  }
-  return h;
-}
-
-std::string mapping_digest(const core::HvAllocResult& m) {
-  std::ostringstream os;
-  os << "cores=" << m.cores_used << "|cache=";
-  for (std::size_t k = 0; k < m.cache.size(); ++k)
-    os << (k ? "," : "") << m.cache[k];
-  os << "|bw=";
-  for (std::size_t k = 0; k < m.bw.size(); ++k)
-    os << (k ? "," : "") << m.bw[k];
-  os << "|map=";
-  for (std::size_t k = 0; k < m.vcpus_on_core.size(); ++k) {
-    if (k) os << ";";
-    for (std::size_t i = 0; i < m.vcpus_on_core[k].size(); ++i)
-      os << (i ? "," : "") << m.vcpus_on_core[k][i];
-  }
-  return os.str();
-}
-
-std::string solve_digest(const core::SolveResult& res) {
-  std::ostringstream os;
-  char hex[24];
-  os << "sched=" << (res.schedulable ? 1 : 0) << "|" << mapping_digest(res.mapping);
-  std::snprintf(hex, sizeof hex, "%016llx",
-                static_cast<unsigned long long>(vcpu_hash(res.vcpus)));
-  os << "|vhash=" << hex;
-  return os.str();
-}
-
-// ---------------------------------------------------------------------------
-// Scenario grid (fixed forever — golden lines are positional)
-
-struct Scenario {
-  const char* platform;  // "A" or "C"
-  workload::UtilDist dist;
-  double util;
-  int num_vms;
-  std::uint64_t seed;
-};
-
-const std::vector<Scenario>& scenarios() {
-  static const std::vector<Scenario> kScenarios = {
-      {"A", workload::UtilDist::kUniform, 0.5, 1, 9001},
-      {"A", workload::UtilDist::kUniform, 0.5, 1, 9002},
-      {"A", workload::UtilDist::kUniform, 1.0, 1, 9003},
-      {"A", workload::UtilDist::kUniform, 1.0, 2, 9004},
-      {"A", workload::UtilDist::kUniform, 1.5, 1, 9005},
-      {"A", workload::UtilDist::kUniform, 1.5, 2, 9006},
-      {"A", workload::UtilDist::kBimodalHeavy, 1.0, 1, 9007},
-      {"A", workload::UtilDist::kBimodalHeavy, 1.4, 1, 9008},
-      {"C", workload::UtilDist::kUniform, 0.8, 1, 9009},
-      {"C", workload::UtilDist::kBimodalLight, 1.2, 2, 9010},
-  };
-  return kScenarios;
-}
-
-model::PlatformSpec platform_of(const std::string& name) {
-  return name == "A" ? model::PlatformSpec::A() : model::PlatformSpec::C();
-}
-
-model::Taskset scenario_taskset(const Scenario& sc) {
-  workload::GeneratorConfig gen;
-  gen.grid = platform_of(sc.platform).grid;
-  gen.target_ref_utilization = sc.util;
-  gen.dist = sc.dist;
-  gen.num_vms = sc.num_vms;
-  util::Rng rng(sc.seed);
-  return workload::generate_taskset(gen, rng);
-}
-
-std::vector<std::string> solve_lines() {
-  std::vector<std::string> lines;
-  for (std::size_t i = 0; i < scenarios().size(); ++i) {
-    const Scenario& sc = scenarios()[i];
-    const auto tasks = scenario_taskset(sc);
-    const auto platform = platform_of(sc.platform);
-    for (std::size_t si = 0; si < core::all_solutions().size(); ++si) {
-      util::Rng rng(sc.seed * 1000 + si);
-      const auto res = core::solve(core::all_solutions()[si], tasks, platform,
-                                   {}, rng);
-      std::ostringstream os;
-      os << "solve|" << i << "|" << si << "|" << solve_digest(res);
-      lines.push_back(os.str());
-    }
-  }
-  return lines;
-}
 
 /// Admission scenarios: place one VM offline, then admit a second VM online.
 std::vector<std::string> admission_lines() {
@@ -198,7 +85,8 @@ std::vector<std::string> admission_lines() {
       char hex[24];
       os << "|" << mapping_digest(admit.state.mapping);
       std::snprintf(hex, sizeof hex, "%016llx",
-                    static_cast<unsigned long long>(vcpu_hash(admit.state.vcpus)));
+                    static_cast<unsigned long long>(
+                        vcpu_hash(admit.state.vcpus)));
       os << "|vhash=" << hex;
     }
     lines.push_back(os.str());
@@ -276,46 +164,6 @@ SweepRun run_sweep(int jobs) {
 }
 
 // ---------------------------------------------------------------------------
-// Golden file I/O
-
-struct GoldenFile {
-  std::vector<std::string> solve;
-  std::vector<std::string> admission;
-  std::vector<std::string> exact;
-  std::vector<std::string> sweep;
-  std::uint64_t seed_dbf_evaluations = 0;
-  bool loaded = false;
-};
-
-GoldenFile load_golden() {
-  GoldenFile g;
-  std::ifstream in(kGoldenFile);
-  if (!in) return g;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    if (line.rfind("solve|", 0) == 0) g.solve.push_back(line);
-    else if (line.rfind("admit|", 0) == 0) g.admission.push_back(line);
-    else if (line.rfind("exact|", 0) == 0) g.exact.push_back(line);
-    else if (line.rfind("sweep-point|", 0) == 0) g.sweep.push_back(line);
-    else if (line.rfind("seed-effort|dbf_evaluations=", 0) == 0)
-      g.seed_dbf_evaluations = std::strtoull(
-          line.c_str() + std::string("seed-effort|dbf_evaluations=").size(),
-          nullptr, 10);
-  }
-  g.loaded = true;
-  return g;
-}
-
-void expect_lines_equal(const std::vector<std::string>& golden,
-                        const std::vector<std::string>& got,
-                        const char* section) {
-  ASSERT_EQ(golden.size(), got.size()) << "section " << section;
-  for (std::size_t i = 0; i < golden.size(); ++i)
-    EXPECT_EQ(golden[i], got[i]) << "section " << section << " line " << i;
-}
-
-// ---------------------------------------------------------------------------
 // Tests
 
 TEST(GoldenEquivalence, CaptureOrCompareEngineDigests) {
@@ -327,7 +175,7 @@ TEST(GoldenEquivalence, CaptureOrCompareEngineDigests) {
     std::ofstream out(kGoldenFile);
     ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
     out << "# vc2m engine golden — captured from the pre-registry allocator.\n"
-           "# Lines are positional; see tests/test_golden.cpp for the "
+           "# Lines are positional; see tests/golden_util.h for the "
            "scenario grid.\n";
     for (const auto& l : solve) out << l << "\n";
     for (const auto& l : admission) out << l << "\n";

@@ -755,6 +755,46 @@ TEST(BenchReport, ReaderRejectsGarbageAndForeignSchemas) {
   EXPECT_THROW(read_bench_report(trailing), util::Error);
 }
 
+TEST(BenchReport, ReaderRejectsDuplicateKeysWithFilePosition) {
+  // A truncated-then-rewritten report would silently shadow one value under
+  // a lenient parser; the reader must instead name the second occurrence.
+  const std::string doc =
+      "{\"schema\": \"vc2m-bench-report/1\", \"name\": \"a\", "
+      "\"name\": \"b\"}";
+  std::stringstream ss(doc);
+  try {
+    read_bench_report(ss);
+    FAIL() << "duplicate key accepted";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("duplicate key 'name'"), std::string::npos) << what;
+    const std::size_t second = doc.find("\"name\": \"b\"");
+    EXPECT_NE(what.find("offset " + std::to_string(second)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(BenchReport, ReaderRejectsNonFiniteNumbersWithFilePosition) {
+  for (const char* bad : {"NaN", "Infinity", "-Infinity", "1e999"}) {
+    const std::string doc =
+        std::string("{\"schema\": \"vc2m-bench-report/1\", \"x\": ") + bad +
+        "}";
+    std::stringstream ss(doc);
+    try {
+      read_bench_report(ss);
+      FAIL() << "accepted " << bad;
+    } catch (const util::Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("non-finite number"), std::string::npos)
+          << bad << ": " << what;
+      EXPECT_NE(what.find("offset " + std::to_string(doc.find(bad))),
+                std::string::npos)
+          << bad << ": " << what;
+    }
+  }
+}
+
 TEST(BenchReport, SummarisesLogHistogramQuantiles) {
   util::LogHistogram lh;
   for (int i = 1; i <= 1000; ++i) lh.add(static_cast<double>(i));

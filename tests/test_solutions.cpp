@@ -189,7 +189,8 @@ TEST(StrategyRegistry, RegisteredStrategyWorksInSolveAndExperiment) {
   auto& reg = StrategyRegistry::instance();
   if (!reg.find("test-ovf-even"))
     reg.add({"test-ovf-even", "Test (ovf VMs, even partitions)",
-             reg.require("ovf").vm, reg.require("even").hv});
+             "test-only composition", reg.require("ovf").vm,
+             reg.require("even").hv});
   const auto ts = generated(0.3, 30);
   Rng rng(31);
   const auto res = solve("test-ovf-even", ts, PlatformSpec::A(), {}, rng);
@@ -214,9 +215,9 @@ TEST(StrategyRegistry, RegisteredStrategyWorksInSolveAndExperiment) {
 TEST(StrategyRegistry, RejectsDuplicateAndMalformedRegistrations) {
   auto& reg = StrategyRegistry::instance();
   const auto& ovf = reg.require("ovf");
-  EXPECT_THROW(reg.add({"ovf", "dup", ovf.vm, ovf.hv}), util::Error);
-  EXPECT_THROW(reg.add({"", "anon", ovf.vm, ovf.hv}), util::Error);
-  EXPECT_THROW(reg.add({"half", "no hv", ovf.vm, nullptr}), util::Error);
+  EXPECT_THROW(reg.add({"ovf", "dup", "", ovf.vm, ovf.hv}), util::Error);
+  EXPECT_THROW(reg.add({"", "anon", "", ovf.vm, ovf.hv}), util::Error);
+  EXPECT_THROW(reg.add({"half", "no hv", "", ovf.vm, nullptr}), util::Error);
 }
 
 // ---------------------------------------------------------- experiment ----

@@ -69,6 +69,7 @@
 //
 // CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
 // from the profile's slowdown vectors scaled to the given reference WCET.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -79,6 +80,7 @@
 #include "core/solutions.h"
 #include "hw/cat.h"
 #include "obs/bench_report.h"
+#include "obs/explain.h"
 #include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
@@ -128,7 +130,11 @@ struct Args {
   bool profile = false;          ///< render the phase tree after the run
   std::string pool_trace;        ///< experiment: counter-track trace file
   std::string max_regress;       ///< perfdiff threshold, "10%" or "0.1"
-  std::vector<std::string> positional;  ///< perfdiff report files
+  // explain
+  std::string json_out;          ///< write the explain report here
+  bool events = false;           ///< render every recorded decision event
+  std::vector<std::string> positional;  ///< perfdiff report files / explain
+                                        ///< taskset
 };
 
 [[noreturn]] void usage(int code) {
@@ -144,6 +150,9 @@ struct Args {
                "[--profile]\n"
                "                     [--faults SPEC] "
                "[--policy strict|kill|throttle|degrade]\n"
+               "       vc2m explain tasks.csv [--platform P] [--solution S] "
+               "[--seed S]\n"
+               "                    [--json out.json] [--events]\n"
                "       vc2m check --trace out.json|out.csv\n"
                "       vc2m perfdiff base.json current.json "
                "[--max-regress 10%|0.1]\n"
@@ -190,6 +199,8 @@ Args parse(int argc, char** argv) {
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--pool-trace") a.pool_trace = next();
     else if (arg == "--max-regress") a.max_regress = next();
+    else if (arg == "--json") a.json_out = next();
+    else if (arg == "--events") a.events = true;
     else if (!arg.empty() && arg[0] != '-') a.positional.push_back(arg);
     else usage(2);
   }
@@ -309,11 +320,20 @@ int cmd_profiles() {
 }
 
 int cmd_solutions() {
-  util::Table table({"key", "solution", "VM-level policy",
-                     "hypervisor-level policy"});
-  for (const auto* s : core::StrategyRegistry::instance().all())
-    table.add_row(s->key, s->display, std::string(s->vm->name()),
-                  std::string(s->hv->name()));
+  auto all = core::StrategyRegistry::instance().all();
+  // Deterministic listing regardless of registration order (late-registered
+  // downstream strategies would otherwise shuffle the table).
+  std::sort(all.begin(), all.end(),
+            [](const core::Strategy* x, const core::Strategy* y) {
+              return x->key < y->key;
+            });
+  util::Table table({"key", "solution", "description"});
+  for (const auto* s : all)
+    table.add_row(s->key, s->display,
+                  s->description.empty()
+                      ? std::string(s->vm->name()) + " + " +
+                            std::string(s->hv->name())
+                      : s->description);
   table.print(std::cout, "registered allocation strategies");
   return 0;
 }
@@ -374,6 +394,28 @@ int cmd_solve(const Args& a) {
                   static_cast<int>(res.mapping.bw[k]), cbm, vcpus.str());
   }
   table.print(std::cout);
+  return 0;
+}
+
+int cmd_explain(const Args& a) {
+  std::string file = a.file;
+  if (file.empty() && !a.positional.empty()) file = a.positional.front();
+  if (file.empty()) usage(2);
+  const auto platform = platform_of(a.platform);
+  const auto tasks = workload::read_taskset_csv(file, platform.grid);
+  const auto& strat = strategy_of(a.solution);
+  util::Rng rng(a.seed);
+  const auto report =
+      obs::explain_solve(strat, tasks, platform, {}, rng);
+  obs::render_explain(std::cout, report, a.events);
+  if (!a.json_out.empty()) {
+    obs::write_explain_report_file(a.json_out, report);
+    // Round-trip through the strict reader so a report we cannot re-read
+    // never lands on disk unnoticed.
+    (void)obs::read_explain_report_file(a.json_out);
+    std::cout << "wrote " << a.json_out << "\n";
+  }
+  // Both verdicts are successful explanations; only usage/IO errors fail.
   return 0;
 }
 
@@ -578,6 +620,7 @@ int main(int argc, char** argv) {
     if (a.command == "solutions") return cmd_solutions();
     if (a.command == "generate") return cmd_generate(a);
     if (a.command == "solve") return cmd_solve(a);
+    if (a.command == "explain") return cmd_explain(a);
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "check") return cmd_check(a);
     if (a.command == "experiment") return cmd_experiment(a);
