@@ -10,21 +10,23 @@
 # undefined build and run everything; thread builds only the parallel test
 # binaries and runs the thread-pool/experiment/fault-validator suites (the
 # rest of the test suite is single-threaded, and TSan's ~10x slowdown buys
-# nothing there). The address pass also runs the fault-injection CLI smoke
-# (all four enforcement policies under a WCET-overrun plan) and a fuzz loop
-# that corrupts a valid taskset CSV byte-by-byte: the CLI must exit with a
-# clean util::Error, never an ASan report/crash. The address pass
-# additionally re-runs the golden-equivalence suite explicitly (allocation
-# engine bit-identical to the pre-registry seed, with strictly fewer dbf
+# nothing there). The address pass also runs the scenario smoke: the curated
+# corpus under scenarios/ (all four enforcement policies under fault plans,
+# the infeasible-by-constraint pins, the stress scenarios) must pass through
+# `vc2m scenario run`, a 2-way-sharded run merged back together must be
+# byte-identical to the unsharded report, the report must be schema-valid
+# (scripts/scenarios_validate.py), and two fuzz loops — corrupted taskset
+# CSVs and corrupted/truncated scenario files — must exit with a clean
+# util::Error, never an ASan report/crash. The address pass additionally
+# re-runs the golden-equivalence suite explicitly (allocation engine
+# bit-identical to the pre-registry seed, with strictly fewer dbf
 # evaluations) and the bench_micro_ops --smoke memoization-counter check.
 # Finally the address pass runs the perf smoke: bench_micro_ops --smoke
 # --json must emit a schema-valid BENCH_*.json, `vc2m perfdiff` must pass a
-# self-compare and must flag a synthetic 3x phase-time regression — and the
-# explain smoke: `vc2m explain` on a feasible profile must print the
-# headroom table, on an infeasible one a per-VM rejection chain with a
-# named constraint and margin, the vc2m-explain-report/1 artifact must be
-# schema-valid JSON that the strict reader round-trips, and the golden
-# suite must stay bit-identical with decision recording on (test_explain).
+# self-compare and must flag a synthetic 3x phase-time regression — and
+# test_explain (golden digests bit-identical with decision recording on).
+# The former fault-policy and feasible/infeasible explain smokes live in
+# the scenario corpus now (fault-policy-*.json, infeasible-*.json).
 # Exits non-zero on the first failure.
 set -euo pipefail
 
@@ -33,21 +35,76 @@ cd "$(dirname "$0")/.."
 sanitizers=("$@")
 [ $# -eq 0 ] && sanitizers=(address undefined thread)
 
-fault_smoke() {
+scenario_smoke() {
+  # $1 = build dir with a tools/vc2m binary. Runs the curated corpus (which
+  # carries the former fault-policy and explain verdict smokes as pinned
+  # scenarios), checks shard/merge byte-identity, and schema-validates both
+  # the corpus and the merged report from the outside.
+  local vc2m="$1/tools/vc2m"
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+
+  echo "--- scenario corpus is schema-valid ---"
+  python3 scripts/scenarios_validate.py scenarios/
+
+  echo "--- scenario corpus passes (full matrix run) ---"
+  "$vc2m" scenario run scenarios/ --jobs "$(nproc)" \
+    --json "$work/full.json" \
+    || { echo "scenario corpus failed"; return 1; }
+
+  echo "--- 2-way-sharded merge is byte-identical to the unsharded run ---"
+  "$vc2m" scenario run scenarios/ --jobs 2 --shard 0/2 \
+    --json "$work/shard0.json" > /dev/null
+  "$vc2m" scenario run scenarios/ --jobs 2 --shard 1/2 \
+    --json "$work/shard1.json" > /dev/null
+  "$vc2m" scenario merge "$work/shard0.json" "$work/shard1.json" \
+    --json "$work/merged.json" > /dev/null
+  cmp "$work/merged.json" "$work/full.json" \
+    || { echo "merged shard report differs from the unsharded run"; return 1; }
+
+  echo "--- scenario report is schema-valid ---"
+  python3 scripts/scenarios_validate.py --report "$work/full.json"
+
+  echo "--- fuzz: corrupted scenario files must fail cleanly ---"
+  local seed_file=scenarios/cache-thrash-storm.json
+  local ssize; ssize="$(wc -c < "$seed_file")"
+  RANDOM=20260809
+  for i in $(seq 1 24); do
+    cp "$seed_file" "$work/fuzzed.json"
+    for _ in 1 2 3; do
+      local off=$((RANDOM % ssize)) byte=$((RANDOM % 255 + 1))
+      printf "$(printf '\\%03o' "$byte")" |
+        dd of="$work/fuzzed.json" bs=1 seek="$off" count=1 conv=notrunc status=none
+    done
+    local rc=0
+    ASAN_OPTIONS=abort_on_error=1 "$vc2m" scenario validate "$work/fuzzed.json" \
+      > /dev/null 2> "$work/fuzz-err.txt" || rc=$?
+    if [ "$rc" -ge 128 ]; then
+      echo "scenario fuzz iteration $i crashed (rc=$rc):"
+      cat "$work/fuzz-err.txt"
+      return 1
+    fi
+  done
+  # Truncations walk the parser's every EOF path.
+  for n in 0 1 17 60 120 200; do
+    head -c "$n" "$seed_file" > "$work/truncated.json"
+    local rc=0
+    ASAN_OPTIONS=abort_on_error=1 "$vc2m" scenario validate "$work/truncated.json" \
+      > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ge 128 ] || [ "$rc" -eq 0 ]; then
+      echo "truncated scenario (${n} bytes) rc=$rc (want clean nonzero exit)"
+      return 1
+    fi
+  done
+  echo "--- scenario smoke passed ---"
+}
+
+taskset_fuzz() {
   # $1 = build dir with a tools/vc2m binary.
   local vc2m="$1/tools/vc2m"
   local work; work="$(mktemp -d)"
   trap 'rm -rf "$work"' RETURN
-  echo "--- fault smoke: four enforcement policies ---"
   "$vc2m" generate --util 0.6 --seed 3 > "$work/tasks.csv"
-  for policy in strict kill throttle degrade; do
-    "$vc2m" simulate --file "$work/tasks.csv" \
-      --faults 'overrun-factor=1.2,overrun-prob=0.7,low-crit-frac=0.5,seed=9' \
-      --policy "$policy" --report > "$work/out-$policy.txt" \
-      || { echo "fault smoke failed for policy $policy"; cat "$work/out-$policy.txt"; return 1; }
-    grep -q 'Trace invariants: OK' "$work/out-$policy.txt" \
-      || { echo "trace checker not clean for policy $policy"; return 1; }
-  done
 
   echo "--- fuzz: corrupted taskset CSVs must fail cleanly ---"
   # abort_on_error makes ASan die with a signal (rc >= 128) instead of
@@ -70,7 +127,7 @@ fault_smoke() {
       return 1
     fi
   done
-  echo "--- fault smoke + fuzz passed ---"
+  echo "--- taskset fuzz passed ---"
 }
 
 perf_smoke() {
@@ -114,56 +171,6 @@ EOF
   echo "--- perf smoke passed ---"
 }
 
-explain_smoke() {
-  # $1 = build dir with a tools/vc2m binary.
-  local vc2m="$1/tools/vc2m"
-  local work; work="$(mktemp -d)"
-  trap 'rm -rf "$work"' RETURN
-
-  echo "--- explain: feasible profile prints headroom ---"
-  "$vc2m" generate --util 0.4 --vms 2 --seed 7 > "$work/feasible.csv"
-  "$vc2m" explain "$work/feasible.csv" --solution ovf \
-    --json "$work/feasible.json" > "$work/feasible.txt"
-  grep -q 'verdict: SCHEDULABLE' "$work/feasible.txt" \
-    || { echo "feasible explain missing verdict"; cat "$work/feasible.txt"; return 1; }
-  grep -q 'headroom per core' "$work/feasible.txt" \
-    || { echo "feasible explain missing headroom table"; return 1; }
-
-  echo "--- explain: infeasible profile names constraint + margin per VM ---"
-  "$vc2m" generate --util 3.5 --vms 3 --seed 9 > "$work/infeasible.csv"
-  "$vc2m" explain "$work/infeasible.csv" --solution ovf \
-    --json "$work/infeasible.json" > "$work/infeasible.txt"
-  grep -q 'verdict: NOT SCHEDULABLE' "$work/infeasible.txt" \
-    || { echo "infeasible explain missing verdict"; cat "$work/infeasible.txt"; return 1; }
-  grep -Eq 'VM [0-9]+ rejected \[[a-z_]+\].*margin' "$work/infeasible.txt" \
-    || { echo "infeasible explain missing rejection chain"; cat "$work/infeasible.txt"; return 1; }
-
-  echo "--- explain reports are schema-valid JSON ---"
-  python3 - "$work/feasible.json" "$work/infeasible.json" <<'EOF'
-import json, sys
-for path in sys.argv[1:]:
-    r = json.load(open(path))
-    required = ["schema", "strategy", "git_rev", "config", "schedulable",
-                "cores_used", "headroom", "rejections", "events",
-                "events_dropped"]
-    missing = [k for k in required if k not in r]
-    assert not missing, f"{path}: missing top-level keys: {missing}"
-    assert r["schema"].startswith("vc2m-explain-report/"), r["schema"]
-    assert r["events"], f"{path}: empty event stream"
-    if r["schedulable"]:
-        assert r["headroom"]["cores"], f"{path}: no per-core headroom"
-    else:
-        assert r["rejections"], f"{path}: no rejection chain"
-        for rej in r["rejections"]:
-            assert rej["constraint"] != "none", rej
-            assert rej["margin"] > 0, rej
-EOF
-
-  echo "--- golden digests unchanged with decision recording on ---"
-  "$1/tests/test_explain"
-  echo "--- explain smoke passed ---"
-}
-
 for san in "${sanitizers[@]}"; do
   case "$san" in
     address)   dir=build-asan ;;
@@ -184,16 +191,18 @@ for san in "${sanitizers[@]}"; do
   echo "=== ${san}: ctest ==="
   (cd "$dir" && ctest ${ctest_args[@]+"${ctest_args[@]}"})
   if [ "$san" = address ]; then
-    echo "=== ${san}: fault smoke + fuzz ==="
-    fault_smoke "$dir"
+    echo "=== ${san}: scenario smoke (corpus + shard/merge + fuzz) ==="
+    scenario_smoke "$dir"
+    echo "=== ${san}: taskset fuzz ==="
+    taskset_fuzz "$dir"
     echo "=== ${san}: golden equivalence (engine vs seed digests) ==="
     "$dir/tests/test_golden"
     echo "=== ${san}: memoization smoke (bench_micro_ops --smoke) ==="
     "$dir/bench/bench_micro_ops" --smoke
     echo "=== ${san}: perf smoke (bench report + perfdiff gate) ==="
     perf_smoke "$dir"
-    echo "=== ${san}: explain smoke (rejection chains + headroom) ==="
-    explain_smoke "$dir"
+    echo "=== ${san}: explain recording stays bit-identical (test_explain) ==="
+    "$dir/tests/test_explain"
   fi
 done
 

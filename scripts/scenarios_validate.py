@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Schema check for the scenario corpus and its matrix-run reports.
+
+Validates from the outside (plain stdlib JSON) what the C++ strict reader
+enforces from the inside, so a loader bug cannot silently relax the format:
+
+    scripts/scenarios_validate.py scenarios/          # corpus files
+    scripts/scenarios_validate.py --report run.json   # vc2m-scenario-report/1
+
+Exits non-zero with a per-file message on the first violation.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+SCENARIO_SCHEMA = "vc2m-scenario/1"
+REPORT_SCHEMA = "vc2m-scenario-report/1"
+
+PLATFORMS = {"A", "B", "C"}
+POLICIES = {"strict", "kill", "throttle", "degrade"}
+DISTS = {"uniform", "light", "medium", "heavy"}
+CONSTRAINTS = {
+    "no_feasible_budget", "task_overflows_vcpu", "vcpu_exceeds_core",
+    "utilization_exceeds_cores", "core_over_utilized", "cache_pool_exhausted",
+    "bw_pool_exhausted", "no_beneficial_grant", "core_limit",
+    "no_feasible_partition",
+}
+
+
+class Bad(Exception):
+    pass
+
+
+def need(cond, msg):
+    if not cond:
+        raise Bad(msg)
+
+
+def check_keys(obj, what, required, optional):
+    need(isinstance(obj, dict), f"{what} must be an object")
+    for key in required:
+        need(key in obj, f"{what} is missing required key '{key}'")
+    allowed = set(required) | set(optional)
+    for key in obj:
+        need(key in allowed, f"{what} has unknown key '{key}'")
+
+
+def is_index(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_scenario(doc):
+    check_keys(doc, "scenario",
+               required=["schema", "name", "workload", "expect"],
+               optional=["description", "platform", "solution", "seed",
+                         "faults", "policy", "simulate"])
+    need(doc["schema"] == SCENARIO_SCHEMA, f"bad schema {doc['schema']!r}")
+    name = doc["name"]
+    need(isinstance(name, str) and name and
+         all(c.islower() or c.isdigit() or c == "-" for c in name),
+         f"name {name!r} must match [a-z0-9-]+")
+    need(doc.get("platform", "A") in PLATFORMS, "bad platform")
+    need(doc.get("policy", "strict") in POLICIES, "bad policy")
+    need(is_index(doc.get("seed", 0)), "seed must be a non-negative integer")
+
+    wl = doc["workload"]
+    if "file" in wl:
+        check_keys(wl, "workload", required=["file"], optional=[])
+        need(isinstance(wl["file"], str) and wl["file"], "empty workload file")
+    else:
+        check_keys(wl, "workload", required=["util"],
+                   optional=["dist", "vms"])
+        need(isinstance(wl["util"], (int, float)) and wl["util"] > 0,
+             "workload util must be positive")
+        need(wl.get("dist", "uniform") in DISTS, "bad workload dist")
+        need(is_index(wl.get("vms", 1)) and wl.get("vms", 1) >= 1,
+             "workload vms must be >= 1")
+
+    if "simulate" in doc:
+        check_keys(doc["simulate"], "simulate", required=[],
+                   optional=["hyperperiods"])
+        hp = doc["simulate"].get("hyperperiods", 3)
+        need(is_index(hp) and hp >= 1, "simulate hyperperiods must be >= 1")
+
+    e = doc["expect"]
+    check_keys(e, "expect", required=["verdict"],
+               optional=["digest", "trace_clean", "min_faults_injected",
+                         "max_deadline_misses", "rejection_constraints"])
+    need(e["verdict"] in ("schedulable", "unschedulable"), "bad verdict")
+    schedulable = e["verdict"] == "schedulable"
+    if "digest" in e:
+        need(isinstance(e["digest"], str) and
+             e["digest"].startswith("sched="), "digest must pin a solve")
+    if "rejection_constraints" in e:
+        need(not schedulable,
+             "rejection_constraints require an unschedulable verdict")
+        for c in e["rejection_constraints"]:
+            need(c in CONSTRAINTS, f"unknown rejection constraint {c!r}")
+    runtime = [k for k in ("trace_clean", "min_faults_injected",
+                           "max_deadline_misses") if k in e]
+    need(not runtime or "simulate" in doc,
+         f"runtime expectations {runtime} need a simulate block")
+    need("simulate" not in doc or schedulable,
+         "simulate requires a schedulable expectation")
+    need("min_faults_injected" not in e or doc.get("faults"),
+         "min_faults_injected requires a faults plan")
+    return name
+
+
+METRIC_KEYS = [
+    "jobs_released", "jobs_completed", "deadline_misses", "faults_injected",
+    "jobs_killed", "jobs_deferred", "trace_events", "trace_violations",
+]
+
+
+def check_report(doc):
+    check_keys(doc, "report",
+               required=["schema", "git_rev", "corpus", "shard", "total",
+                         "passed", "failed", "scenarios"],
+               optional=[])
+    need(doc["schema"] == REPORT_SCHEMA, f"bad schema {doc['schema']!r}")
+    shard = doc["shard"]
+    check_keys(shard, "shard", required=["index", "count"], optional=[])
+    need(is_index(shard["index"]) and shard["count"] >= 1 and
+         shard["index"] < shard["count"], "bad shard fields")
+    records = doc["scenarios"]
+    need(doc["total"] == len(records), "total != len(scenarios)")
+    passed = sum(1 for r in records if r["passed"])
+    need(doc["passed"] == passed, "passed count mismatch")
+    need(doc["failed"] == len(records) - passed, "failed count mismatch")
+    names = [r["name"] for r in records]
+    need(names == sorted(names), "records not sorted by name")
+    need(len(set(names)) == len(names), "duplicate records")
+    for r in records:
+        what = f"record {r.get('name', '?')!r}"
+        check_keys(r, what,
+                   required=["name", "file", "verdict", "digest", "passed",
+                             "failures", "rejection_constraints",
+                             "simulated"],
+                   optional=["metrics"])
+        need(r["verdict"] in ("schedulable", "unschedulable"),
+             f"{what}: bad verdict")
+        need(r["digest"].startswith("sched="), f"{what}: bad digest")
+        if r["simulated"]:
+            check_keys(r["metrics"], f"{what} metrics",
+                       required=METRIC_KEYS, optional=[])
+            for k in METRIC_KEYS:
+                need(is_index(r["metrics"][k]), f"{what}: bad metric {k}")
+        else:
+            need("metrics" not in r, f"{what}: metrics without simulate")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", help="scenario file/directory, or a report file")
+    ap.add_argument("--report", action="store_true",
+                    help="validate a vc2m-scenario-report/1 instead")
+    args = ap.parse_args()
+
+    path = pathlib.Path(args.path)
+    files = sorted(path.glob("*.json")) if path.is_dir() else [path]
+    if not files:
+        sys.exit(f"{path}: no scenario files")
+
+    names = set()
+    for f in files:
+        try:
+            doc = json.loads(f.read_text())
+            if args.report:
+                check_report(doc)
+            else:
+                name = check_scenario(doc)
+                if name in names:
+                    raise Bad(f"duplicate scenario name {name!r}")
+                names.add(name)
+        except (Bad, json.JSONDecodeError, KeyError, TypeError) as err:
+            sys.exit(f"{f}: {err}")
+    kind = "report(s)" if args.report else "scenario(s)"
+    print(f"{len(files)} {kind} schema-valid")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,7 @@
 
 #include "obs/json.h"
 #include "util/error.h"
+#include "util/file.h"
 
 namespace vc2m::obs {
 
@@ -221,10 +222,9 @@ void write_bench_report(std::ostream& os, const BenchReport& r) {
 }
 
 void write_bench_report_file(const std::string& path, const BenchReport& r) {
-  std::ofstream f(path);
-  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  auto f = util::open_output_file(path, "bench report");
   write_bench_report(f, r);
-  VC2M_CHECK_MSG(f.good(), "error writing " << path);
+  util::close_output_file(f, path, "bench report");
 }
 
 BenchReport read_bench_report(std::istream& is) {

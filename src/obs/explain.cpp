@@ -13,6 +13,7 @@
 #include "obs/bench_report.h"
 #include "obs/json.h"
 #include "util/error.h"
+#include "util/file.h"
 
 namespace vc2m::obs {
 
@@ -351,10 +352,9 @@ void write_explain_report(std::ostream& os, const ExplainReport& r) {
 
 void write_explain_report_file(const std::string& path,
                                const ExplainReport& r) {
-  std::ofstream f(path);
-  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  auto f = util::open_output_file(path, "explain report");
   write_explain_report(f, r);
-  VC2M_CHECK_MSG(f.good(), "error writing " << path);
+  util::close_output_file(f, path, "explain report");
 }
 
 ExplainReport read_explain_report(std::istream& is) {

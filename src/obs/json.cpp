@@ -54,7 +54,15 @@ class Parser {
   }
 
   Value value() {
-    switch (peek()) {
+    const char c = peek();  // also positions pos_ at the value start
+    const std::size_t at = pos_;
+    Value v = value_body(c);
+    v.offset = at;
+    return v;
+  }
+
+  Value value_body(char head) {
+    switch (head) {
       case '{': return object();
       case '[': return array();
       case '"': {
@@ -181,7 +189,9 @@ class Parser {
                      what_ << " JSON: duplicate key '" << key
                            << "' at offset " << key_at);
       expect(':');
-      v.object.emplace_back(std::move(key), value());
+      Value member = value();
+      member.key_offset = key_at;
+      v.object.emplace_back(std::move(key), std::move(member));
       if (consume('}')) return v;
       expect(',');
     }

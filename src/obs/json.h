@@ -32,6 +32,12 @@ struct Value {
   std::string str;
   std::vector<Value> array;
   std::vector<std::pair<std::string, Value>> object;
+  /// Byte offset of this value's first character in the parsed document,
+  /// so semantic validators (unknown key, wrong type) can point at the
+  /// exact position the way the parser's own errors do.
+  std::size_t offset = 0;
+  /// For an object member's value: byte offset of its key's opening quote.
+  std::size_t key_offset = 0;
 
   /// Object member lookup (kObject only); nullptr when absent. Keys are
   /// unique — parse() rejects duplicates.

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/file.h"
 
 namespace vc2m::obs {
 
@@ -405,12 +406,12 @@ bool has_suffix(const std::string& s, const std::string& suffix) {
 void write_trace_file(const std::string& path,
                       std::span<const sim::TraceEvent> events,
                       const TraceMeta& meta) {
-  std::ofstream f(path);
-  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  auto f = util::open_output_file(path, "trace file");
   if (has_suffix(path, ".csv"))
     write_trace_csv(f, events);
   else
     write_chrome_trace(f, events, meta);
+  util::close_output_file(f, path, "trace file");
 }
 
 std::vector<sim::TraceEvent> read_trace_file(const std::string& path) {

@@ -1,0 +1,58 @@
+#include "scenario/digest.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace vc2m::scenario {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t vcpu_hash(const std::vector<model::Vcpu>& vcpus) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const auto& v : vcpus) {
+    h = fnv1a(h, static_cast<std::uint64_t>(v.period.raw_ns()));
+    h = fnv1a(h, static_cast<std::uint64_t>(v.vm));
+    for (const std::size_t t : v.tasks) h = fnv1a(h, t);
+    const auto& g = v.budget.grid();
+    for (unsigned c = g.c_min; c <= g.c_max; ++c)
+      for (unsigned b = g.b_min; b <= g.b_max; ++b)
+        h = fnv1a(h, static_cast<std::uint64_t>(v.budget.at(c, b).raw_ns()));
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string solve_digest(const core::SolveResult& res) {
+  const core::HvAllocResult& m = res.mapping;
+  std::ostringstream os;
+  os << "sched=" << (res.schedulable ? 1 : 0) << "|cores=" << m.cores_used
+     << "|cache=";
+  for (std::size_t k = 0; k < m.cache.size(); ++k)
+    os << (k ? "," : "") << m.cache[k];
+  os << "|bw=";
+  for (std::size_t k = 0; k < m.bw.size(); ++k)
+    os << (k ? "," : "") << m.bw[k];
+  os << "|map=";
+  for (std::size_t k = 0; k < m.vcpus_on_core.size(); ++k) {
+    if (k) os << ";";
+    for (std::size_t i = 0; i < m.vcpus_on_core[k].size(); ++i)
+      os << (i ? "," : "") << m.vcpus_on_core[k][i];
+  }
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(vcpu_hash(res.vcpus)));
+  os << "|vhash=" << hex;
+  return os.str();
+}
+
+}  // namespace vc2m::scenario

@@ -1,0 +1,20 @@
+// Deterministic digest of a solve result, pinnable in a scenario's
+// "expect.digest" field.
+//
+// The format is byte-compatible with tests/golden_util.h (the frozen
+// engine.golden digests): "sched=S|cores=N|cache=..|bw=..|map=..|vhash=H"
+// where H is an FNV-1a hash over every VCPU's period, owner, served tasks,
+// and full budget surface in raw nanoseconds. test_scenario.cpp pins the
+// two implementations against each other, so a scenario digest carries the
+// same bit-identity guarantee as the golden suite.
+#pragma once
+
+#include <string>
+
+#include "core/strategy.h"
+
+namespace vc2m::scenario {
+
+std::string solve_digest(const core::SolveResult& res);
+
+}  // namespace vc2m::scenario

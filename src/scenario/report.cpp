@@ -1,0 +1,229 @@
+#include "scenario/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/error.h"
+#include "util/file.h"
+
+namespace vc2m::scenario {
+
+namespace {
+
+using obs::json::Value;
+using Kind = Value::Kind;
+
+void write_string_array(std::ostream& os, const std::vector<std::string>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    os << (i ? ", " : "") << "\"" << obs::json::escape(v[i]) << "\"";
+  os << "]";
+}
+
+void write_record(std::ostream& os, const ScenarioRecord& r) {
+  os << "  {\"name\": \"" << obs::json::escape(r.name) << "\",\n"
+     << "   \"file\": \"" << obs::json::escape(r.file) << "\",\n"
+     << "   \"verdict\": \""
+     << (r.schedulable ? "schedulable" : "unschedulable") << "\",\n"
+     << "   \"digest\": \"" << obs::json::escape(r.digest) << "\",\n"
+     << "   \"passed\": " << (r.passed ? "true" : "false") << ",\n"
+     << "   \"failures\": ";
+  write_string_array(os, r.failures);
+  os << ",\n   \"rejection_constraints\": ";
+  write_string_array(os, r.rejection_constraints);
+  os << ",\n   \"simulated\": " << (r.simulated ? "true" : "false");
+  if (r.simulated) {
+    os << ",\n   \"metrics\": {\"jobs_released\": " << r.jobs_released
+       << ", \"jobs_completed\": " << r.jobs_completed
+       << ", \"deadline_misses\": " << r.deadline_misses
+       << ", \"faults_injected\": " << r.faults_injected
+       << ", \"jobs_killed\": " << r.jobs_killed
+       << ", \"jobs_deferred\": " << r.jobs_deferred
+       << ", \"trace_events\": " << r.trace_events
+       << ", \"trace_violations\": " << r.trace_violations << "}";
+  }
+  os << "}";
+}
+
+std::string get_string(const Value& obj, const std::string& key,
+                       const std::string& what) {
+  const Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == Kind::kString,
+                 what << ": missing string field '" << key << "'");
+  return v->str;
+}
+
+bool get_bool(const Value& obj, const std::string& key,
+              const std::string& what) {
+  const Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == Kind::kBool,
+                 what << ": missing boolean field '" << key << "'");
+  return v->boolean;
+}
+
+std::uint64_t get_count(const Value& obj, const std::string& key,
+                        const std::string& what) {
+  const Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == Kind::kNumber && v->number >= 0 &&
+                     v->number == std::floor(v->number),
+                 what << ": field '" << key
+                      << "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(v->number);
+}
+
+std::vector<std::string> get_string_array(const Value& obj,
+                                          const std::string& key,
+                                          const std::string& what) {
+  const Value* v = obj.find(key);
+  VC2M_CHECK_MSG(v && v->kind == Kind::kArray,
+                 what << ": missing array field '" << key << "'");
+  std::vector<std::string> out;
+  for (const Value& item : v->array) {
+    VC2M_CHECK_MSG(item.kind == Kind::kString,
+                   what << ": field '" << key << "' must hold strings");
+    out.push_back(item.str);
+  }
+  return out;
+}
+
+ScenarioRecord parse_record(const Value& v, const std::string& what) {
+  VC2M_CHECK_MSG(v.kind == Kind::kObject,
+                 what << ": 'scenarios' entries must be objects");
+  ScenarioRecord r;
+  r.name = get_string(v, "name", what);
+  r.file = get_string(v, "file", what);
+  const std::string verdict = get_string(v, "verdict", what);
+  VC2M_CHECK_MSG(verdict == "schedulable" || verdict == "unschedulable",
+                 what << ": bad verdict '" << verdict << "'");
+  r.schedulable = verdict == "schedulable";
+  r.digest = get_string(v, "digest", what);
+  r.passed = get_bool(v, "passed", what);
+  r.failures = get_string_array(v, "failures", what);
+  r.rejection_constraints = get_string_array(v, "rejection_constraints", what);
+  r.simulated = get_bool(v, "simulated", what);
+  if (r.simulated) {
+    const Value* m = v.find("metrics");
+    VC2M_CHECK_MSG(m && m->kind == Kind::kObject,
+                   what << ": simulated record lacks a 'metrics' object");
+    r.jobs_released = get_count(*m, "jobs_released", what);
+    r.jobs_completed = get_count(*m, "jobs_completed", what);
+    r.deadline_misses = get_count(*m, "deadline_misses", what);
+    r.faults_injected = get_count(*m, "faults_injected", what);
+    r.jobs_killed = get_count(*m, "jobs_killed", what);
+    r.jobs_deferred = get_count(*m, "jobs_deferred", what);
+    r.trace_events = get_count(*m, "trace_events", what);
+    r.trace_violations = get_count(*m, "trace_violations", what);
+  }
+  return r;
+}
+
+}  // namespace
+
+const ScenarioRecord* ScenarioReport::find(const std::string& name) const {
+  for (const auto& r : records)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+void write_scenario_report(std::ostream& os, const ScenarioReport& r) {
+  os << "{\n";
+  os << "\"schema\": \"" << obs::json::escape(r.schema) << "\",\n";
+  os << "\"git_rev\": \"" << obs::json::escape(r.git_rev) << "\",\n";
+  os << "\"corpus\": \"" << obs::json::escape(r.corpus) << "\",\n";
+  os << "\"shard\": {\"index\": " << r.shard_index
+     << ", \"count\": " << r.shard_count << "},\n";
+  os << "\"total\": " << r.records.size() << ",\n";
+  os << "\"passed\": " << r.passed() << ",\n";
+  os << "\"failed\": " << r.failed() << ",\n";
+  os << "\"scenarios\": [";
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    write_record(os, r.records[i]);
+  }
+  os << (r.records.empty() ? "" : "\n") << "]\n}\n";
+}
+
+void write_scenario_report_file(const std::string& path,
+                                const ScenarioReport& r) {
+  auto f = util::open_output_file(path, "scenario report");
+  write_scenario_report(f, r);
+  util::close_output_file(f, path, "scenario report");
+}
+
+ScenarioReport read_scenario_report(std::istream& is,
+                                    const std::string& what) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const Value root = obs::json::parse(buf.str(), what);
+  VC2M_CHECK_MSG(root.kind == Kind::kObject,
+                 what << ": top level must be an object");
+  ScenarioReport r;
+  r.schema = get_string(root, "schema", what);
+  VC2M_CHECK_MSG(r.schema == kReportSchema,
+                 what << ": unsupported schema '" << r.schema << "'");
+  r.git_rev = get_string(root, "git_rev", what);
+  r.corpus = get_string(root, "corpus", what);
+  const Value* shard = root.find("shard");
+  VC2M_CHECK_MSG(shard && shard->kind == Kind::kObject,
+                 what << ": missing 'shard' object");
+  r.shard_index = static_cast<int>(get_count(*shard, "index", what));
+  r.shard_count = static_cast<int>(get_count(*shard, "count", what));
+  VC2M_CHECK_MSG(r.shard_count >= 1 && r.shard_index < r.shard_count,
+                 what << ": bad shard " << r.shard_index << "/"
+                      << r.shard_count);
+  const Value* scenarios = root.find("scenarios");
+  VC2M_CHECK_MSG(scenarios && scenarios->kind == Kind::kArray,
+                 what << ": missing 'scenarios' array");
+  for (const Value& v : scenarios->array) {
+    ScenarioRecord rec = parse_record(v, what);
+    VC2M_CHECK_MSG(r.find(rec.name) == nullptr,
+                   what << ": duplicate scenario '" << rec.name << "'");
+    r.records.push_back(std::move(rec));
+  }
+  VC2M_CHECK_MSG(get_count(root, "total", what) == r.records.size(),
+                 what << ": 'total' disagrees with the record count");
+  VC2M_CHECK_MSG(get_count(root, "passed", what) == r.passed(),
+                 what << ": 'passed' disagrees with the records");
+  VC2M_CHECK_MSG(get_count(root, "failed", what) == r.failed(),
+                 what << ": 'failed' disagrees with the records");
+  return r;
+}
+
+ScenarioReport read_scenario_report_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good())
+    throw util::Error("cannot open scenario report '" + path + "'");
+  return read_scenario_report(f, path);
+}
+
+ScenarioReport merge_scenario_reports(const std::vector<ScenarioReport>& in) {
+  VC2M_CHECK_MSG(!in.empty(), "merge: no reports given");
+  ScenarioReport out;
+  out.git_rev = in.front().git_rev;
+  out.corpus = in.front().corpus;
+  for (const auto& r : in) {
+    VC2M_CHECK_MSG(r.corpus == out.corpus,
+                   "merge: corpus mismatch ('" << r.corpus << "' vs '"
+                                               << out.corpus << "')");
+    VC2M_CHECK_MSG(r.git_rev == out.git_rev,
+                   "merge: git_rev mismatch ('" << r.git_rev << "' vs '"
+                                                << out.git_rev << "')");
+    for (const auto& rec : r.records) {
+      VC2M_CHECK_MSG(out.find(rec.name) == nullptr,
+                     "merge: scenario '" << rec.name
+                                         << "' appears in two shards");
+      out.records.push_back(rec);
+    }
+  }
+  std::sort(out.records.begin(), out.records.end(),
+            [](const ScenarioRecord& a, const ScenarioRecord& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+}  // namespace vc2m::scenario

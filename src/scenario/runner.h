@@ -1,0 +1,69 @@
+// Scenario execution: one scenario → one deterministic ScenarioRecord, and
+// the sharded matrix runner that fans a corpus over the experiment thread
+// pool.
+//
+// run_scenario drives the same paths the CLI does by hand — generate or
+// load the taskset, solve through the strategy registry (with decision
+// recording, so rejection chains are available to expectations), then for
+// simulate scenarios deploy onto the DES under the fault plan and
+// enforcement policy and run the trace invariant checker. Every output
+// field is a pure function of the scenario file, so records — and therefore
+// whole reports — are bit-identical at any --jobs value.
+//
+// The matrix runner shards by sorted-file index (scenario i belongs to
+// shard i mod m: disjoint and exhaustive by construction), checkpoints
+// completed records after every scenario, and on --resume reuses
+// checkpointed records instead of re-running — the final report is
+// identical either way.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/report.h"
+#include "scenario/scenario.h"
+
+namespace vc2m::scenario {
+
+/// Execute one scenario and judge its expectations. Never throws for an
+/// expectation mismatch (that lands in record.failures); throws util::Error
+/// only for broken inputs (unreadable workload file, bad fault spec).
+ScenarioRecord run_scenario(const Scenario& sc);
+
+struct MatrixConfig {
+  std::vector<std::string> files;  ///< scenario files, pre-sorted
+  std::string corpus;              ///< report label (the path argument)
+  int jobs = 0;                    ///< pool workers; 0 = hardware
+  int shard_index = 0;             ///< this run covers files[i] with
+  int shard_count = 1;             ///< i mod shard_count == shard_index
+  /// Checkpoint file: rewritten with all completed records after each
+  /// scenario finishes. Empty = no checkpointing.
+  std::string checkpoint;
+  /// Reuse records from an existing checkpoint file (matched by scenario
+  /// name + file) instead of re-running them. Missing checkpoint = cold
+  /// start, not an error.
+  bool resume = false;
+};
+
+struct MatrixResult {
+  ScenarioReport report;
+  int executed = 0;  ///< scenarios actually run this invocation
+  int resumed = 0;   ///< records reused from the checkpoint
+};
+
+/// Indices of `total` sorted scenarios that belong to shard
+/// `index`/`count`. Shards are disjoint and their union is [0, total).
+std::vector<std::size_t> shard_indices(std::size_t total, int index,
+                                       int count);
+
+/// Load, execute, and judge every scenario in the configured shard.
+/// `progress(done, total, name)`, when set, is invoked (mutex-serialized,
+/// possibly from a worker thread) as each scenario completes. Throws
+/// util::Error on unloadable scenario files or duplicate scenario names.
+MatrixResult run_matrix(
+    const MatrixConfig& cfg,
+    const std::function<void(int, int, const std::string&)>& progress = {});
+
+}  // namespace vc2m::scenario

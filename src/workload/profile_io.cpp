@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/file.h"
 #include "workload/csv_field.h"
 
 namespace vc2m::workload {
@@ -20,9 +21,9 @@ void write_surface_csv(std::ostream& os, const model::WcetFn& surface) {
 
 void write_surface_csv(const std::string& path,
                        const model::WcetFn& surface) {
-  std::ofstream f(path);
-  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  auto f = util::open_output_file(path, "WCET surface CSV");
   write_surface_csv(f, surface);
+  util::close_output_file(f, path, "WCET surface CSV");
 }
 
 model::WcetFn read_surface_csv(std::istream& is,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/file.h"
 #include "workload/csv_field.h"
 #include "workload/parsec.h"
 
@@ -21,9 +22,9 @@ void write_taskset_csv(std::ostream& os, const model::Taskset& tasks) {
 }
 
 void write_taskset_csv(const std::string& path, const model::Taskset& tasks) {
-  std::ofstream f(path);
-  VC2M_CHECK_MSG(f.good(), "cannot open " << path);
+  auto f = util::open_output_file(path, "taskset CSV");
   write_taskset_csv(f, tasks);
+  util::close_output_file(f, path, "taskset CSV");
 }
 
 model::Taskset read_taskset_csv(std::istream& is,

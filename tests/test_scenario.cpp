@@ -1,0 +1,440 @@
+// Scenario engine suite: the strict loader (unknown keys, wrong types,
+// duplicate keys, non-finite numbers, truncation — each rejected with a
+// byte offset), the shipped corpus (round-trips, pinned expectations hold),
+// digest compatibility with the frozen golden format, and the matrix runner
+// (bit-identical reports at any --jobs, disjoint/exhaustive shards whose
+// merge equals the unsharded run, resume-from-checkpoint identity), plus
+// the output-path regression tests for every artifact writer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "golden_util.h"
+#include "obs/trace_export.h"
+#include "scenario/digest.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+#include "util/error.h"
+#include "util/file.h"
+#include "util/rng.h"
+
+#ifndef VC2M_SCENARIO_DIR
+#error "VC2M_SCENARIO_DIR must point at the shipped scenarios/ corpus"
+#endif
+
+namespace vc2m {
+namespace {
+
+const char* const kCorpusDir = VC2M_SCENARIO_DIR;
+
+std::string minimal_scenario() {
+  return R"({
+  "schema": "vc2m-scenario/1",
+  "name": "minimal",
+  "workload": { "util": 0.5 },
+  "expect": { "verdict": "schedulable" }
+})";
+}
+
+/// Expected message fragment for the offset of `needle` in `text`.
+std::string at_offset_of(const std::string& text, const std::string& needle) {
+  const auto pos = text.find(needle);
+  EXPECT_NE(pos, std::string::npos) << needle;
+  return "at offset " + std::to_string(pos);
+}
+
+std::string error_of(const std::string& text) {
+  try {
+    (void)scenario::load_scenario(text, "doc");
+  } catch (const util::Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected util::Error for: " << text;
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Loader: defaults and strictness
+
+TEST(ScenarioLoader, MinimalScenarioGetsDocumentedDefaults) {
+  const auto sc = scenario::load_scenario(minimal_scenario(), "doc");
+  EXPECT_EQ(sc.name, "minimal");
+  EXPECT_EQ(sc.platform, "A");
+  EXPECT_EQ(sc.solution, "flat");
+  EXPECT_EQ(sc.seed, 42u);
+  EXPECT_EQ(sc.policy, "strict");
+  EXPECT_EQ(sc.workload.kind, scenario::WorkloadSpec::Kind::kGenerate);
+  EXPECT_EQ(sc.workload.vms, 1);
+  EXPECT_FALSE(sc.simulate.has_value());
+  EXPECT_TRUE(sc.expect.schedulable);
+  EXPECT_TRUE(sc.expect.digest.empty());
+}
+
+TEST(ScenarioLoader, UnknownTopLevelKeyIsRejectedWithItsByteOffset) {
+  std::string text = minimal_scenario();
+  text.insert(text.rfind('}'), R"(, "bogus": 1)");
+  const std::string err = error_of(text);
+  EXPECT_NE(err.find("unknown key 'bogus'"), std::string::npos) << err;
+  EXPECT_NE(err.find(at_offset_of(text, "\"bogus\"")), std::string::npos)
+      << err;
+}
+
+TEST(ScenarioLoader, UnknownNestedKeyIsRejectedWithItsByteOffset) {
+  std::string text = R"({
+  "schema": "vc2m-scenario/1",
+  "name": "x",
+  "workload": { "util": 0.5, "tasks": 9 },
+  "expect": { "verdict": "schedulable" }
+})";
+  const std::string err = error_of(text);
+  EXPECT_NE(err.find("unknown key 'tasks'"), std::string::npos) << err;
+  EXPECT_NE(err.find(at_offset_of(text, "\"tasks\"")), std::string::npos)
+      << err;
+}
+
+TEST(ScenarioLoader, WrongTypeIsRejectedWithTheValueOffset) {
+  std::string text = R"({
+  "schema": "vc2m-scenario/1",
+  "name": "x",
+  "platform": 4,
+  "workload": { "util": 0.5 },
+  "expect": { "verdict": "schedulable" }
+})";
+  const std::string err = error_of(text);
+  EXPECT_NE(err.find("'platform' must be a string"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find(at_offset_of(text, "4,")), std::string::npos) << err;
+}
+
+TEST(ScenarioLoader, MalformedDocumentMatrixAllThrowCleanErrors) {
+  const std::string base = minimal_scenario();
+  std::vector<std::string> bad;
+  // Truncations at every prefix length exercise the parser's EOF paths the
+  // same way the test_workload CSV fuzz loop does for tasksets.
+  for (std::size_t n = 0; n < base.size(); n += 7)
+    bad.push_back(base.substr(0, n));
+  bad.push_back("");
+  bad.push_back("null");
+  bad.push_back("[1,2,3]");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\"}");       // missing keys
+  bad.push_back("{\"schema\": \"vc2m-scenario/9\", \"name\": \"x\", "
+                "\"workload\": {\"util\": 1}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  // Duplicate keys, non-finite numbers, wrong-typed fields.
+  std::string dup = base;
+  dup.insert(dup.rfind('}'), R"(, "seed": 1, "seed": 2)");
+  bad.push_back(dup);
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": {\"util\": NaN}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": {\"util\": Infinity}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": {\"util\": 1e999}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": \"generate\", "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"seed\": -3, \"workload\": {\"util\": 1}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"seed\": 1.5, \"workload\": {\"util\": 1}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"UPPER\", "
+                "\"workload\": {\"util\": 1}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+
+  for (const auto& text : bad)
+    EXPECT_THROW((void)scenario::load_scenario(text, "doc"), util::Error)
+        << "accepted: " << text;
+}
+
+TEST(ScenarioLoader, SemanticCrossFieldRulesFailAtLoadTime) {
+  // simulate under an unschedulable expectation.
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "workload": {"util": 9.0}, "simulate": {},
+    "expect": {"verdict": "unschedulable"}})")
+                .find("requires an expected verdict of schedulable"),
+            std::string::npos);
+  // Runtime expectation without a simulate block.
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "workload": {"util": 0.5},
+    "expect": {"verdict": "schedulable", "trace_clean": true}})")
+                .find("no 'simulate' block"),
+            std::string::npos);
+  // min_faults_injected without a fault plan.
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "workload": {"util": 0.5}, "simulate": {},
+    "expect": {"verdict": "schedulable", "min_faults_injected": 1}})")
+                .find("requires a 'faults' plan"),
+            std::string::npos);
+  // rejection_constraints under a schedulable verdict.
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "workload": {"util": 0.5},
+    "expect": {"verdict": "schedulable",
+               "rejection_constraints": ["core_limit"]}})")
+                .find("requires an unschedulable verdict"),
+            std::string::npos);
+  // Unknown constraint, solution, policy, platform, dist — each named.
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "workload": {"util": 9.0},
+    "expect": {"verdict": "unschedulable",
+               "rejection_constraints": ["gremlins"]}})")
+                .find("unknown rejection constraint 'gremlins'"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "solution": "magic", "workload": {"util": 0.5},
+    "expect": {"verdict": "schedulable"}})")
+                .find("names no registered strategy"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "policy": "wish", "workload": {"util": 0.5},
+    "expect": {"verdict": "schedulable"}})")
+                .find("'policy' must be"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "platform": "D", "workload": {"util": 0.5},
+    "expect": {"verdict": "schedulable"}})")
+                .find("'platform' must be A, B, or C"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "workload": {"util": 0.5, "dist": "spiky"},
+    "expect": {"verdict": "schedulable"}})")
+                .find("'dist' must be one of"),
+            std::string::npos);
+  // A fault spec is validated through the real sim/faults parser.
+  EXPECT_NE(error_of(R"({"schema": "vc2m-scenario/1", "name": "x",
+    "faults": "overrun-factor=0.5", "workload": {"util": 0.5},
+    "expect": {"verdict": "schedulable"}})")
+                .find("'faults':"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Shipped corpus
+
+TEST(ScenarioCorpus, EveryShippedScenarioLoadsWithAPinnedDigest) {
+  const auto files = scenario::discover_scenario_files(kCorpusDir);
+  ASSERT_GE(files.size(), 10u) << "curated corpus shrank";
+  std::set<std::string> names;
+  for (const auto& file : files) {
+    const auto sc = scenario::load_scenario_file(file);
+    EXPECT_TRUE(names.insert(sc.name).second)
+        << "duplicate scenario name " << sc.name;
+    EXPECT_FALSE(sc.description.empty()) << file;
+    EXPECT_FALSE(sc.expect.digest.empty())
+        << file << ": shipped scenarios must pin their solve digest";
+  }
+}
+
+TEST(ScenarioCorpus, CorpusCoversEveryEnforcementPolicyAndBothVerdicts) {
+  const auto files = scenario::discover_scenario_files(kCorpusDir);
+  std::set<std::string> policies;
+  bool saw_unschedulable = false, saw_file_workload = false;
+  std::set<std::string> constraints;
+  for (const auto& file : files) {
+    const auto sc = scenario::load_scenario_file(file);
+    if (sc.simulate) policies.insert(sc.policy);
+    if (!sc.expect.schedulable) saw_unschedulable = true;
+    if (sc.workload.kind == scenario::WorkloadSpec::Kind::kFile)
+      saw_file_workload = true;
+    for (const auto& c : sc.expect.rejection_constraints)
+      constraints.insert(c);
+  }
+  EXPECT_EQ(policies,
+            (std::set<std::string>{"strict", "kill", "throttle", "degrade"}));
+  EXPECT_TRUE(saw_unschedulable);
+  EXPECT_TRUE(saw_file_workload);
+  EXPECT_GE(constraints.size(), 3u)
+      << "infeasible scenarios should pin distinct rejection constraints";
+}
+
+TEST(ScenarioCorpus, AllPinnedExpectationsHold) {
+  for (const auto& file : scenario::discover_scenario_files(kCorpusDir)) {
+    const auto rec = scenario::run_scenario(scenario::load_scenario_file(file));
+    EXPECT_TRUE(rec.passed) << file << ": "
+                            << (rec.failures.empty() ? "?"
+                                                     : rec.failures.front());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Digest compatibility with the frozen golden format
+
+TEST(ScenarioDigest, MatchesFrozenGoldenDigestOnTheGoldenGrid) {
+  for (const auto& sc : golden::scenarios()) {
+    const auto tasks = golden::scenario_taskset(sc);
+    const auto platform = golden::platform_of(sc.platform);
+    for (std::size_t si = 0; si < core::all_solutions().size(); ++si) {
+      util::Rng rng(sc.seed * 1000 + si);
+      const auto res =
+          core::solve(core::all_solutions()[si], tasks, platform, {}, rng);
+      EXPECT_EQ(scenario::solve_digest(res), golden::solve_digest(res));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix runner determinism
+
+std::string serialized(const scenario::ScenarioReport& r) {
+  std::ostringstream os;
+  scenario::write_scenario_report(os, r);
+  return os.str();
+}
+
+scenario::MatrixConfig corpus_config(int jobs) {
+  scenario::MatrixConfig cfg;
+  cfg.files = scenario::discover_scenario_files(kCorpusDir);
+  cfg.corpus = "scenarios";
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(ScenarioMatrix, ReportIsBitIdenticalAtJobs128) {
+  const auto r1 = serialized(scenario::run_matrix(corpus_config(1)).report);
+  const auto r2 = serialized(scenario::run_matrix(corpus_config(2)).report);
+  const auto r8 = serialized(scenario::run_matrix(corpus_config(8)).report);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r8);
+}
+
+TEST(ScenarioMatrix, ShardsAreDisjointAndExhaustive) {
+  for (const std::size_t total : {0u, 1u, 5u, 12u, 13u}) {
+    for (const int count : {1, 2, 3, 8}) {
+      std::set<std::size_t> seen;
+      for (int index = 0; index < count; ++index) {
+        for (const std::size_t i :
+             scenario::shard_indices(total, index, count))
+          EXPECT_TRUE(seen.insert(i).second)
+              << "index " << i << " in two shards";
+      }
+      EXPECT_EQ(seen.size(), total) << "total " << total << "/" << count;
+    }
+  }
+}
+
+TEST(ScenarioMatrix, TwoWayShardedMergeEqualsUnshardedRun) {
+  auto unsharded = scenario::run_matrix(corpus_config(4)).report;
+  std::vector<scenario::ScenarioReport> shards;
+  for (int index = 0; index < 2; ++index) {
+    auto cfg = corpus_config(4);
+    cfg.shard_index = index;
+    cfg.shard_count = 2;
+    shards.push_back(scenario::run_matrix(cfg).report);
+  }
+  EXPECT_EQ(serialized(scenario::merge_scenario_reports(shards)),
+            serialized(unsharded));
+}
+
+TEST(ScenarioMatrix, ResumeFromCheckpointReproducesTheReportWithoutRerun) {
+  const std::string ckpt =
+      testing::TempDir() + "/vc2m_scenario_resume_ckpt.json";
+  std::remove(ckpt.c_str());
+
+  auto cold = corpus_config(2);
+  cold.checkpoint = ckpt;
+  const auto first = scenario::run_matrix(cold);
+  EXPECT_EQ(first.resumed, 0);
+  EXPECT_EQ(static_cast<std::size_t>(first.executed),
+            first.report.records.size());
+
+  auto warm = corpus_config(2);
+  warm.checkpoint = ckpt;
+  warm.resume = true;
+  const auto second = scenario::run_matrix(warm);
+  EXPECT_EQ(second.executed, 0) << "resume re-ran scenarios";
+  EXPECT_EQ(static_cast<std::size_t>(second.resumed),
+            second.report.records.size());
+  EXPECT_EQ(serialized(second.report), serialized(first.report));
+  std::remove(ckpt.c_str());
+}
+
+TEST(ScenarioMatrix, DuplicateScenarioNamesAcrossFilesAreRejected) {
+  const std::string dir = testing::TempDir() + "/vc2m_scenario_dup";
+  std::filesystem::create_directories(dir);
+  for (const char* f : {"a.json", "b.json"}) {
+    std::ofstream out(dir + "/" + f);
+    out << minimal_scenario();
+  }
+  scenario::MatrixConfig cfg;
+  cfg.files = scenario::discover_scenario_files(dir);
+  EXPECT_THROW((void)scenario::run_matrix(cfg), util::Error);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Report artifact
+
+TEST(ScenarioReport, RoundTripsThroughTheStrictReader) {
+  const auto report = scenario::run_matrix(corpus_config(2)).report;
+  std::istringstream in(serialized(report));
+  const auto back = scenario::read_scenario_report(in);
+  EXPECT_EQ(serialized(back), serialized(report));
+  EXPECT_EQ(back.passed(), report.passed());
+}
+
+TEST(ScenarioReport, ReaderRejectsForeignSchemaAndUnknownKeys) {
+  std::istringstream wrong(R"({"schema": "vc2m-bench-report/1"})");
+  EXPECT_THROW((void)scenario::read_scenario_report(wrong), util::Error);
+  std::istringstream extra(
+      R"({"schema": "vc2m-scenario-report/1", "git_rev": "x", "corpus": "c",
+          "shard_index": 0, "shard_count": 1, "total": 0, "passed": 0,
+          "failed": 0, "surprise": 1, "records": []})");
+  EXPECT_THROW((void)scenario::read_scenario_report(extra), util::Error);
+}
+
+TEST(ScenarioReport, MergeRejectsOverlappingShardsAndForeignCorpora) {
+  auto a = scenario::run_matrix(corpus_config(2)).report;
+  EXPECT_THROW((void)scenario::merge_scenario_reports({a, a}), util::Error);
+  auto b = a;
+  b.corpus = "elsewhere";
+  b.records.clear();
+  EXPECT_THROW((void)scenario::merge_scenario_reports({a, b}), util::Error);
+}
+
+// ---------------------------------------------------------------------------
+// Output-path regressions: artifact writers must fail loudly
+
+TEST(OutputPaths, WritersThrowForAMissingDirectoryInsteadOfSilentSuccess) {
+  const std::string missing = testing::TempDir() + "/vc2m_no_such_dir/x.json";
+  EXPECT_THROW(scenario::write_scenario_report_file(missing, {}),
+               util::Error);
+  EXPECT_THROW(obs::write_trace_file(missing, {}, {}), util::Error);
+  EXPECT_THROW(util::ensure_output_path_writable(missing, "probe"),
+               util::Error);
+  try {
+    util::ensure_output_path_writable(missing, "probe");
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cannot open probe"), std::string::npos) << what;
+    EXPECT_NE(what.find(missing), std::string::npos) << what;
+  }
+}
+
+TEST(OutputPaths, WritableProbeDoesNotClobberAnExistingFile) {
+  const std::string path = testing::TempDir() + "/vc2m_probe_keep.json";
+  {
+    std::ofstream out(path);
+    out << "precious";
+  }
+  util::ensure_output_path_writable(path, "probe");
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "precious");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace vc2m

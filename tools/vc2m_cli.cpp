@@ -43,6 +43,24 @@
 //       p95; exits nonzero when any tracked quantity regressed by more
 //       than the threshold (default 10%, accepted as "10%" or "0.1").
 //
+//   vc2m scenario run PATH... [--jobs N] [--shard i/m] [--resume]
+//                    [--json report.json] [--checkpoint ckpt.json]
+//       Execute a directory (or explicit files) of declarative scenarios
+//       (docs/scenarios.md) over the experiment thread pool and judge each
+//       against its pinned expectations. --shard i/m runs the i-th of m
+//       disjoint slices of the sorted corpus; --json writes the merged
+//       vc2m-scenario-report/1 artifact, bit-identical for any --jobs.
+//       --checkpoint records completed scenarios after each finishes;
+//       --resume reuses them instead of re-running. Exits nonzero when any
+//       scenario fails its expectations.
+//   vc2m scenario validate PATH...
+//       Load + strictly validate scenario files/directories; no execution.
+//   vc2m scenario show FILE
+//       Run one scenario and print its actual outcome as a paste-ready
+//       "expect" block (for pinning a new scenario's expectations).
+//   vc2m scenario merge shard.json... --json merged.json
+//       Merge disjoint shard reports into one corpus report.
+//
 //   vc2m experiment [--platform P] [--dist D] [--vms N] [--seed S]
 //                   [--tasksets N] [--step S] [--util-lo U] [--util-hi U]
 //                   [--jobs N] [--solutions NAME[,NAME...]]
@@ -78,6 +96,10 @@
 
 #include "core/experiment.h"
 #include "core/solutions.h"
+#include "scenario/digest.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
 #include "hw/cat.h"
 #include "obs/bench_report.h"
 #include "obs/explain.h"
@@ -92,6 +114,7 @@
 #include "sim/simulation.h"
 #include "model/platform.h"
 #include "util/error.h"
+#include "util/file.h"
 #include "util/phase_profiler.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -133,8 +156,12 @@ struct Args {
   // explain
   std::string json_out;          ///< write the explain report here
   bool events = false;           ///< render every recorded decision event
+  // scenario matrix runner
+  std::string shard;             ///< "i/m" slice of the sorted corpus
+  bool resume = false;           ///< reuse checkpointed records
+  std::string checkpoint;        ///< checkpoint file (default from --json)
   std::vector<std::string> positional;  ///< perfdiff report files / explain
-                                        ///< taskset
+                                        ///< taskset / scenario verb+paths
 };
 
 [[noreturn]] void usage(int code) {
@@ -156,6 +183,13 @@ struct Args {
                "       vc2m check --trace out.json|out.csv\n"
                "       vc2m perfdiff base.json current.json "
                "[--max-regress 10%|0.1]\n"
+               "       vc2m scenario run PATH... [--jobs N] [--shard i/m] "
+               "[--resume]\n"
+               "                         [--json report.json] "
+               "[--checkpoint ckpt.json]\n"
+               "       vc2m scenario validate PATH...\n"
+               "       vc2m scenario show FILE\n"
+               "       vc2m scenario merge shard.json... --json merged.json\n"
                "       vc2m experiment [--platform P] [--dist D] [--vms N] "
                "[--seed S]\n"
                "                       [--tasksets N] [--step S] "
@@ -201,6 +235,9 @@ Args parse(int argc, char** argv) {
     else if (arg == "--max-regress") a.max_regress = next();
     else if (arg == "--json") a.json_out = next();
     else if (arg == "--events") a.events = true;
+    else if (arg == "--shard") a.shard = next();
+    else if (arg == "--resume") a.resume = true;
+    else if (arg == "--checkpoint") a.checkpoint = next();
     else if (!arg.empty() && arg[0] != '-') a.positional.push_back(arg);
     else usage(2);
   }
@@ -401,6 +438,8 @@ int cmd_explain(const Args& a) {
   std::string file = a.file;
   if (file.empty() && !a.positional.empty()) file = a.positional.front();
   if (file.empty()) usage(2);
+  if (!a.json_out.empty())
+    util::ensure_output_path_writable(a.json_out, "explain report");
   const auto platform = platform_of(a.platform);
   const auto tasks = workload::read_taskset_csv(file, platform.grid);
   const auto& strat = strategy_of(a.solution);
@@ -421,6 +460,10 @@ int cmd_explain(const Args& a) {
 
 int cmd_simulate(const Args& a) {
   if (a.file.empty()) usage(2);
+  // Probe output destinations before the (potentially long) run: a missing
+  // directory or unwritable file must fail now, not after the simulation.
+  if (!a.trace.empty())
+    util::ensure_output_path_writable(a.trace, "trace file");
   if (a.profile) util::PhaseProfiler::set_enabled(true);
   const auto platform = platform_of(a.platform);
   const auto tasks = workload::read_taskset_csv(a.file, platform.grid);
@@ -502,6 +545,8 @@ int cmd_simulate(const Args& a) {
 int cmd_experiment(const Args& a) {
   if (a.jobs < 0)
     throw util::Error("--jobs must be >= 0 (0 = hardware concurrency)");
+  if (!a.pool_trace.empty())
+    util::ensure_output_path_writable(a.pool_trace, "pool trace");
   if (a.profile) util::PhaseProfiler::set_enabled(true);
   core::ExperimentConfig cfg;
   cfg.platform = platform_of(a.platform);
@@ -598,6 +643,178 @@ int cmd_perfdiff(const Args& a) {
   return 0;
 }
 
+/// Parse "--shard i/m" into (index, count); (0, 1) when unset.
+std::pair<int, int> shard_of(const std::string& s) {
+  if (s.empty()) return {0, 1};
+  const auto slash = s.find('/');
+  std::size_t used_i = 0, used_m = 0;
+  int index = -1, count = 0;
+  try {
+    if (slash != std::string::npos) {
+      index = std::stoi(s.substr(0, slash), &used_i);
+      count = std::stoi(s.substr(slash + 1), &used_m);
+    }
+  } catch (const std::exception&) {
+    used_i = 0;
+  }
+  if (slash == std::string::npos || used_i != slash ||
+      used_m != s.size() - slash - 1 || count < 1 || index < 0 ||
+      index >= count)
+    throw util::Error("--shard: want INDEX/COUNT with 0 <= INDEX < COUNT, "
+                      "got '" + s + "'");
+  return {index, count};
+}
+
+/// "scenarios/" and "scenarios" must label the same corpus: reports from a
+/// sharded and an unsharded invocation are diffed byte-for-byte.
+std::string corpus_label(const std::vector<std::string>& paths) {
+  std::string label;
+  for (const auto& p : paths) {
+    std::string trimmed = p;
+    while (trimmed.size() > 1 && trimmed.back() == '/') trimmed.pop_back();
+    if (!label.empty()) label += ',';
+    label += trimmed;
+  }
+  return label;
+}
+
+int cmd_scenario_run(const Args& a,
+                     const std::vector<std::string>& paths) {
+  if (paths.empty()) usage(2);
+  scenario::MatrixConfig cfg;
+  for (const auto& p : paths) {
+    auto files = scenario::discover_scenario_files(p);
+    cfg.files.insert(cfg.files.end(), files.begin(), files.end());
+  }
+  std::sort(cfg.files.begin(), cfg.files.end());
+  cfg.corpus = corpus_label(paths);
+  cfg.jobs = a.jobs;
+  std::tie(cfg.shard_index, cfg.shard_count) = shard_of(a.shard);
+  cfg.checkpoint = a.checkpoint;
+  if (cfg.checkpoint.empty() && a.resume)
+    throw util::Error("--resume needs --checkpoint FILE (the file records "
+                      "completed scenarios)");
+  cfg.resume = a.resume;
+
+  // Fail fast on unwritable outputs before any scenario runs.
+  if (!a.json_out.empty())
+    util::ensure_output_path_writable(a.json_out, "scenario report");
+  if (!cfg.checkpoint.empty())
+    util::ensure_output_path_writable(cfg.checkpoint, "scenario checkpoint");
+
+  const auto result = scenario::run_matrix(
+      cfg, [](int done, int total, const std::string& name) {
+        std::cerr << "\r[" << done << "/" << total << "] " << name
+                  << std::string(24, ' ') << (done == total ? "\n" : "")
+                  << std::flush;
+      });
+
+  util::Table table({"scenario", "verdict", "run", "result"});
+  for (const auto& r : result.report.records)
+    table.add_row(r.name,
+                  r.schedulable ? std::string("schedulable")
+                                : std::string("unschedulable"),
+                  r.simulated ? std::string("solve+sim")
+                              : std::string("solve"),
+                  r.passed ? std::string("pass") : std::string("FAIL"));
+  table.print(std::cout, "scenario corpus: " + result.report.corpus);
+  for (const auto& r : result.report.records)
+    for (const auto& f : r.failures)
+      std::cout << "  " << r.name << ": " << f << "\n";
+  std::cout << result.report.passed() << "/" << result.report.records.size()
+            << " scenarios passed";
+  if (cfg.shard_count > 1)
+    std::cout << " (shard " << cfg.shard_index << "/" << cfg.shard_count
+              << ")";
+  if (result.resumed > 0)
+    std::cout << ", " << result.resumed << " resumed from checkpoint";
+  std::cout << "\n";
+
+  if (!a.json_out.empty()) {
+    scenario::write_scenario_report_file(a.json_out, result.report);
+    // Round-trip through the strict reader: a report we cannot re-read
+    // must never land on disk unnoticed.
+    (void)scenario::read_scenario_report_file(a.json_out);
+    std::cout << "wrote " << a.json_out << "\n";
+  }
+  return result.report.all_passed() ? 0 : 1;
+}
+
+int cmd_scenario_validate(const std::vector<std::string>& paths) {
+  if (paths.empty()) usage(2);
+  int checked = 0;
+  for (const auto& p : paths) {
+    for (const auto& file : scenario::discover_scenario_files(p)) {
+      const auto sc = scenario::load_scenario_file(file);
+      std::cout << file << ": OK (" << sc.name << ")\n";
+      ++checked;
+    }
+  }
+  std::cout << checked << " scenario file(s) valid\n";
+  return 0;
+}
+
+int cmd_scenario_show(const std::vector<std::string>& paths) {
+  if (paths.size() != 1) usage(2);
+  const auto sc = scenario::load_scenario_file(paths.front());
+  const auto r = scenario::run_scenario(sc);
+  std::cout << "scenario: " << r.name << "\n"
+            << "verdict:  "
+            << (r.schedulable ? "schedulable" : "unschedulable") << "\n"
+            << "digest:   " << r.digest << "\n";
+  if (r.simulated)
+    std::cout << "simulate: " << r.jobs_released << " released, "
+              << r.deadline_misses << " misses, " << r.faults_injected
+              << " faults, " << r.trace_violations
+              << " trace violation(s) over " << r.trace_events
+              << " events\n";
+  for (const auto& c : r.rejection_constraints)
+    std::cout << "rejected: " << c << "\n";
+  std::cout << (r.passed ? "expectations: pass"
+                         : "expectations: FAIL") << "\n";
+  for (const auto& f : r.failures) std::cout << "  " << f << "\n";
+  // Paste-ready pinning block for scenario authors.
+  std::cout << "\n\"expect\": {\n  \"verdict\": \""
+            << (r.schedulable ? "schedulable" : "unschedulable") << "\",\n"
+            << "  \"digest\": \"" << r.digest << "\"";
+  if (r.simulated)
+    std::cout << ",\n  \"trace_clean\": "
+              << (r.trace_violations == 0 ? "true" : "false");
+  std::cout << "\n}\n";
+  return 0;
+}
+
+int cmd_scenario_merge(const Args& a,
+                       const std::vector<std::string>& paths) {
+  if (paths.size() < 2 || a.json_out.empty()) {
+    std::cerr << "scenario merge wants two or more shard reports and "
+                 "--json OUT\n";
+    usage(2);
+  }
+  std::vector<scenario::ScenarioReport> shards;
+  for (const auto& p : paths)
+    shards.push_back(scenario::read_scenario_report_file(p));
+  const auto merged = scenario::merge_scenario_reports(shards);
+  scenario::write_scenario_report_file(a.json_out, merged);
+  std::cout << "merged " << shards.size() << " shard report(s): "
+            << merged.passed() << "/" << merged.records.size()
+            << " passed -> " << a.json_out << "\n";
+  return 0;
+}
+
+int cmd_scenario(const Args& a) {
+  if (a.positional.empty()) usage(2);
+  const std::string verb = a.positional.front();
+  const std::vector<std::string> paths(a.positional.begin() + 1,
+                                       a.positional.end());
+  if (verb == "run") return cmd_scenario_run(a, paths);
+  if (verb == "validate") return cmd_scenario_validate(paths);
+  if (verb == "show") return cmd_scenario_show(paths);
+  if (verb == "merge") return cmd_scenario_merge(a, paths);
+  std::cerr << "unknown scenario verb '" << verb << "'\n";
+  usage(2);
+}
+
 int cmd_check(const Args& a) {
   if (a.trace.empty()) usage(2);
   const auto events = obs::read_trace_file(a.trace);
@@ -624,6 +841,7 @@ int main(int argc, char** argv) {
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "check") return cmd_check(a);
     if (a.command == "experiment") return cmd_experiment(a);
+    if (a.command == "scenario") return cmd_scenario(a);
     if (a.command == "perfdiff") return cmd_perfdiff(a);
     usage(2);
   } catch (const std::exception& e) {
