@@ -8,9 +8,12 @@
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so the regular build/ stays untouched. address and
 # undefined build and run everything; thread builds only the parallel test
-# binaries and runs the thread-pool/experiment/fault-validator suites (the
-# rest of the test suite is single-threaded, and TSan's ~10x slowdown buys
-# nothing there). The address pass also runs the scenario smoke: the curated
+# binaries and runs the thread-pool/experiment/fault-validator/scenario-
+# matrix suites (the rest of the test suite is single-threaded, and TSan's
+# ~10x slowdown buys nothing there). The scenario-matrix suite matters for
+# TSan specifically: it drives run_matrix with checkpointing at --jobs 2+,
+# where worker-thread slot writes and the checkpoint snapshot must stay
+# serialized. The address pass also runs the scenario smoke: the curated
 # corpus under scenarios/ (all four enforcement policies under fault plans,
 # the infeasible-by-constraint pins, the stress scenarios) must pass through
 # `vc2m scenario run`, a 2-way-sharded run merged back together must be
@@ -181,8 +184,8 @@ for san in "${sanitizers[@]}"; do
   build_args=()
   ctest_args=(--output-on-failure -j "$(nproc)")
   if [ "$san" = thread ]; then
-    build_args=(--target test_parallel test_faults)
-    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel)')
+    build_args=(--target test_parallel test_faults test_scenario)
+    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel|ScenarioMatrix)')
   fi
   echo "=== ${san}: configure (${dir}/) ==="
   cmake -B "$dir" -S . -DVC2M_SANITIZE="$san" >/dev/null

@@ -19,6 +19,10 @@ SCENARIO_SCHEMA = "vc2m-scenario/1"
 REPORT_SCHEMA = "vc2m-scenario-report/1"
 
 PLATFORMS = {"A", "B", "C"}
+# Domain caps mirrored from src/scenario/scenario.h (kMaxVms,
+# kMaxHyperperiods): the C++ loader bound-checks before narrowing to int.
+MAX_VMS = 1024
+MAX_HYPERPERIODS = 1000000
 POLICIES = {"strict", "kill", "throttle", "degrade"}
 DISTS = {"uniform", "light", "medium", "heavy"}
 CONSTRAINTS = {
@@ -75,14 +79,17 @@ def check_scenario(doc):
         need(isinstance(wl["util"], (int, float)) and wl["util"] > 0,
              "workload util must be positive")
         need(wl.get("dist", "uniform") in DISTS, "bad workload dist")
-        need(is_index(wl.get("vms", 1)) and wl.get("vms", 1) >= 1,
-             "workload vms must be >= 1")
+        vms = wl.get("vms", 1)
+        need(is_index(vms) and 1 <= vms <= MAX_VMS,
+             f"workload vms must be an integer in 1..{MAX_VMS}")
 
     if "simulate" in doc:
         check_keys(doc["simulate"], "simulate", required=[],
                    optional=["hyperperiods"])
         hp = doc["simulate"].get("hyperperiods", 3)
-        need(is_index(hp) and hp >= 1, "simulate hyperperiods must be >= 1")
+        need(is_index(hp) and 1 <= hp <= MAX_HYPERPERIODS,
+             f"simulate hyperperiods must be an integer in "
+             f"1..{MAX_HYPERPERIODS}")
 
     e = doc["expect"]
     check_keys(e, "expect", required=["verdict"],
@@ -136,10 +143,14 @@ def check_report(doc):
     for r in records:
         what = f"record {r.get('name', '?')!r}"
         check_keys(r, what,
-                   required=["name", "file", "verdict", "digest", "passed",
-                             "failures", "rejection_constraints",
-                             "simulated"],
+                   required=["name", "file", "scenario_hash", "verdict",
+                             "digest", "passed", "failures",
+                             "rejection_constraints", "simulated"],
                    optional=["metrics"])
+        h = r["scenario_hash"]
+        need(isinstance(h, str) and len(h) == 16 and
+             all(c in "0123456789abcdef" for c in h),
+             f"{what}: scenario_hash must be 16 lowercase hex chars")
         need(r["verdict"] in ("schedulable", "unschedulable"),
              f"{what}: bad verdict")
         need(r["digest"].startswith("sched="), f"{what}: bad digest")

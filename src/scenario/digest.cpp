@@ -55,4 +55,16 @@ std::string solve_digest(const core::SolveResult& res) {
   return os.str();
 }
 
+std::string text_digest(const std::string& text) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(h));
+  return hex;
+}
+
 }  // namespace vc2m::scenario

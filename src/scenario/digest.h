@@ -17,4 +17,9 @@ namespace vc2m::scenario {
 
 std::string solve_digest(const core::SolveResult& res);
 
+/// FNV-1a over raw bytes as 16 lowercase hex chars. Used as the scenario
+/// content hash stored in checkpoint/report records, so --resume detects a
+/// scenario file edited since its record was checkpointed.
+std::string text_digest(const std::string& text);
+
 }  // namespace vc2m::scenario

@@ -27,6 +27,8 @@ void write_string_array(std::ostream& os, const std::vector<std::string>& v) {
 void write_record(std::ostream& os, const ScenarioRecord& r) {
   os << "  {\"name\": \"" << obs::json::escape(r.name) << "\",\n"
      << "   \"file\": \"" << obs::json::escape(r.file) << "\",\n"
+     << "   \"scenario_hash\": \"" << obs::json::escape(r.scenario_hash)
+     << "\",\n"
      << "   \"verdict\": \""
      << (r.schedulable ? "schedulable" : "unschedulable") << "\",\n"
      << "   \"digest\": \"" << obs::json::escape(r.digest) << "\",\n"
@@ -96,6 +98,7 @@ ScenarioRecord parse_record(const Value& v, const std::string& what) {
   ScenarioRecord r;
   r.name = get_string(v, "name", what);
   r.file = get_string(v, "file", what);
+  r.scenario_hash = get_string(v, "scenario_hash", what);
   const std::string verdict = get_string(v, "verdict", what);
   VC2M_CHECK_MSG(verdict == "schedulable" || verdict == "unschedulable",
                  what << ": bad verdict '" << verdict << "'");

@@ -27,6 +27,9 @@ inline constexpr const char* kReportSchema = "vc2m-scenario-report/1";
 struct ScenarioRecord {
   std::string name;
   std::string file;  ///< basename of the scenario file
+  /// text_digest of the scenario document. --resume only reuses a
+  /// checkpointed record when this still matches the file on disk.
+  std::string scenario_hash;
   bool schedulable = false;
   std::string digest;  ///< solve digest (scenario/digest.h)
   bool passed = false;

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <system_error>
 
 #include "core/strategy.h"
 #include "model/platform.h"
@@ -91,6 +92,7 @@ ScenarioRecord run_scenario(const Scenario& sc) {
   r.file = sc.source.empty()
                ? sc.name + ".json"
                : std::filesystem::path(sc.source).filename().string();
+  r.scenario_hash = sc.content_hash;
 
   const auto platform = platform_of(sc.platform);
   const auto tasks = make_taskset(sc, platform);
@@ -186,11 +188,22 @@ MatrixResult run_matrix(
   result.report.shard_index = cfg.shard_index;
   result.report.shard_count = cfg.shard_count;
 
-  // Resume: reuse checkpointed records for scenarios in this shard.
+  // Resume: reuse checkpointed records for scenarios in this shard. A
+  // checkpoint that fails the strict reader (e.g. torn by a crash under a
+  // pre-atomic-rename build, or hand-edited) downgrades to a warned cold
+  // start — resume exists for exactly the runs that may have died badly.
   ScenarioReport checkpoint;
   if (cfg.resume && !cfg.checkpoint.empty()) {
     std::ifstream probe(cfg.checkpoint);
-    if (probe.good()) checkpoint = read_scenario_report(probe, cfg.checkpoint);
+    if (probe.good()) {
+      try {
+        checkpoint = read_scenario_report(probe, cfg.checkpoint);
+      } catch (const util::Error& e) {
+        checkpoint = ScenarioReport{};
+        result.warnings.push_back("unreadable checkpoint, cold start: " +
+                                  std::string(e.what()));
+      }
+    }
   }
 
   std::vector<ScenarioRecord> slots(mine.size());
@@ -200,7 +213,10 @@ MatrixResult run_matrix(
     if (const ScenarioRecord* prev = checkpoint.find(sc.name)) {
       const std::string file =
           std::filesystem::path(sc.source).filename().string();
-      if (prev->file == file) {
+      // The content hash must match too: a scenario edited since the
+      // checkpoint was written (new expectations, new workload) must
+      // re-run, or the resumed report would carry a stale verdict.
+      if (prev->file == file && prev->scenario_hash == sc.content_hash) {
         slots[k] = *prev;
         reused[k] = true;
         ++result.resumed;
@@ -208,11 +224,16 @@ MatrixResult run_matrix(
     }
   }
 
-  std::mutex mu;  // serializes checkpoint writes + progress callbacks
+  std::mutex mu;  // guards slots[], done, checkpoint writes, progress
   int done = 0;
   const int total = static_cast<int>(mine.size());
-  auto on_complete = [&](std::size_t k) {
+  // `rec` is null for records already placed in slots[k] (the resumed
+  // ones, written before the pool exists). Worker results land in their
+  // slot here, under the lock: the checkpoint loop below reads every
+  // slot, so a bare `slots[k] = ...` on the worker thread would race it.
+  auto on_complete = [&](std::size_t k, ScenarioRecord* rec) {
     std::lock_guard<std::mutex> lock(mu);
+    if (rec) slots[k] = std::move(*rec);
     ++done;
     if (!cfg.checkpoint.empty()) {
       ScenarioReport ck;
@@ -226,7 +247,16 @@ MatrixResult run_matrix(
                 [](const ScenarioRecord& a, const ScenarioRecord& b) {
                   return a.name < b.name;
                 });
-      write_scenario_report_file(cfg.checkpoint, ck);
+      // The checkpoint is rewritten after every scenario, and a crash
+      // mid-write is the one moment resume is for — build the new file
+      // beside the old one and rename() it into place atomically.
+      const std::string tmp = cfg.checkpoint + ".tmp";
+      write_scenario_report_file(tmp, ck);
+      std::error_code ec;
+      std::filesystem::rename(tmp, cfg.checkpoint, ec);
+      if (ec)
+        throw util::Error("cannot replace scenario checkpoint '" +
+                          cfg.checkpoint + "': " + ec.message());
     }
     if (progress) progress(done, total, slots[k].name);
   };
@@ -234,12 +264,12 @@ MatrixResult run_matrix(
   util::ThreadPool pool(static_cast<unsigned>(cfg.jobs));
   for (std::size_t k = 0; k < mine.size(); ++k) {
     if (reused[k]) {
-      on_complete(k);
+      on_complete(k, nullptr);
       continue;
     }
     pool.submit([&, k] {
-      slots[k] = run_scenario(all[mine[k]]);
-      on_complete(k);
+      ScenarioRecord rec = run_scenario(all[mine[k]]);
+      on_complete(k, &rec);
     });
     ++result.executed;
   }

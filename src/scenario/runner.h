@@ -12,9 +12,11 @@
 //
 // The matrix runner shards by sorted-file index (scenario i belongs to
 // shard i mod m: disjoint and exhaustive by construction), checkpoints
-// completed records after every scenario, and on --resume reuses
-// checkpointed records instead of re-running — the final report is
-// identical either way.
+// completed records after every scenario (atomically, via temp file +
+// rename), and on --resume reuses checkpointed records instead of
+// re-running — the final report is identical either way. A record is only
+// reused when the scenario file's content hash still matches, so editing
+// a scenario invalidates its checkpoint entry.
 #pragma once
 
 #include <cstddef>
@@ -38,12 +40,14 @@ struct MatrixConfig {
   int jobs = 0;                    ///< pool workers; 0 = hardware
   int shard_index = 0;             ///< this run covers files[i] with
   int shard_count = 1;             ///< i mod shard_count == shard_index
-  /// Checkpoint file: rewritten with all completed records after each
-  /// scenario finishes. Empty = no checkpointing.
+  /// Checkpoint file: atomically replaced (temp file + rename) with all
+  /// completed records after each scenario finishes. Empty = no
+  /// checkpointing.
   std::string checkpoint;
   /// Reuse records from an existing checkpoint file (matched by scenario
-  /// name + file) instead of re-running them. Missing checkpoint = cold
-  /// start, not an error.
+  /// name + file + content hash) instead of re-running them. A missing or
+  /// unreadable checkpoint = cold start (the latter with a warning), not
+  /// an error.
   bool resume = false;
 };
 
@@ -51,6 +55,9 @@ struct MatrixResult {
   ScenarioReport report;
   int executed = 0;  ///< scenarios actually run this invocation
   int resumed = 0;   ///< records reused from the checkpoint
+  /// Non-fatal diagnostics (e.g. an unreadable checkpoint downgraded to a
+  /// cold start); the CLI prints them to stderr.
+  std::vector<std::string> warnings;
 };
 
 /// Indices of `total` sorted scenarios that belong to shard

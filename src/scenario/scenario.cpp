@@ -10,6 +10,7 @@
 #include "core/strategy.h"
 #include "obs/decision_log.h"
 #include "obs/json.h"
+#include "scenario/digest.h"
 #include "sim/enforcement.h"
 #include "sim/faults.h"
 #include "util/error.h"
@@ -96,6 +97,20 @@ class ObjectReader {
     return static_cast<std::uint64_t>(m->number);
   }
 
+  /// An integer in [1, cap], narrowed to int, or `dflt` when absent. The
+  /// bound check runs on the parsed double before any cast, so a value
+  /// past INT_MAX (e.g. 2^32 + 1) fails loudly instead of wrapping into
+  /// range.
+  int get_int(const std::string& key, int dflt, int cap) {
+    const Value* m = claim(key, Kind::kNumber);
+    if (!m) return dflt;
+    if (m->number != std::floor(m->number) || m->number < 1 ||
+        m->number > static_cast<double>(cap))
+      fail_at(source_, what_ + " key '" + key + "' must be an integer in "
+                           "1.." + std::to_string(cap), m->offset);
+    return static_cast<int>(m->number);
+  }
+
   bool get_bool(const std::string& key, bool dflt) {
     const Value* m = claim(key, Kind::kBool);
     return m ? m->boolean : dflt;
@@ -149,10 +164,7 @@ WorkloadSpec parse_workload(const Value& v, const std::string& source,
     fail_at(source, "'workload' key 'dist' must be one of "
                     "uniform|light|medium|heavy, got '" + dist + "'",
             v.find("dist")->offset);
-  w.vms = static_cast<int>(r.get_index("vms", 1));
-  if (w.vms < 1)
-    fail_at(source, "'workload' key 'vms' must be >= 1",
-            v.find("vms")->offset);
+  w.vms = r.get_int("vms", 1, kMaxVms);
   r.finish();
   return w;
 }
@@ -160,10 +172,7 @@ WorkloadSpec parse_workload(const Value& v, const std::string& source,
 SimulateSpec parse_simulate(const Value& v, const std::string& source) {
   ObjectReader r(v, source, "'simulate'");
   SimulateSpec s;
-  s.hyperperiods = static_cast<int>(r.get_index("hyperperiods", 3));
-  if (s.hyperperiods < 1)
-    fail_at(source, "'simulate' key 'hyperperiods' must be >= 1",
-            v.find("hyperperiods")->offset);
+  s.hyperperiods = r.get_int("hyperperiods", 3, kMaxHyperperiods);
   r.finish();
   return s;
 }
@@ -217,6 +226,7 @@ Scenario load_scenario(const std::string& text, const std::string& source) {
 
   Scenario sc;
   sc.source = source;
+  sc.content_hash = text_digest(text);
   const std::string schema = r.require_string("schema");
   if (schema != kScenarioSchema)
     fail_at(source, "unsupported scenario schema '" + schema + "' (want " +

@@ -51,6 +51,13 @@ namespace vc2m::scenario {
 
 inline constexpr const char* kScenarioSchema = "vc2m-scenario/1";
 
+// Domain caps for integer fields. Bounds are checked on the raw parsed
+// number *before* narrowing to int, so an absurd value (e.g. 2^32 + 1)
+// cannot wrap into range and be silently accepted as a different one.
+// scripts/scenarios_validate.py enforces the same caps from the outside.
+inline constexpr int kMaxVms = 1024;
+inline constexpr int kMaxHyperperiods = 1000000;
+
 /// Where the taskset comes from: the §5.1 generator or an explicit CSV
 /// (resolved relative to the scenario file's directory).
 struct WorkloadSpec {
@@ -90,6 +97,9 @@ struct Scenario {
   std::optional<SimulateSpec> simulate;
   Expectation expect;
   std::string source;  ///< file it was loaded from ("" for in-memory text)
+  /// text_digest of the source document; checkpointed with each record so
+  /// --resume re-runs scenarios whose files changed.
+  std::string content_hash;
 };
 
 /// Parse and fully validate one scenario document. `source` names the

@@ -12,8 +12,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 
 #include "util/error.h"
 
@@ -49,9 +51,15 @@ inline void close_output_file(std::ofstream& f, const std::string& path,
 
 /// Fail-fast probe used by CLI commands before long-running work: verify
 /// `path` can be created/written (open in append mode so an existing file
-/// is not clobbered by the probe). Throws util::Error with the OS reason.
+/// is not clobbered by the probe). Leaves the filesystem as it found it:
+/// when the probe itself had to create the file, the empty file is removed
+/// again, so a command that fails after the probe (e.g. a scenario load
+/// error) leaves no stray artifact behind. Throws util::Error with the OS
+/// reason.
 inline void ensure_output_path_writable(const std::string& path,
                                         const std::string& what) {
+  std::error_code ec;
+  const bool existed = std::filesystem::exists(path, ec);
   errno = 0;
   std::ofstream f(path, std::ios::binary | std::ios::app);
   if (!f.good()) {
@@ -59,6 +67,8 @@ inline void ensure_output_path_writable(const std::string& path,
     throw Error("cannot open " + what + " '" + path + "'" +
                 (err ? std::string(": ") + std::strerror(err) : ""));
   }
+  f.close();
+  if (!existed) std::filesystem::remove(path, ec);
 }
 
 }  // namespace vc2m::util

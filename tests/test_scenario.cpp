@@ -153,10 +153,38 @@ TEST(ScenarioLoader, MalformedDocumentMatrixAllThrowCleanErrors) {
   bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"UPPER\", "
                 "\"workload\": {\"util\": 1}, "
                 "\"expect\": {\"verdict\": \"schedulable\"}}");
+  // Integer fields outside their domain caps, including values past
+  // INT_MAX that would wrap into range if narrowed before bound-checking.
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": {\"util\": 1, \"vms\": 0}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": {\"util\": 1, \"vms\": 4294967297}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
+  bad.push_back("{\"schema\": \"vc2m-scenario/1\", \"name\": \"x\", "
+                "\"workload\": {\"util\": 1}, "
+                "\"simulate\": {\"hyperperiods\": 4294967297}, "
+                "\"expect\": {\"verdict\": \"schedulable\"}}");
 
   for (const auto& text : bad)
     EXPECT_THROW((void)scenario::load_scenario(text, "doc"), util::Error)
         << "accepted: " << text;
+}
+
+TEST(ScenarioLoader, IntegerFieldsPastTheDomainCapDoNotWrapIntoRange) {
+  // 2^32 + 1 narrowed through a 32-bit cast would wrap to 1 and pass the
+  // old >= 1 check; the loader must reject it at its byte offset instead.
+  const std::string text = R"({
+  "schema": "vc2m-scenario/1",
+  "name": "x",
+  "workload": { "util": 0.5, "vms": 4294967297 },
+  "expect": { "verdict": "schedulable" }
+})";
+  const std::string err = error_of(text);
+  EXPECT_NE(err.find("'vms' must be an integer in 1.."), std::string::npos)
+      << err;
+  EXPECT_NE(err.find(at_offset_of(text, "4294967297")), std::string::npos)
+      << err;
 }
 
 TEST(ScenarioLoader, SemanticCrossFieldRulesFailAtLoadTime) {
@@ -265,6 +293,8 @@ TEST(ScenarioCorpus, AllPinnedExpectationsHold) {
     EXPECT_TRUE(rec.passed) << file << ": "
                             << (rec.failures.empty() ? "?"
                                                      : rec.failures.front());
+    EXPECT_EQ(rec.scenario_hash.size(), 16u)
+        << file << ": records must carry the scenario content hash";
   }
 }
 
@@ -357,7 +387,64 @@ TEST(ScenarioMatrix, ResumeFromCheckpointReproducesTheReportWithoutRerun) {
   EXPECT_EQ(static_cast<std::size_t>(second.resumed),
             second.report.records.size());
   EXPECT_EQ(serialized(second.report), serialized(first.report));
+  EXPECT_FALSE(std::filesystem::exists(ckpt + ".tmp"))
+      << "atomic checkpoint write leaked its temp file";
   std::remove(ckpt.c_str());
+}
+
+TEST(ScenarioMatrix, ResumeWithACorruptCheckpointColdStartsWithAWarning) {
+  const std::string ckpt =
+      testing::TempDir() + "/vc2m_scenario_torn_ckpt.json";
+  {
+    // A checkpoint torn mid-write — the crash case resume exists for.
+    std::ofstream out(ckpt);
+    out << "{\"schema\": \"vc2m-scenario-report/1\", \"git_re";
+  }
+  auto cfg = corpus_config(2);
+  cfg.checkpoint = ckpt;
+  cfg.resume = true;
+  const auto result = scenario::run_matrix(cfg);
+  EXPECT_EQ(result.resumed, 0);
+  EXPECT_EQ(static_cast<std::size_t>(result.executed),
+            result.report.records.size());
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings.front().find("cold start"), std::string::npos)
+      << result.warnings.front();
+  // The cold run rewrote the checkpoint; it must be readable again.
+  const auto rewritten = scenario::read_scenario_report_file(ckpt);
+  EXPECT_EQ(rewritten.records.size(), result.report.records.size());
+  std::remove(ckpt.c_str());
+}
+
+TEST(ScenarioMatrix, ResumeRerunsAScenarioWhoseFileChangedSinceCheckpoint) {
+  const std::string dir = testing::TempDir() + "/vc2m_scenario_stale";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string file = dir + "/one.json";
+  {
+    std::ofstream out(file);
+    out << minimal_scenario();
+  }
+
+  scenario::MatrixConfig cfg;
+  cfg.files = {file};
+  cfg.checkpoint = dir + "/ckpt.json";
+  (void)scenario::run_matrix(cfg);
+
+  // Same scenario name, same file name, different content: reusing the
+  // checkpointed record would carry a verdict the file no longer pins.
+  std::string changed = minimal_scenario();
+  changed.replace(changed.find("0.5"), 3, "0.6");
+  {
+    std::ofstream out(file);
+    out << changed;
+  }
+  auto warm = cfg;
+  warm.resume = true;
+  const auto second = scenario::run_matrix(warm);
+  EXPECT_EQ(second.resumed, 0) << "resume reused a stale record";
+  EXPECT_EQ(second.executed, 1);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ScenarioMatrix, DuplicateScenarioNamesAcrossFilesAreRejected) {
@@ -420,6 +507,17 @@ TEST(OutputPaths, WritersThrowForAMissingDirectoryInsteadOfSilentSuccess) {
     EXPECT_NE(what.find("cannot open probe"), std::string::npos) << what;
     EXPECT_NE(what.find(missing), std::string::npos) << what;
   }
+}
+
+TEST(OutputPaths, WritableProbeLeavesNoStrayFileBehind) {
+  // The probe must not manufacture an empty artifact: a command that
+  // fails after the probe (e.g. a scenario load error) would otherwise
+  // leave a zero-byte output where the user expected nothing.
+  const std::string path = testing::TempDir() + "/vc2m_probe_fresh.json";
+  std::remove(path.c_str());
+  util::ensure_output_path_writable(path, "probe");
+  EXPECT_FALSE(std::filesystem::exists(path))
+      << "probe left an empty file behind";
 }
 
 TEST(OutputPaths, WritableProbeDoesNotClobberAnExistingFile) {

@@ -709,6 +709,9 @@ int cmd_scenario_run(const Args& a,
                   << std::flush;
       });
 
+  for (const auto& w : result.warnings)
+    std::cerr << "warning: " << w << "\n";
+
   util::Table table({"scenario", "verdict", "run", "result"});
   for (const auto& r : result.report.records)
     table.add_row(r.name,
