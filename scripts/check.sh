@@ -9,11 +9,18 @@
 # build-tsan/) so the regular build/ stays untouched. address and
 # undefined build and run everything; thread builds only the parallel test
 # binaries and runs the thread-pool/experiment/fault-validator/scenario-
-# matrix suites (the rest of the test suite is single-threaded, and TSan's
-# ~10x slowdown buys nothing there). The scenario-matrix suite matters for
-# TSan specifically: it drives run_matrix with checkpointing at --jobs 2+,
-# where worker-thread slot writes and the checkpoint snapshot must stay
-# serialized. The address pass also runs the scenario smoke: the curated
+# matrix suites plus the admission-service suite (the rest of the test
+# suite is single-threaded, and TSan's ~10x slowdown buys nothing there).
+# The scenario-matrix suite matters for TSan specifically: it drives
+# run_matrix with checkpointing at --jobs 2+, where worker-thread slot
+# writes and the checkpoint snapshot must stay serialized; the service
+# suite rides along because `vc2m serve` shares the signal-flag /
+# cancellation plumbing with the matrix runner. The address pass also runs
+# the serve smoke: crash-kill the service at every injected crash point
+# and require --recover to reproduce the uninterrupted report byte for
+# byte, fuzz torn/corrupted journals (recovery must warn, never crash),
+# schema-validate the vc2m-serve-report/1 artifact, and sweep the strict
+# numeric-flag matrix. The address pass also runs the scenario smoke: the curated
 # corpus under scenarios/ (all four enforcement policies under fault plans,
 # the infeasible-by-constraint pins, the stress scenarios) must pass through
 # `vc2m scenario run`, a 2-way-sharded run merged back together must be
@@ -133,6 +140,101 @@ taskset_fuzz() {
   echo "--- taskset fuzz passed ---"
 }
 
+serve_smoke() {
+  # $1 = build dir with a tools/vc2m binary. Exercises the crash-safety
+  # story of `vc2m serve` from the outside: a journaled baseline run, a
+  # real crash-kill at every injected crash point followed by --recover
+  # (the recovered report must be byte-identical to the baseline), a
+  # torn/corrupted-journal fuzz loop (recovery must warn and finish, never
+  # crash), and the strict-flag matrix (malformed numeric flag values must
+  # exit 2 with a 'bad value' message, not feed garbage to the service).
+  local vc2m="$1/tools/vc2m"
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+  # remove/resize traffic keeps commits flowing (admit-only traces stop
+  # committing once the platform fills), so snapshots keep rotating.
+  local trace="poisson:requests=600,interarrival-us=300,util=0.1..0.4,remove-frac=0.35,resize-frac=0.1"
+  local args=(--trace "$trace" --seed 7 --snapshot-every 20)
+
+  echo "--- serve: journaled baseline run ---"
+  "$vc2m" serve "${args[@]}" --journal "$work/base.wal" \
+    --json "$work/base.json" > /dev/null
+
+  echo "--- serve report is schema-valid ---"
+  python3 scripts/scenarios_validate.py --serve-report "$work/base.json"
+
+  echo "--- serve: crash-kill + --recover at every crash point ---"
+  # std::_Exit(137) at the kill site: distinguishable both from a clean
+  # exit and from an ASan abort (134).
+  for crash in before-append:300 after-append:300 mid-snapshot:2; do
+    rm -f "$work/j.wal" "$work/j.wal.snap"
+    local rc=0
+    ASAN_OPTIONS=abort_on_error=1 "$vc2m" serve "${args[@]}" \
+      --journal "$work/j.wal" --crash-at "$crash" > /dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne 137 ]; then
+      echo "crash point $crash: expected rc 137, got $rc"
+      return 1
+    fi
+    "$vc2m" serve "${args[@]}" --journal "$work/j.wal" --recover \
+      --json "$work/recovered.json" > /dev/null 2> "$work/recover-err.txt" \
+      || { echo "recovery after $crash failed:"
+           cat "$work/recover-err.txt"; return 1; }
+    cmp "$work/recovered.json" "$work/base.json" \
+      || { echo "recovered report after $crash differs from baseline"
+           return 1; }
+  done
+
+  echo "--- fuzz: corrupted/truncated journals must recover cleanly ---"
+  # base.wal (+ its snapshot) is a complete run; recovery replays it in
+  # full. Any torn tail or flipped byte may cost records — recovery then
+  # recomputes them live — but must warn and finish, never crash, and the
+  # final report must still be byte-identical (replay == recompute).
+  local jsize; jsize="$(wc -c < "$work/base.wal")"
+  RANDOM=20260808
+  for i in $(seq 1 16); do
+    cp "$work/base.wal" "$work/fuzz.wal"
+    cp "$work/base.wal.snap" "$work/fuzz.wal.snap" 2>/dev/null || true
+    if [ $((i % 2)) -eq 0 ]; then
+      truncate -s $((RANDOM % jsize)) "$work/fuzz.wal"
+    else
+      local off=$((RANDOM % jsize)) byte=$((RANDOM % 255 + 1))
+      printf "$(printf '\\%03o' "$byte")" |
+        dd of="$work/fuzz.wal" bs=1 seek="$off" count=1 conv=notrunc status=none
+    fi
+    local rc=0
+    ASAN_OPTIONS=abort_on_error=1 "$vc2m" serve "${args[@]}" \
+      --journal "$work/fuzz.wal" --recover --json "$work/fuzzed.json" \
+      > /dev/null 2> "$work/fuzz-err.txt" || rc=$?
+    if [ "$rc" -ge 128 ]; then
+      echo "journal fuzz iteration $i crashed (rc=$rc):"
+      cat "$work/fuzz-err.txt"
+      return 1
+    fi
+    if [ "$rc" -eq 0 ]; then
+      cmp "$work/fuzzed.json" "$work/base.json" \
+        || { echo "journal fuzz iteration $i: recovered report differs"
+             return 1; }
+    fi
+  done
+
+  echo "--- strict flags: malformed numeric values must exit 2 ---"
+  local bad rc flag value
+  for bad in "--seed 12x" "--util nan" "--vms 1e3" "--jobs 2.5" \
+             "--snapshot-every -1" "--deadline-us 5ms" "--backoff-us abc" \
+             "--max-retries two" "--queue-cap 0x10"; do
+    flag="${bad% *}" value="${bad#* }"
+    rc=0
+    "$vc2m" serve --trace "$trace" "$flag" "$value" \
+      > /dev/null 2> "$work/flag-err.txt" || rc=$?
+    if [ "$rc" -ne 2 ] || ! grep -q "bad value" "$work/flag-err.txt"; then
+      echo "flag '$flag $value': expected rc 2 + 'bad value', got rc $rc:"
+      cat "$work/flag-err.txt"
+      return 1
+    fi
+  done
+  echo "--- serve smoke passed ---"
+}
+
 perf_smoke() {
   # $1 = build dir with bench/bench_micro_ops and tools/vc2m binaries.
   local work; work="$(mktemp -d)"
@@ -184,8 +286,8 @@ for san in "${sanitizers[@]}"; do
   build_args=()
   ctest_args=(--output-on-failure -j "$(nproc)")
   if [ "$san" = thread ]; then
-    build_args=(--target test_parallel test_faults test_scenario)
-    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel|ScenarioMatrix)')
+    build_args=(--target test_parallel test_faults test_scenario test_service)
+    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel|ScenarioMatrix|TraceGen|Journal|CrashSpec|ShedPolicy|Service|ServeReport)')
   fi
   echo "=== ${san}: configure (${dir}/) ==="
   cmake -B "$dir" -S . -DVC2M_SANITIZE="$san" >/dev/null
@@ -196,6 +298,8 @@ for san in "${sanitizers[@]}"; do
   if [ "$san" = address ]; then
     echo "=== ${san}: scenario smoke (corpus + shard/merge + fuzz) ==="
     scenario_smoke "$dir"
+    echo "=== ${san}: serve smoke (crash-kill/recover + journal fuzz + flags) ==="
+    serve_smoke "$dir"
     echo "=== ${san}: taskset fuzz ==="
     taskset_fuzz "$dir"
     echo "=== ${san}: golden equivalence (engine vs seed digests) ==="

@@ -4,8 +4,9 @@
 Validates from the outside (plain stdlib JSON) what the C++ strict reader
 enforces from the inside, so a loader bug cannot silently relax the format:
 
-    scripts/scenarios_validate.py scenarios/          # corpus files
-    scripts/scenarios_validate.py --report run.json   # vc2m-scenario-report/1
+    scripts/scenarios_validate.py scenarios/                # corpus files
+    scripts/scenarios_validate.py --report run.json         # vc2m-scenario-report/1
+    scripts/scenarios_validate.py --serve-report out.json   # vc2m-serve-report/1
 
 Exits non-zero with a per-file message on the first violation.
 """
@@ -17,6 +18,7 @@ import sys
 
 SCENARIO_SCHEMA = "vc2m-scenario/1"
 REPORT_SCHEMA = "vc2m-scenario-report/1"
+SERVE_SCHEMA = "vc2m-serve-report/1"
 
 PLATFORMS = {"A", "B", "C"}
 # Domain caps mirrored from src/scenario/scenario.h (kMaxVms,
@@ -163,11 +165,96 @@ def check_report(doc):
             need("metrics" not in r, f"{what}: metrics without simulate")
 
 
+SHED_POLICIES = {"reject-newest", "reject-largest", "criticality"}
+
+SERVE_TOTAL_KEYS = [
+    "requests", "arrivals", "admitted", "rejected", "probe_rejected",
+    "removed", "resized", "resize_rejected", "not_present", "deferred",
+    "retries", "shed", "timed_out", "downgrades", "commits", "snapshots",
+]
+
+SUMMARY_KEYS = ["count", "mean", "min", "max", "p50", "p90", "p95", "p99"]
+
+
+def check_serve_report(doc):
+    check_keys(doc, "serve report",
+               required=["schema", "git_rev", "trace", "platform", "seed",
+                         "config", "totals", "queue", "decisions",
+                         "latency_us", "state"],
+               optional=["interrupted"])
+    need(doc["schema"] == SERVE_SCHEMA, f"bad schema {doc['schema']!r}")
+    need(doc["platform"] in PLATFORMS, "bad platform")
+    need(is_index(doc["seed"]), "seed must be a non-negative integer")
+    need(isinstance(doc["trace"], str) and doc["trace"], "empty trace spec")
+
+    cfg = doc["config"]
+    check_keys(cfg, "config",
+               required=["deadline_us", "shed_policy", "queue_cap",
+                         "max_retries", "backoff_us", "snapshot_every"],
+               optional=[])
+    need(cfg["shed_policy"] in SHED_POLICIES,
+         f"unknown shed policy {cfg['shed_policy']!r}")
+    for k in ("deadline_us", "queue_cap", "max_retries", "backoff_us",
+              "snapshot_every"):
+        need(is_index(cfg[k]), f"config.{k} must be a non-negative integer")
+    need(cfg["queue_cap"] >= 1, "config.queue_cap must be >= 1")
+
+    t = doc["totals"]
+    check_keys(t, "totals", required=SERVE_TOTAL_KEYS, optional=[])
+    for k in SERVE_TOTAL_KEYS:
+        need(is_index(t[k]), f"totals.{k} must be a non-negative integer")
+    need(t["arrivals"] <= t["requests"], "arrivals exceed the trace length")
+
+    q = doc["queue"]
+    check_keys(q, "queue", required=["max_depth", "backpressure"],
+               optional=[])
+    need(is_index(q["max_depth"]) and is_index(q["backpressure"]),
+         "queue fields must be non-negative integers")
+    need(q["max_depth"] <= cfg["queue_cap"],
+         "queue max_depth exceeds the configured cap")
+
+    d = doc["decisions"]
+    check_keys(d, "decisions", required=["events", "dropped"], optional=[])
+    need(is_index(d["events"]) and is_index(d["dropped"]),
+         "decisions fields must be non-negative integers")
+
+    lat = doc["latency_us"]
+    check_keys(lat, "latency_us", required=SUMMARY_KEYS, optional=[])
+    need(is_index(lat["count"]), "latency_us.count must be an integer")
+    for k in SUMMARY_KEYS[1:]:
+        need(isinstance(lat[k], (int, float)) and not isinstance(lat[k], bool),
+             f"latency_us.{k} must be a number")
+
+    st = doc["state"]
+    check_keys(st, "state",
+               required=["vms", "vcpus", "cores_used", "digest"], optional=[])
+    for k in ("vms", "vcpus", "cores_used"):
+        need(is_index(st[k]), f"state.{k} must be a non-negative integer")
+    need(isinstance(st["digest"], str) and st["digest"].startswith("sched="),
+         "state.digest must pin a solve")
+
+    interrupted = "interrupted" in doc
+    if interrupted:
+        need(doc["interrupted"] is True,
+             "'interrupted' may only be present as true")
+
+    # The same invariant the C++ strict reader enforces: every enqueued
+    # attempt (arrival or retry) ends in exactly one terminal bucket or is
+    # still deferred — unless the run was interrupted mid-stream.
+    terminal = sum(t[k] for k in ("admitted", "rejected", "probe_rejected",
+                                  "removed", "resized", "resize_rejected",
+                                  "not_present", "shed", "timed_out"))
+    need(interrupted or terminal + t["deferred"] == t["arrivals"] + t["retries"],
+         "outcome totals do not cover the enqueued attempts")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("path", help="scenario file/directory, or a report file")
     ap.add_argument("--report", action="store_true",
                     help="validate a vc2m-scenario-report/1 instead")
+    ap.add_argument("--serve-report", action="store_true",
+                    help="validate a vc2m-serve-report/1 instead")
     args = ap.parse_args()
 
     path = pathlib.Path(args.path)
@@ -175,11 +262,16 @@ def main():
     if not files:
         sys.exit(f"{path}: no scenario files")
 
+    if args.report and args.serve_report:
+        sys.exit("--report and --serve-report are mutually exclusive")
+
     names = set()
     for f in files:
         try:
             doc = json.loads(f.read_text())
-            if args.report:
+            if args.serve_report:
+                check_serve_report(doc)
+            elif args.report:
                 check_report(doc)
             else:
                 name = check_scenario(doc)
@@ -188,7 +280,8 @@ def main():
                 names.add(name)
         except (Bad, json.JSONDecodeError, KeyError, TypeError) as err:
             sys.exit(f"{f}: {err}")
-    kind = "report(s)" if args.report else "scenario(s)"
+    kind = ("serve report(s)" if args.serve_report
+            else "report(s)" if args.report else "scenario(s)")
     print(f"{len(files)} {kind} schema-valid")
 
 

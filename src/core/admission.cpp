@@ -264,4 +264,18 @@ AdmissionState remove_vm(const AdmissionState& current, int vm_id) {
   return next;
 }
 
+AdmitResult resize_vm(const AdmissionState& current,
+                      const model::Taskset& new_tasks, int vm_id,
+                      const model::PlatformSpec& platform,
+                      const VmAllocConfig& vm_cfg, util::Rng& rng) {
+  bool present = false;
+  for (const auto& v : current.vcpus) present = present || v.vm == vm_id;
+  VC2M_CHECK_MSG(present, "resize: VM id not present");
+  // remove_vm and admit_vm are both purely functional, so the rollback on
+  // rejection is the absence of an assignment: `current` still holds the
+  // original VM and nothing observed the intermediate removed state.
+  const AdmissionState without = remove_vm(current, vm_id);
+  return admit_vm(without, new_tasks, vm_id, platform, vm_cfg, rng);
+}
+
 }  // namespace vc2m::core

@@ -49,4 +49,14 @@ AdmitResult admit_vm(const AdmissionState& current,
 /// allocations (still valid supersets); empty trailing cores are trimmed.
 AdmissionState remove_vm(const AdmissionState& current, int vm_id);
 
+/// Replace a running VM's workload: remove `vm_id`, then re-admit it with
+/// `new_tasks` (which must all carry `vm_id`). Transactional like admit_vm:
+/// on success the result holds the resized system; on rejection the result
+/// is empty and the caller keeps using `current` — the original VM is never
+/// lost to a failed resize. Throws util::Error when `vm_id` is not present.
+AdmitResult resize_vm(const AdmissionState& current,
+                      const model::Taskset& new_tasks, int vm_id,
+                      const model::PlatformSpec& platform,
+                      const VmAllocConfig& vm_cfg, util::Rng& rng);
+
 }  // namespace vc2m::core

@@ -139,6 +139,9 @@ void write_scenario_report(std::ostream& os, const ScenarioReport& r) {
   os << "\"corpus\": \"" << obs::json::escape(r.corpus) << "\",\n";
   os << "\"shard\": {\"index\": " << r.shard_index
      << ", \"count\": " << r.shard_count << "},\n";
+  // Written only when set so complete reports stay byte-identical to
+  // reports from builds that predate interruption support.
+  if (r.interrupted) os << "\"interrupted\": true,\n";
   os << "\"total\": " << r.records.size() << ",\n";
   os << "\"passed\": " << r.passed() << ",\n";
   os << "\"failed\": " << r.failed() << ",\n";
@@ -178,6 +181,11 @@ ScenarioReport read_scenario_report(std::istream& is,
   VC2M_CHECK_MSG(r.shard_count >= 1 && r.shard_index < r.shard_count,
                  what << ": bad shard " << r.shard_index << "/"
                       << r.shard_count);
+  if (const Value* intr = root.find("interrupted")) {
+    VC2M_CHECK_MSG(intr->kind == Kind::kBool,
+                   what << ": 'interrupted' must be a boolean");
+    r.interrupted = intr->boolean;
+  }
   const Value* scenarios = root.find("scenarios");
   VC2M_CHECK_MSG(scenarios && scenarios->kind == Kind::kArray,
                  what << ": missing 'scenarios' array");
@@ -215,6 +223,7 @@ ScenarioReport merge_scenario_reports(const std::vector<ScenarioReport>& in) {
     VC2M_CHECK_MSG(r.git_rev == out.git_rev,
                    "merge: git_rev mismatch ('" << r.git_rev << "' vs '"
                                                 << out.git_rev << "')");
+    out.interrupted = out.interrupted || r.interrupted;
     for (const auto& rec : r.records) {
       VC2M_CHECK_MSG(out.find(rec.name) == nullptr,
                      "merge: scenario '" << rec.name

@@ -54,6 +54,9 @@ struct ScenarioReport {
   std::string corpus;  ///< the corpus path label the runner was given
   int shard_index = 0;
   int shard_count = 1;
+  /// True when the run stopped early on SIGINT/SIGTERM: the report holds
+  /// only the scenarios that finished and must not be judged as complete.
+  bool interrupted = false;
   std::vector<ScenarioRecord> records;  ///< sorted by name
 
   std::size_t passed() const {

@@ -233,7 +233,10 @@ MatrixResult run_matrix(
   // slot, so a bare `slots[k] = ...` on the worker thread would race it.
   auto on_complete = [&](std::size_t k, ScenarioRecord* rec) {
     std::lock_guard<std::mutex> lock(mu);
-    if (rec) slots[k] = std::move(*rec);
+    if (rec) {
+      slots[k] = std::move(*rec);
+      ++result.executed;
+    }
     ++done;
     if (!cfg.checkpoint.empty()) {
       ScenarioReport ck;
@@ -268,14 +271,21 @@ MatrixResult run_matrix(
       continue;
     }
     pool.submit([&, k] {
+      // A cancelled run skips everything still queued; scenarios already
+      // executing finish (and reach the checkpoint) before the pool drains.
+      if (cfg.cancel && cfg.cancel->load(std::memory_order_relaxed)) return;
       ScenarioRecord rec = run_scenario(all[mine[k]]);
       on_complete(k, &rec);
     });
-    ++result.executed;
   }
   pool.wait();
 
-  result.report.records = std::move(slots);
+  result.interrupted =
+      cfg.cancel && cfg.cancel->load(std::memory_order_relaxed) &&
+      result.executed + result.resumed < static_cast<int>(mine.size());
+  result.report.interrupted = result.interrupted;
+  for (auto& s : slots)
+    if (!s.name.empty()) result.report.records.push_back(std::move(s));
   std::sort(result.report.records.begin(), result.report.records.end(),
             [](const ScenarioRecord& a, const ScenarioRecord& b) {
               return a.name < b.name;

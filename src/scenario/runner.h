@@ -19,6 +19,7 @@
 // a scenario invalidates its checkpoint entry.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
 #include <string>
@@ -49,12 +50,19 @@ struct MatrixConfig {
   /// unreadable checkpoint = cold start (the latter with a warning), not
   /// an error.
   bool resume = false;
+  /// Cooperative cancellation (SIGINT/SIGTERM): once set, queued scenarios
+  /// are skipped, in-flight ones finish (and are checkpointed), and the
+  /// result is marked interrupted.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct MatrixResult {
   ScenarioReport report;
   int executed = 0;  ///< scenarios actually run this invocation
   int resumed = 0;   ///< records reused from the checkpoint
+  /// True when cancellation fired before the shard completed; the report
+  /// then holds only the finished scenarios and carries interrupted=true.
+  bool interrupted = false;
   /// Non-fatal diagnostics (e.g. an unreadable checkpoint downgraded to a
   /// cold start); the CLI prints them to stderr.
   std::vector<std::string> warnings;

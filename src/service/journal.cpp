@@ -1,0 +1,203 @@
+#include "service/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace vc2m::service {
+
+namespace {
+
+// Frames larger than this are treated as corruption: no legitimate record
+// payload comes anywhere close, and an honest bound stops a mangled length
+// field from making the scanner "wait" for gigabytes of payload.
+constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+void write_all(int fd, const std::string& path, const char* data,
+               std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw util::Error("journal '" + path + "': write failed: " +
+                        std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+std::string journal_header_payload(const std::string& config_digest,
+                                   std::uint64_t base) {
+  std::ostringstream os;
+  os << kJournalSchema << "|config=" << config_digest << "|base=" << base;
+  return os.str();
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::open_fresh(const std::string& path,
+                               const std::string& config_digest,
+                               std::uint64_t base) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0)
+    throw util::Error("cannot open journal '" + path + "': " +
+                      std::strerror(errno));
+  path_ = path;
+  append(journal_header_payload(config_digest, base));
+}
+
+void JournalWriter::open_append(const std::string& path,
+                                std::uint64_t valid_bytes) {
+  close();
+  fd_ = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd_ < 0)
+    throw util::Error("cannot open journal '" + path + "': " +
+                      std::strerror(errno));
+  path_ = path;
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0)
+    throw util::Error("cannot truncate journal '" + path + "': " +
+                      std::strerror(errno));
+  if (::lseek(fd_, 0, SEEK_END) < 0)
+    throw util::Error("cannot seek journal '" + path + "': " +
+                      std::strerror(errno));
+}
+
+void JournalWriter::append(const std::string& payload) {
+  VC2M_CHECK_MSG(fd_ >= 0, "journal append before open");
+  VC2M_CHECK_MSG(payload.size() <= kMaxPayload, "journal payload too large");
+  std::string frame;
+  frame.reserve(12 + payload.size());
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u64(frame, fnv1a(payload.data(), payload.size()));
+  frame += payload;
+  write_all(fd_, path_, frame.data(), frame.size());
+  if (::fsync(fd_) != 0)
+    throw util::Error("journal '" + path_ + "': fsync failed: " +
+                      std::strerror(errno));
+}
+
+void JournalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void write_file_durable(const std::string& path, const std::string& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    throw util::Error("cannot open '" + path + "': " + std::strerror(errno));
+  try {
+    write_all(fd, path, bytes.data(), bytes.size());
+    if (::fsync(fd) != 0)
+      throw util::Error("'" + path + "': fsync failed: " +
+                        std::strerror(errno));
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+}
+
+JournalScan scan_journal(const std::string& path) {
+  JournalScan out;
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return out;  // missing file: exists stays false
+  out.exists = true;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  const std::string bytes = buf.str();
+
+  std::size_t off = 0;
+  bool first = true;
+  while (off + 12 <= bytes.size()) {
+    const std::uint32_t len = get_u32(bytes.data() + off);
+    const std::uint64_t sum = get_u64(bytes.data() + off + 4);
+    if (len > kMaxPayload || off + 12 + len > bytes.size()) break;
+    if (fnv1a(bytes.data() + off + 12, len) != sum) break;
+    std::string payload = bytes.substr(off + 12, len);
+    if (first) {
+      // Header: "<schema>|config=<hex>|base=<N>".
+      first = false;
+      const std::string schema_prefix = std::string(kJournalSchema) + "|";
+      if (payload.rfind(schema_prefix, 0) != 0) break;
+      std::string rest = payload.substr(schema_prefix.size());
+      const auto bar = rest.find('|');
+      if (bar == std::string::npos || rest.rfind("config=", 0) != 0 ||
+          rest.find("base=", bar + 1) != bar + 1)
+        break;
+      out.config_digest = rest.substr(7, bar - 7);
+      const std::string base_str = rest.substr(bar + 6);
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long base =
+          std::strtoull(base_str.c_str(), &end, 10);
+      if (base_str.empty() || end != base_str.c_str() + base_str.size() ||
+          errno != 0)
+        break;
+      out.base = base;
+      out.header_ok = true;
+    } else {
+      out.records.push_back(std::move(payload));
+    }
+    off += 12 + len;
+    out.valid_bytes = off;
+  }
+  out.torn = out.valid_bytes < bytes.size();
+  if (!out.header_ok) {
+    // Without a valid header nothing after it is trustworthy.
+    out.records.clear();
+    out.valid_bytes = 0;
+    out.torn = !bytes.empty();
+  }
+  return out;
+}
+
+}  // namespace vc2m::service

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "analysis/schedulability.h"
 #include "core/admission.h"
 #include "core/solutions.h"
@@ -131,6 +134,139 @@ TEST(Admission, RemoveVmCompactsState) {
 TEST(Admission, RemoveUnknownVmThrows) {
   const auto base = boot_system(0.5, 60);
   EXPECT_THROW(remove_vm(base, 77), util::Error);
+}
+
+/// Canonical byte-exact rendering of an AdmissionState: every VCPU (vm,
+/// period, task indices, full budget surface) and every core (cache, bw,
+/// residents). Two states with equal fingerprints are indistinguishable to
+/// the analysis.
+std::string fingerprint(const AdmissionState& st) {
+  std::ostringstream os;
+  for (const auto& v : st.vcpus) {
+    os << v.vm << ":" << v.period.raw_ns() << ":";
+    for (const std::size_t t : v.tasks) os << t << ",";
+    const auto& g = v.budget.grid();
+    for (unsigned c = g.c_min; c <= g.c_max; ++c)
+      for (unsigned b = g.b_min; b <= g.b_max; ++b)
+        os << v.budget.at(c, b).raw_ns() << ";";
+    os << "|";
+  }
+  const auto& m = st.mapping;
+  os << m.schedulable << "/" << m.cores_used << "/";
+  for (std::size_t k = 0; k < m.vcpus_on_core.size(); ++k) {
+    os << m.cache[k] << "+" << m.bw[k] << "[";
+    for (const std::size_t vi : m.vcpus_on_core[k]) os << vi << ",";
+    os << "]";
+  }
+  return os.str();
+}
+
+TEST(AdmissionProperty, RandomChurnEndingEmptyFreesEverything) {
+  // Property: any admit/remove sequence that ends with every admitted VM
+  // removed must return the system to the empty state — all cores trimmed,
+  // every cache way and BW partition back in the free pools. A leak here
+  // means remove_vm strands capacity a long-running service never gets
+  // back.
+  const auto platform = PlatformSpec::A();
+  Rng rng(123);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  AdmissionState state;
+  std::vector<int> live;
+  int next_vm = 0;
+  int admitted = 0;
+  for (int step = 0; step < 40; ++step) {
+    if (!live.empty() && rng.bernoulli(0.4)) {
+      const std::size_t i = rng.index(live.size());
+      state = remove_vm(state, live[i]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      expect_consistent(state, platform);
+    } else {
+      const int id = next_vm++;
+      const auto tasks =
+          vm_taskset(0.15 + 0.25 * rng.uniform01(), id, 1000 + id);
+      const auto res = admit_vm(state, tasks, id, platform, vm, rng);
+      if (res.admitted) {
+        state = res.state;
+        live.push_back(id);
+        ++admitted;
+        expect_consistent(state, platform);
+      }
+    }
+  }
+  ASSERT_GT(admitted, 0) << "churn never admitted anything";
+  while (!live.empty()) {
+    state = remove_vm(state, live.back());
+    live.pop_back();
+  }
+  EXPECT_TRUE(state.vcpus.empty());
+  EXPECT_EQ(state.mapping.cores_used, 0u);
+  EXPECT_EQ(state.mapping.total_cache(), 0u);
+  EXPECT_EQ(state.mapping.total_bw(), 0u);
+  // The schedulable verdict is history, not held capacity; everything else
+  // must match a pristine empty system exactly.
+  AdmissionState empty;
+  empty.mapping.schedulable = state.mapping.schedulable;
+  EXPECT_EQ(fingerprint(state), fingerprint(empty));
+}
+
+TEST(AdmissionProperty, RejectionLeavesCallerStateByteIdentical) {
+  // Property: a rejected admission is a pure no-op — the caller's state is
+  // byte-identical afterwards, across many randomized oversized requests.
+  const auto platform = PlatformSpec::A();
+  const auto base = boot_system(1.2, 90);
+  ASSERT_TRUE(base.mapping.schedulable);
+  const std::string before = fingerprint(base);
+  Rng rng(91);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  int rejections = 0;
+  for (int i = 1; i <= 8; ++i) {
+    const auto monster = vm_taskset(2.5 + 0.5 * i, i, 92 + i);
+    const auto res = admit_vm(base, monster, i, platform, vm, rng);
+    if (!res.admitted) {
+      ++rejections;
+      EXPECT_TRUE(res.state.vcpus.empty());
+    }
+    EXPECT_EQ(fingerprint(base), before) << "request " << i;
+  }
+  EXPECT_GT(rejections, 0) << "no request was large enough to be rejected";
+}
+
+TEST(AdmissionProperty, ResizeRollbackKeepsOriginalByteIdentical) {
+  const auto platform = PlatformSpec::A();
+  auto state = boot_system(0.6, 95);
+  Rng rng(96);
+  VmAllocConfig vm;
+  vm.max_vcpus_per_vm = platform.cores;
+  const auto small = vm_taskset(0.25, 1, 97);
+  const auto admitted = admit_vm(state, small, 1, platform, vm, rng);
+  ASSERT_TRUE(admitted.admitted);
+  state = admitted.state;
+  const std::string before = fingerprint(state);
+
+  // A resize to an impossible workload must be rejected and roll back: the
+  // original VM keeps running exactly as it was.
+  const auto monster = vm_taskset(4.0, 1, 98);
+  const auto rejected = resize_vm(state, monster, 1, platform, vm, rng);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_TRUE(rejected.state.vcpus.empty());
+  EXPECT_EQ(fingerprint(state), before);
+
+  // A feasible resize commits: vm 1 present, system consistent.
+  const auto grown = vm_taskset(0.35, 1, 99);
+  const auto resized = resize_vm(state, grown, 1, platform, vm, rng);
+  if (resized.admitted) {
+    expect_consistent(resized.state, platform);
+    EXPECT_TRUE(std::any_of(
+        resized.state.vcpus.begin(), resized.state.vcpus.end(),
+        [](const model::Vcpu& v) { return v.vm == 1; }));
+  }
+  EXPECT_EQ(fingerprint(state), before);  // input state never mutated
+
+  // Resizing an absent VM is an error, not a silent admit.
+  EXPECT_THROW(resize_vm(state, vm_taskset(0.2, 9, 100), 9, platform, vm, rng),
+               util::Error);
 }
 
 TEST(Admission, AdmitRemoveCycleIsStable) {

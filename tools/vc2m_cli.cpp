@@ -43,6 +43,27 @@
 //       p95; exits nonzero when any tracked quantity regressed by more
 //       than the threshold (default 10%, accepted as "10%" or "0.1").
 //
+//   vc2m serve --trace SPEC [--platform P] [--seed S] [--journal FILE]
+//              [--recover] [--snapshot-every N] [--deadline-us D]
+//              [--shed-policy reject-newest|reject-largest|criticality]
+//              [--queue-cap N] [--max-retries N] [--backoff-us B]
+//              [--crash-at POINT:N] [--json report.json]
+//       Run the crash-safe online admission-control service (docs/
+//       service.md) over a generated request trace, e.g.
+//       "poisson:requests=100000,interarrival-us=300,util=0.1..0.4".
+//       --journal appends every decision to a checksummed write-ahead
+//       journal (fsync'd) and snapshots full state every N commits;
+//       --recover replays journal-over-snapshot and reproduces the
+//       uninterrupted run bit for bit (the --json report is diffed byte
+//       for byte in CI). --deadline-us enables the overload downgrade
+//       ladder (full solver -> headroom probe); --shed-policy picks the
+//       victim when the bounded queue overflows. --crash-at kills the
+//       process at an injected crash point (before-append:SEQ,
+//       after-append:SEQ, mid-snapshot:K) for the recovery tests.
+//       SIGINT/SIGTERM stop the service between requests: the journal is
+//       already durable, the report is written marked "interrupted", and
+//       the exit code is 130.
+//
 //   vc2m scenario run PATH... [--jobs N] [--shard i/m] [--resume]
 //                    [--json report.json] [--checkpoint ckpt.json]
 //       Execute a directory (or explicit files) of declarative scenarios
@@ -88,8 +109,16 @@
 // CSV tasks reference a PARSEC profile by name; WCET surfaces are derived
 // from the profile's slowdown vectors scaled to the given reference WCET.
 #include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -108,6 +137,7 @@
 #include "obs/report.h"
 #include "obs/trace_check.h"
 #include "obs/trace_export.h"
+#include "service/service.h"
 #include "sim/deploy.h"
 #include "sim/enforcement.h"
 #include "sim/faults.h"
@@ -160,6 +190,16 @@ struct Args {
   std::string shard;             ///< "i/m" slice of the sorted corpus
   bool resume = false;           ///< reuse checkpointed records
   std::string checkpoint;        ///< checkpoint file (default from --json)
+  // serve (admission-control service)
+  std::string journal;                 ///< write-ahead journal path
+  bool recover = false;                ///< replay journal before going live
+  std::uint64_t snapshot_every = 1000; ///< commits per snapshot; 0 = off
+  std::int64_t deadline_us = 0;        ///< per-request budget; 0 = off
+  std::string shed_policy = "reject-newest";
+  std::uint64_t queue_cap = 64;
+  std::uint64_t max_retries = 3;
+  std::int64_t backoff_us = 10000;
+  std::string crash_at;                ///< injected crash point spec
   std::vector<std::string> positional;  ///< perfdiff report files / explain
                                         ///< taskset / scenario verb+paths
 };
@@ -183,6 +223,14 @@ struct Args {
                "       vc2m check --trace out.json|out.csv\n"
                "       vc2m perfdiff base.json current.json "
                "[--max-regress 10%|0.1]\n"
+               "       vc2m serve --trace SPEC [--platform P] [--seed S]\n"
+               "                  [--journal FILE] [--recover] "
+               "[--snapshot-every N]\n"
+               "                  [--deadline-us D] [--shed-policy "
+               "reject-newest|reject-largest|criticality]\n"
+               "                  [--queue-cap N] [--max-retries N] "
+               "[--backoff-us B]\n"
+               "                  [--crash-at POINT:N] [--json report.json]\n"
                "       vc2m scenario run PATH... [--jobs N] [--shard i/m] "
                "[--resume]\n"
                "                         [--json report.json] "
@@ -202,6 +250,54 @@ struct Args {
   std::exit(code);
 }
 
+/// Strict numeric flag parsing. The predecessors of these helpers were bare
+/// std::stoi/std::stod calls: `--vms x` aborted with an uncaught
+/// std::invalid_argument, and `--util 1.5x` silently parsed the prefix. A
+/// flag value must now consume the whole token or the process prints
+/// "<flag>: bad value '<token>'" and exits 2 (the usage exit code).
+[[noreturn]] void bad_value(const std::string& flag, const std::string& s) {
+  std::cerr << flag << ": bad value '" << s << "'\n";
+  std::exit(2);
+}
+
+std::int64_t i64_flag(const std::string& flag, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || errno != 0)
+    bad_value(flag, s);
+  return v;
+}
+
+int int_flag(const std::string& flag, const std::string& s) {
+  const std::int64_t v = i64_flag(flag, s);
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max())
+    bad_value(flag, s);
+  return static_cast<int>(v);
+}
+
+std::uint64_t u64_flag(const std::string& flag, const std::string& s) {
+  // strtoull accepts "-1" (wrapping it); reject any sign explicitly.
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])))
+    bad_value(flag, s);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno != 0) bad_value(flag, s);
+  return v;
+}
+
+double double_flag(const std::string& flag, const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (s.empty() || end != s.c_str() + s.size() || errno != 0 ||
+      !std::isfinite(v))
+    bad_value(flag, s);
+  return v;
+}
+
 Args parse(int argc, char** argv) {
   if (argc < 2) usage(2);
   Args a;
@@ -218,17 +314,17 @@ Args parse(int argc, char** argv) {
     else if (arg == "--platform") a.platform = next();
     else if (arg == "--solution") a.solution = next();
     else if (arg == "--dist") a.dist = next();
-    else if (arg == "--util") a.util = std::stod(next());
-    else if (arg == "--vms") a.vms = std::stoi(next());
-    else if (arg == "--seed") a.seed = std::stoull(next());
-    else if (arg == "--tasksets") a.tasksets = std::stoi(next());
-    else if (arg == "--step") a.step = std::stod(next());
-    else if (arg == "--util-lo") a.util_lo = std::stod(next());
-    else if (arg == "--util-hi") a.util_hi = std::stod(next());
-    else if (arg == "--jobs") a.jobs = std::stoi(next());
+    else if (arg == "--util") a.util = double_flag(arg, next());
+    else if (arg == "--vms") a.vms = int_flag(arg, next());
+    else if (arg == "--seed") a.seed = u64_flag(arg, next());
+    else if (arg == "--tasksets") a.tasksets = int_flag(arg, next());
+    else if (arg == "--step") a.step = double_flag(arg, next());
+    else if (arg == "--util-lo") a.util_lo = double_flag(arg, next());
+    else if (arg == "--util-hi") a.util_hi = double_flag(arg, next());
+    else if (arg == "--jobs") a.jobs = int_flag(arg, next());
     else if (arg == "--faults") a.faults = next();
     else if (arg == "--policy") a.policy = next();
-    else if (arg == "--fault-horizon") a.fault_horizon = std::stoi(next());
+    else if (arg == "--fault-horizon") a.fault_horizon = int_flag(arg, next());
     else if (arg == "--solutions") a.solutions = next();
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--pool-trace") a.pool_trace = next();
@@ -238,6 +334,15 @@ Args parse(int argc, char** argv) {
     else if (arg == "--shard") a.shard = next();
     else if (arg == "--resume") a.resume = true;
     else if (arg == "--checkpoint") a.checkpoint = next();
+    else if (arg == "--journal") a.journal = next();
+    else if (arg == "--recover") a.recover = true;
+    else if (arg == "--snapshot-every") a.snapshot_every = u64_flag(arg, next());
+    else if (arg == "--deadline-us") a.deadline_us = i64_flag(arg, next());
+    else if (arg == "--shed-policy") a.shed_policy = next();
+    else if (arg == "--queue-cap") a.queue_cap = u64_flag(arg, next());
+    else if (arg == "--max-retries") a.max_retries = u64_flag(arg, next());
+    else if (arg == "--backoff-us") a.backoff_us = i64_flag(arg, next());
+    else if (arg == "--crash-at") a.crash_at = next();
     else if (!arg.empty() && arg[0] != '-') a.positional.push_back(arg);
     else usage(2);
   }
@@ -647,22 +752,118 @@ int cmd_perfdiff(const Args& a) {
 std::pair<int, int> shard_of(const std::string& s) {
   if (s.empty()) return {0, 1};
   const auto slash = s.find('/');
-  std::size_t used_i = 0, used_m = 0;
-  int index = -1, count = 0;
-  try {
-    if (slash != std::string::npos) {
-      index = std::stoi(s.substr(0, slash), &used_i);
-      count = std::stoi(s.substr(slash + 1), &used_m);
+  bool ok = slash != std::string::npos;
+  long index = -1, count = 0;
+  if (ok) {
+    const std::string is = s.substr(0, slash), ms = s.substr(slash + 1);
+    char* end = nullptr;
+    errno = 0;
+    index = std::strtol(is.c_str(), &end, 10);
+    ok = !is.empty() && end == is.c_str() + is.size() && errno == 0;
+    if (ok) {
+      errno = 0;
+      count = std::strtol(ms.c_str(), &end, 10);
+      ok = !ms.empty() && end == ms.c_str() + ms.size() && errno == 0;
     }
-  } catch (const std::exception&) {
-    used_i = 0;
   }
-  if (slash == std::string::npos || used_i != slash ||
-      used_m != s.size() - slash - 1 || count < 1 || index < 0 ||
-      index >= count)
+  if (!ok || count < 1 || index < 0 || index >= count)
     throw util::Error("--shard: want INDEX/COUNT with 0 <= INDEX < COUNT, "
                       "got '" + s + "'");
-  return {index, count};
+  return {static_cast<int>(index), static_cast<int>(count)};
+}
+
+/// SIGINT/SIGTERM land here; the service and scenario runner poll the flag
+/// between requests/scenarios, flush whatever is pending (the journal is
+/// already durable, checkpoints are rewritten per scenario), write the
+/// partial report marked "interrupted", and exit 130.
+std::atomic<bool> g_interrupted{false};
+
+void install_signal_handlers() {
+  struct sigaction sa{};
+  sa.sa_handler = [](int) { g_interrupted.store(true); };
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+constexpr int kInterruptedExit = 130;  // 128 + SIGINT, the shell convention
+
+int cmd_serve(const Args& a) {
+  if (a.trace.empty()) usage(2);
+  if (!a.json_out.empty())
+    util::ensure_output_path_writable(a.json_out, "serve report");
+
+  service::ServiceConfig cfg;
+  cfg.platform = platform_of(a.platform);
+  cfg.platform_name = a.platform;
+  cfg.trace = service::parse_trace_spec(a.trace);
+  cfg.seed = a.seed;
+  if (a.deadline_us < 0) throw util::Error("--deadline-us must be >= 0");
+  cfg.deadline = util::Time::us(a.deadline_us);
+  if (!service::shed_policy_from_string(a.shed_policy, cfg.shed))
+    throw util::Error("unknown shed policy '" + a.shed_policy +
+                      "' (reject-newest|reject-largest|criticality)");
+  if (a.queue_cap < 1) throw util::Error("--queue-cap must be >= 1");
+  cfg.queue_cap = static_cast<std::size_t>(a.queue_cap);
+  cfg.max_retries = static_cast<unsigned>(a.max_retries);
+  if (a.backoff_us < 0) throw util::Error("--backoff-us must be >= 0");
+  cfg.backoff = util::Time::us(a.backoff_us);
+  cfg.snapshot_every = a.snapshot_every;
+  cfg.journal_path = a.journal;
+  if (a.recover && a.journal.empty())
+    throw util::Error("--recover needs --journal FILE");
+  cfg.recover = a.recover;
+  if (!a.crash_at.empty()) cfg.crash = service::parse_crash_spec(a.crash_at);
+  install_signal_handlers();
+  cfg.cancel = &g_interrupted;
+
+  const auto res = service::run_service(cfg);
+  for (const auto& w : res.warnings) std::cerr << "warning: " << w << "\n";
+  const auto& r = res.report;
+
+  std::cout << "served " << r.requests << " request(s) (" << r.trace
+            << ", seed " << r.seed << ") on platform " << r.platform << "\n";
+  util::Table table({"metric", "value"});
+  table.add_row("admitted", r.admitted);
+  table.add_row("rejected", r.rejected);
+  table.add_row("probe rejected", r.probe_rejected);
+  table.add_row("removed", r.removed);
+  table.add_row("resized", r.resized);
+  table.add_row("resize rejected", r.resize_rejected);
+  table.add_row("not present", r.not_present);
+  table.add_row("shed", r.shed);
+  table.add_row("timed out", r.timed_out);
+  table.add_row("deferred", r.deferred);
+  table.add_row("downgrades", r.downgrades);
+  table.add_row("queue max depth", r.queue_max_depth);
+  table.add_row("backpressure", r.backpressure);
+  table.add_row("commits", r.commits);
+  table.add_row("snapshots", r.snapshots);
+  if (r.latency_us.count > 0) {
+    table.add_row("latency p50 (us)", r.latency_us.p50);
+    table.add_row("latency p95 (us)", r.latency_us.p95);
+    table.add_row("latency p99 (us)", r.latency_us.p99);
+    table.add_row("latency max (us)", r.latency_us.max);
+  }
+  table.print(std::cout);
+  std::cout << "final state: " << r.vms << " VM(s), " << r.vcpus
+            << " VCPU(s) on " << r.cores_used << " core(s)\n"
+            << "digest: " << r.digest << "\n";
+
+  if (!a.json_out.empty()) {
+    service::write_serve_report_file(a.json_out, r);
+    // Round-trip through the strict reader so a report we cannot re-read
+    // never lands on disk unnoticed.
+    (void)service::read_serve_report_file(a.json_out);
+    std::cout << "wrote " << a.json_out << "\n";
+  }
+  if (res.interrupted) {
+    std::cerr << "interrupted: served " << (r.arrivals + r.retries)
+              << " of " << r.requests << " request(s); report marked "
+                 "interrupted\n";
+    return kInterruptedExit;
+  }
+  return 0;
 }
 
 /// "scenarios/" and "scenarios" must label the same corpus: reports from a
@@ -702,6 +903,9 @@ int cmd_scenario_run(const Args& a,
   if (!cfg.checkpoint.empty())
     util::ensure_output_path_writable(cfg.checkpoint, "scenario checkpoint");
 
+  install_signal_handlers();
+  cfg.cancel = &g_interrupted;
+
   const auto result = scenario::run_matrix(
       cfg, [](int done, int total, const std::string& name) {
         std::cerr << "\r[" << done << "/" << total << "] " << name
@@ -739,6 +943,11 @@ int cmd_scenario_run(const Args& a,
     // must never land on disk unnoticed.
     (void)scenario::read_scenario_report_file(a.json_out);
     std::cout << "wrote " << a.json_out << "\n";
+  }
+  if (result.interrupted) {
+    std::cerr << "interrupted: " << result.report.records.size()
+              << " scenario(s) finished; report marked interrupted\n";
+    return kInterruptedExit;
   }
   return result.report.all_passed() ? 0 : 1;
 }
@@ -844,6 +1053,7 @@ int main(int argc, char** argv) {
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "check") return cmd_check(a);
     if (a.command == "experiment") return cmd_experiment(a);
+    if (a.command == "serve") return cmd_serve(a);
     if (a.command == "scenario") return cmd_scenario(a);
     if (a.command == "perfdiff") return cmd_perfdiff(a);
     usage(2);
