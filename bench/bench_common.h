@@ -60,6 +60,9 @@ struct Options {
   double step = 0.05;
   std::uint64_t seed = 42;
   int jobs = 0;  ///< sweep worker threads; 0 = hardware concurrency
+  /// Intra-solve stripes for the min-budget surface batches (1 = serial,
+  /// 0 = hardware); results are bit-identical at any value.
+  int inner_jobs = 1;
   std::string csv_dir = "bench_results";
   std::string json;  ///< empty = no JSON report
 
@@ -95,6 +98,14 @@ struct Options {
           std::cerr << "--jobs must be >= 0 (0 = hardware concurrency)\n";
           std::exit(2);
         }
+      } else if (arg == "--inner-jobs") {
+        opt.inner_jobs = static_cast<int>(
+            parse_int_arg("--inner-jobs", next("--inner-jobs")));
+        if (opt.inner_jobs < 0) {
+          std::cerr << "--inner-jobs must be >= 0 (0 = hardware "
+                       "concurrency)\n";
+          std::exit(2);
+        }
       } else if (arg == "--csv-dir") {
         opt.csv_dir = next("--csv-dir");
       } else if (arg == "--json") {
@@ -104,7 +115,7 @@ struct Options {
         opt.step = 0.1;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "options: --tasksets N  --step S  --seed S  --jobs N  "
-                     "--csv-dir DIR  --json PATH  --quick\n";
+                     "--inner-jobs N  --csv-dir DIR  --json PATH  --quick\n";
         std::exit(0);
       } else {
         std::cerr << "unknown option " << arg << "\n";
@@ -146,6 +157,7 @@ inline obs::BenchReport experiment_report(
   r.config["step"] = std::to_string(cfg.util_step);
   r.config["seed"] = std::to_string(opt.seed);
   r.config["jobs"] = std::to_string(cfg.jobs);
+  r.config["inner_jobs"] = std::to_string(cfg.solve.inner_jobs);
   std::string solutions;
   for (const auto& s : cfg.solutions)
     solutions += (solutions.empty() ? "" : ",") + s;

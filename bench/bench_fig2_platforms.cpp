@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     cfg.tasksets_per_point = opt.tasksets;
     cfg.seed = opt.seed;
     cfg.jobs = opt.jobs;
+    cfg.solve.inner_jobs = opt.inner_jobs;
     const std::string label = platforms[p].name;
     results.push_back(core::run_schedulability_experiment(
         cfg, [&](int d, int t) { bench::progress(label, d, t); }));

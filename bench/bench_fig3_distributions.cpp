@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
     cfg.tasksets_per_point = opt.tasksets;
     cfg.seed = opt.seed;
     cfg.jobs = opt.jobs;
+    cfg.solve.inner_jobs = opt.inner_jobs;
     const std::string label = to_string(dists[d]);
     results.push_back(core::run_schedulability_experiment(
         cfg, [&](int done, int total) { bench::progress(label, done, total); }));

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   cfg.tasksets_per_point = opt.tasksets;
   cfg.seed = opt.seed;
   cfg.jobs = opt.jobs;
+  cfg.solve.inner_jobs = opt.inner_jobs;
   util::AllocCounterScope effort;  // aggregate allocator work over the sweep
   const auto result = core::run_schedulability_experiment(
       cfg, [&](int d, int t) { bench::progress("fig4", d, t); });

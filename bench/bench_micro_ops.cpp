@@ -15,6 +15,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/dbf.h"
 #include "analysis/prm.h"
 #include "analysis/schedulability.h"
 #include "analysis/theorems.h"
@@ -50,6 +51,43 @@ void BM_DbfEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_DbfEvaluation);
 
+void BM_DbfDemandAtSoA(benchmark::State& state) {
+  // The branchless SoA demand sweep over a merged checkpoint set — the
+  // inner loop of the fast min-budget kernel. Compare per-point cost with
+  // BM_DbfEvaluation (one AoS dbf() call per point).
+  std::vector<analysis::PTask> tasks;
+  for (int i = 1; i <= 8; ++i)
+    tasks.push_back({Time::ms(100 * (1 << (i % 4))), Time::ms(i)});
+  analysis::TaskArrays soa;
+  soa.assign(tasks);
+  std::vector<Time> points;
+  analysis::merge_checkpoints(soa.period, soa.hyperperiod(), points);
+  std::vector<Time> demand(points.size());
+  for (auto _ : state) {
+    analysis::demand_at(soa.period, soa.wcet, points, demand);
+    benchmark::DoNotOptimize(demand.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(points.size()));
+}
+BENCHMARK(BM_DbfDemandAtSoA);
+
+void BM_MergeCheckpoints(benchmark::State& state) {
+  // Building the sorted + deduplicated checkpoint stream once per
+  // (periods, Π) — amortized over every grid cell by the checkpoint cache.
+  std::vector<analysis::PTask> tasks;
+  for (int i = 1; i <= static_cast<int>(state.range(0)); ++i)
+    tasks.push_back({Time::ms(100 * (1 << (i % 4))), Time::ms(3 * i)});
+  analysis::TaskArrays soa;
+  soa.assign(tasks);
+  std::vector<Time> points;
+  for (auto _ : state) {
+    analysis::merge_checkpoints(soa.period, soa.hyperperiod(), points);
+    benchmark::DoNotOptimize(points.data());
+  }
+}
+BENCHMARK(BM_MergeCheckpoints)->Arg(2)->Arg(8)->Arg(24);
+
 void BM_PrmSbf(benchmark::State& state) {
   const analysis::Prm prm{Time::ms(100), Time::ms(37)};
   for (auto _ : state)
@@ -67,6 +105,28 @@ void BM_PrmMinBudget(benchmark::State& state) {
     benchmark::DoNotOptimize(analysis::min_budget_edf(tasks, Time::ms(100)));
 }
 BENCHMARK(BM_PrmMinBudget)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_PrmMinBudgetOnCurve(benchmark::State& state) {
+  // The fast-path equivalent of BM_PrmMinBudget: checkpoints and demand
+  // precomputed once (as the checkpoint cache + Θ-independent demand sweep
+  // make them per cell), leaving only the sbf binary search per call.
+  std::vector<analysis::PTask> tasks;
+  for (int i = 1; i <= static_cast<int>(state.range(0)); ++i)
+    tasks.push_back({Time::ms(100 * (1 << (i % 4))), Time::ms(3 * i)});
+  analysis::TaskArrays soa;
+  soa.assign(tasks);
+  const Time pi = Time::ms(100);
+  const Time horizon = util::lcm(soa.hyperperiod(), pi);
+  std::vector<Time> points;
+  analysis::merge_checkpoints(soa.period, horizon, points);
+  std::vector<Time> demand(points.size());
+  analysis::demand_at(soa.period, soa.wcet, points, demand);
+  const analysis::DemandCurve curve{points, demand};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        analysis::min_budget_on_curve(curve, soa.total_util, pi));
+}
+BENCHMARK(BM_PrmMinBudgetOnCurve)->Arg(2)->Arg(8)->Arg(24);
 
 void BM_RegulatedVcpu(benchmark::State& state) {
   // One overhead-free (Theorem 2) VCPU computation over the FULL grid.

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     cfg.num_vms = vms;
     cfg.seed = opt.seed;
     cfg.jobs = opt.jobs;
+    cfg.solve.inner_jobs = opt.inner_jobs;
     cfg.solutions = {"flat", "ovf", "baseline"};
     const std::string label = "vms=" + std::to_string(vms);
     results.push_back(core::run_schedulability_experiment(

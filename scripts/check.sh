@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Build and run the test suite under sanitizers.
 #
-#   scripts/check.sh            # ASan + UBSan (full suite) + TSan (parallel tests)
+#   scripts/check.sh            # ASan + UBSan (full suite) + TSan (parallel
+#                               # tests) + plain-build perf gate
 #   scripts/check.sh address    # just one pass
 #   scripts/check.sh thread     # just the TSan pass
+#   scripts/check.sh perf       # just the Fig-4 perfdiff gate
 #
 # Each sanitizer gets its own build tree (build-asan/, build-ubsan/,
 # build-tsan/) so the regular build/ stays untouched. address and
@@ -43,7 +45,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 sanitizers=("$@")
-[ $# -eq 0 ] && sanitizers=(address undefined thread)
+[ $# -eq 0 ] && sanitizers=(address undefined thread perf)
 
 scenario_smoke() {
   # $1 = build dir with a tools/vc2m binary. Runs the curated corpus (which
@@ -276,7 +278,37 @@ EOF
   echo "--- perf smoke passed ---"
 }
 
+perf_gate() {
+  # Plain (non-sanitized, RelWithDebInfo) build: sanitizer overhead would
+  # drown the wall time the gate compares. Runs the committed Fig-4
+  # configuration (50 tasksets/point, step 0.05, seed 42, --jobs 1) and
+  # holds wall time, phase times, and effort counters to within
+  # --max-regress of the checked-in baseline report.
+  local dir=build-perf
+  echo "=== perf: configure (${dir}/) ==="
+  cmake -B "$dir" -S . >/dev/null
+  echo "=== perf: build ==="
+  cmake --build "$dir" -j "$(nproc)" --target bench_fig4_runtime vc2m
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+  echo "=== perf: Fig-4 runtime sweep ==="
+  "$dir/bench/bench_fig4_runtime" --jobs 1 --csv-dir "$work" \
+    --json "$work/BENCH_fig4_current.json" > /dev/null
+  echo "=== perf: perfdiff vs bench_results/BENCH_fig4_baseline.json ==="
+  # --min-abs-sec 0.01: sub-10ms bookkeeping phases (fork_streams,
+  # assemble) jitter past any sane relative threshold; the phases this
+  # gate exists for (experiment, sweep, min_budget) are seconds-scale.
+  "$dir/tools/vc2m" perfdiff bench_results/BENCH_fig4_baseline.json \
+    "$work/BENCH_fig4_current.json" --max-regress 10% --min-abs-sec 0.01 \
+    || { echo "Fig-4 sweep regressed past the committed baseline"; return 1; }
+  echo "--- perf gate passed ---"
+}
+
 for san in "${sanitizers[@]}"; do
+  if [ "$san" = perf ]; then
+    perf_gate
+    continue
+  fi
   case "$san" in
     address)   dir=build-asan ;;
     undefined) dir=build-ubsan ;;
@@ -286,7 +318,8 @@ for san in "${sanitizers[@]}"; do
   build_args=()
   ctest_args=(--output-on-failure -j "$(nproc)")
   if [ "$san" = thread ]; then
-    build_args=(--target test_parallel test_faults test_scenario test_service)
+    build_args=(--target test_parallel test_faults test_scenario test_service
+                test_golden)
     ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel|ScenarioMatrix|TraceGen|Journal|CrashSpec|ShedPolicy|Service|ServeReport)')
   fi
   echo "=== ${san}: configure (${dir}/) ==="
@@ -295,6 +328,14 @@ for san in "${sanitizers[@]}"; do
   cmake --build "$dir" -j "$(nproc)" ${build_args[@]+"${build_args[@]}"}
   echo "=== ${san}: ctest ==="
   (cd "$dir" && ctest ${ctest_args[@]+"${ctest_args[@]}"})
+  if [ "$san" = thread ]; then
+    # The intra-solve min-budget striping (--inner-jobs) shares checkpoint
+    # cache references and per-stripe arenas across the inner pool; the
+    # golden grid drives sweeps at jobs x inner-jobs combinations under
+    # TSan to prove the batch latch + serial reduction are race-free.
+    echo "=== ${san}: inner-parallel min-budget sweeps (golden grid) ==="
+    "$dir/tests/test_golden" --gtest_filter='*JobsByInner*'
+  fi
   if [ "$san" = address ]; then
     echo "=== ${san}: scenario smoke (corpus + shard/merge + fuzz) ==="
     scenario_smoke "$dir"

@@ -10,10 +10,23 @@
 // identical (period, taskset) pair.
 //
 // The memo is bit-identity-preserving: a hit returns exactly the value the
-// unmemoized analysis::min_budget_edf call produced for the identical key,
-// and the hinted search (analysis::min_budget_edf_bounded) returns the same
-// unique minimum while evaluating fewer demand bounds. The per-core caches
-// live in core::CoreLoad; this context owns the cross-cutting state.
+// unmemoized analysis::min_budget_edf call produced for the identical key.
+// Beyond the memo, the context owns the analysis fast path
+// (docs/performance.md):
+//  - a per-solve bump Arena for all scratch (checkpoint buffers, demand
+//    curves, per-cell task views, packing work arrays);
+//  - a checkpoint/SoA cache keyed by (Π, periods): every grid cell of one
+//    VCPU shares one sorted checkpoint stream instead of re-deriving and
+//    re-sorting it per binary-search probe;
+//  - min_budget_batch(), which answers a whole min-budget surface in one
+//    call, optionally striping the per-cell searches over a thread pool
+//    with a serial-order reduction so results *and* AllocCounters are
+//    bit-identical at any inner-jobs count.
+//
+// set_fast_kernels(false) routes every query through the original
+// span-of-PTask reference kernels; allocations and budget_evaluations are
+// identical either way (tests/test_golden.cpp pins this), only
+// dbf_evaluations and wall time differ.
 #pragma once
 
 #include <cstdint>
@@ -23,16 +36,29 @@
 #include <vector>
 
 #include "analysis/dbf.h"
+#include "util/arena.h"
 #include "util/instrument.h"
 #include "util/time.h"
 
+namespace vc2m::util {
+class ThreadPool;
+}
+
 namespace vc2m::analysis {
+
+/// Process-wide toggle for the SoA/arena fast kernels (default on). The
+/// verdicts, minima and budget_evaluations are identical either way; the
+/// toggle exists so tests and A/B benches can pin that equivalence.
+bool fast_kernels_enabled();
+void set_fast_kernels(bool enabled);
 
 class AnalysisContext {
  public:
   /// Opens an AllocCounterScope: every instrumented call made while this
   /// context is alive lands in counters() (and merges into any enclosing
-  /// scope on destruction). Use on one thread only.
+  /// scope on destruction). Use on one thread only (min_budget_batch may
+  /// fan work out to a configured pool, but the context API itself is
+  /// single-caller).
   AnalysisContext() = default;
   AnalysisContext(const AnalysisContext&) = delete;
   AnalysisContext& operator=(const AnalysisContext&) = delete;
@@ -42,10 +68,55 @@ class AnalysisContext {
   /// same task group at a grid point with fewer resources — budget surfaces
   /// are non-increasing in cache/BW); it bounds the binary search from
   /// above. Hints are verified before use, so a wrong hint costs one
-  /// schedulability test but never changes the returned minimum.
+  /// schedulability test but never changes the returned minimum. The fast
+  /// path ignores hints entirely: its precomputed demand curve makes the
+  /// extra binary-search probes nearly free, and the result is identical.
   std::optional<util::Time> min_budget(
       std::span<const PTask> tasks, util::Time period,
       std::optional<util::Time> feasible_hint = std::nullopt);
+
+  /// One query of a min-budget surface batch. `searched` is true when this
+  /// query ran a fresh search (a memo miss — exactly the queries for which
+  /// a serial ctx.min_budget() sequence would have emitted a kBudgetSearch
+  /// decision event; use emit_budget_search() to reproduce it).
+  struct BatchResult {
+    std::optional<util::Time> theta;
+    bool searched = false;
+  };
+
+  /// Answer `queries` (task groups sharing the VCPU period Π) exactly as a
+  /// serial loop of min_budget(queries[j], period) would — same memo
+  /// hit/miss pattern, same budget_evaluations/budget_cache_hits, same
+  /// minima — but over the fast kernels, with duplicate queries coalesced
+  /// and the distinct searches optionally striped over the pool configured
+  /// via set_inner_parallelism(). Counters from striped work are merged in
+  /// job-index order on the calling thread, so AllocCounters totals are
+  /// bit-identical at any inner-jobs value (docs/performance.md spells out
+  /// the determinism contract). Emits no decision events; the caller
+  /// replays them in cell order to keep event streams identical too.
+  std::vector<BatchResult> min_budget_batch(
+      std::span<const std::span<const PTask>> queries, util::Time period);
+
+  /// Emit the kBudgetSearch decision event a serial min_budget(tasks,
+  /// period) miss would have emitted for this outcome (no-op when no
+  /// decision log is active).
+  static void emit_budget_search(std::span<const PTask> tasks,
+                                 util::Time period,
+                                 const std::optional<util::Time>& theta);
+
+  /// Configure intra-solve parallelism for min_budget_batch: stripe the
+  /// per-cell searches over `pool` with `jobs` stripes. `pool` is borrowed
+  /// and must not be the pool whose worker is calling the batch (the batch
+  /// blocks until its stripes finish). jobs <= 1 or a null pool means
+  /// serial. Results and counters do not depend on the setting.
+  void set_inner_parallelism(util::ThreadPool* pool, int jobs) {
+    inner_pool_ = pool;
+    inner_jobs_ = jobs;
+  }
+
+  /// The per-solve scratch arena. Callers may draw scratch from it under an
+  /// Arena::Scope mark; everything is reclaimed when the context dies.
+  util::Arena& arena() { return arena_; }
 
   /// The effort counters collected so far by this context's scope.
   const util::AllocCounters& counters() const { return scope_.counters(); }
@@ -64,9 +135,39 @@ class AnalysisContext {
       return static_cast<std::size_t>(h);
     }
   };
+
+  /// One cached checkpoint stream: the sorted, deduplicated dbf checkpoints
+  /// of a (Π, periods) pair up to lcm(hyperperiod, Π), plus the period
+  /// column the demand kernel consumes. Shared by every wcet surface (grid
+  /// cell) asking about the same periods.
+  struct CheckpointEntry {
+    std::vector<std::int64_t> periods;
+    std::vector<util::Time> points;
+  };
+
+  /// Cache lookup/build for the checkpoint stream of (tasks' periods, Π).
+  /// Serial only (called before any striped dispatch). Counts soa_rebuilds
+  /// on build.
+  const CheckpointEntry& checkpoints_for(std::span<const PTask> tasks,
+                                         util::Time period);
+
+  /// The fast-kernel min-budget computation (no memo, no events): demand
+  /// precomputed once over the cached checkpoints, then the binary search
+  /// re-runs only supply comparisons. `scratch` backs the wcet/demand
+  /// columns. Bit-identical result to min_budget_edf(tasks, period).
+  std::optional<util::Time> compute_min_budget_fast(
+      std::span<const PTask> tasks, util::Time period,
+      const CheckpointEntry* ck, double total_util, util::Arena& scratch);
+
   std::unordered_map<std::vector<std::int64_t>, std::optional<util::Time>,
                      KeyHash>
       budget_memo_;
+  std::unordered_map<std::vector<std::int64_t>, CheckpointEntry, KeyHash>
+      checkpoint_cache_;
+  TaskArrays soa_;  ///< reusable SoA build buffer for cache fills
+  util::Arena arena_;
+  util::ThreadPool* inner_pool_ = nullptr;
+  int inner_jobs_ = 1;
   util::AllocCounterScope scope_;
 };
 

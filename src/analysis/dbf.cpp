@@ -1,6 +1,7 @@
 #include "analysis/dbf.h"
 
 #include <algorithm>
+#include <queue>
 
 #include "util/error.h"
 #include "util/instrument.h"
@@ -31,15 +32,103 @@ util::Time hyperperiod(std::span<const PTask> tasks) {
 
 std::vector<util::Time> dbf_checkpoints(std::span<const PTask> tasks,
                                         util::Time horizon) {
-  std::vector<util::Time> pts;
+  std::vector<std::int64_t> periods;
+  periods.reserve(tasks.size());
   for (const auto& tk : tasks) {
     VC2M_CHECK(tk.period > util::Time::zero());
-    for (util::Time t = tk.period; t <= horizon; t += tk.period)
-      pts.push_back(t);
+    periods.push_back(tk.period.raw_ns());
   }
-  std::sort(pts.begin(), pts.end());
-  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  std::vector<util::Time> pts;
+  merge_checkpoints(periods, horizon, pts);
   return pts;
+}
+
+void TaskArrays::assign(std::span<const PTask> tasks) {
+  period.clear();
+  wcet.clear();
+  period.reserve(tasks.size());
+  wcet.reserve(tasks.size());
+  total_util = 0;
+  for (const auto& tk : tasks) {
+    VC2M_CHECK(tk.period > util::Time::zero());
+    period.push_back(tk.period.raw_ns());
+    wcet.push_back(tk.wcet.raw_ns());
+    // Same expression as Time::ratio so the sum is bit-identical to
+    // total_utilization() over the same span.
+    total_util += static_cast<double>(tk.wcet.raw_ns()) /
+                  static_cast<double>(tk.period.raw_ns());
+  }
+}
+
+util::Time TaskArrays::hyperperiod() const {
+  util::Time h = util::Time::ns(1);
+  for (const std::int64_t p : period) h = util::lcm(h, util::Time::ns(p));
+  return h;
+}
+
+void demand_at(std::span<const std::int64_t> periods,
+               std::span<const std::int64_t> wcets,
+               std::span<const util::Time> points,
+               std::span<util::Time> out) {
+  VC2M_CHECK(periods.size() == wcets.size());
+  VC2M_CHECK(out.size() >= points.size());
+  if (auto* ctr = util::alloc_counters())
+    ctr->dbf_evaluations += points.size();
+  const std::size_t n = periods.size();
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    const std::int64_t t = points[k].raw_ns();
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) acc += wcets[i] * (t / periods[i]);
+    out[k] = util::Time::ns(acc);
+  }
+}
+
+void merge_checkpoints(std::span<const std::int64_t> periods,
+                       util::Time horizon, std::vector<util::Time>& out) {
+  out.clear();
+  const std::int64_t h = horizon.raw_ns();
+
+  // Deduplicate the period streams (equal periods emit identical multiples)
+  // and count the pre-dedup total so a pathological horizon/period ratio
+  // fails with a clear message instead of attempting a gigabyte push_back
+  // loop. unsigned __int128 keeps the count exact even when a single stream
+  // alone would overflow 64 bits.
+  std::vector<std::int64_t> uniq(periods.begin(), periods.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  unsigned __int128 count = 0;
+  for (const std::int64_t p : uniq) {
+    VC2M_CHECK_MSG(p > 0, "checkpoint stream requires positive periods");
+    count += static_cast<unsigned __int128>(h / p);
+  }
+  VC2M_CHECK_MSG(
+      count <= static_cast<unsigned __int128>(kDbfCheckpointCap),
+      "dbf checkpoint count "
+          << static_cast<double>(count) << " exceeds the cap "
+          << kDbfCheckpointCap
+          << " (horizon/period ratios too extreme — e.g. a 1 ns period "
+             "against a long horizon); refusing to materialize "
+          << static_cast<double>(count) * sizeof(util::Time) * 1e-6
+          << " MB of checkpoints");
+  out.reserve(static_cast<std::size_t>(count));
+
+  // K-way merge of the arithmetic streams (p, 2p, …): pop the smallest next
+  // multiple, emit it once, advance every stream sitting on that value.
+  // Emits sorted + deduplicated directly — no materialize-then-sort.
+  using Head = std::pair<std::int64_t, std::int64_t>;  // (next, step)
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  for (const std::int64_t p : uniq)
+    if (p <= h) heap.push({p, p});
+  std::int64_t last = -1;
+  while (!heap.empty()) {
+    const auto [next, step] = heap.top();
+    heap.pop();
+    if (next != last) {
+      out.push_back(util::Time::ns(next));
+      last = next;
+    }
+    if (next <= h - step) heap.push({next + step, step});
+  }
 }
 
 }  // namespace vc2m::analysis

@@ -98,4 +98,47 @@ std::optional<util::Time> min_budget_edf_bounded(std::span<const PTask> tasks,
   return search_min_budget(tasks, period, u, feasible_hi);
 }
 
+bool curve_schedulable(const DemandCurve& curve, double total_util,
+                       const Prm& prm) {
+  VC2M_CHECK(prm.period > util::Time::zero());
+  VC2M_CHECK(prm.budget >= util::Time::zero() && prm.budget <= prm.period);
+
+  // Long-run rate condition — the identical expression (and epsilon) the
+  // reference path applies, on the identical ordered utilization sum.
+  if (total_util > prm.bandwidth() + 1e-12) return false;
+
+  const std::size_t n = curve.points.size();
+  for (std::size_t k = 0; k < n; ++k)
+    if (curve.demand[k] > prm.sbf(curve.points[k])) return false;
+  return true;
+}
+
+std::optional<util::Time> min_budget_on_curve(const DemandCurve& curve,
+                                              double total_util,
+                                              util::Time period) {
+  VC2M_CHECK(period > util::Time::zero());
+  if (curve.points.empty() && curve.demand.empty() && total_util == 0.0)
+    return util::Time::zero();
+
+  if (total_util > 1.0 + 1e-12) return std::nullopt;
+
+  // Feasible at Θ = Π iff schedulable on a dedicated core.
+  if (!curve_schedulable(curve, total_util, Prm{period, period}))
+    return std::nullopt;
+
+  // Identical bracket and midpoint arithmetic to search_min_budget.
+  util::Time lo = util::Time::ns(static_cast<std::int64_t>(
+      total_util * static_cast<double>(period.raw_ns())));
+  util::Time hi = period;
+  while (lo < hi) {
+    const util::Time mid =
+        util::Time::ns(lo.raw_ns() + (hi.raw_ns() - lo.raw_ns()) / 2);
+    if (curve_schedulable(curve, total_util, Prm{period, mid}))
+      hi = mid;
+    else
+      lo = mid + util::Time::ns(1);
+  }
+  return hi;
+}
+
 }  // namespace vc2m::analysis

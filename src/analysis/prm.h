@@ -56,4 +56,37 @@ std::optional<util::Time> min_budget_edf_bounded(std::span<const PTask> tasks,
                                                  util::Time period,
                                                  util::Time feasible_hi);
 
+// ---------------------------------------------------------------------------
+// Precomputed-demand fast path (the SoA kernels; see docs/performance.md).
+//
+// Inside one min-budget binary search the taskset is fixed: the checkpoint
+// set and the demand at every checkpoint do not depend on the probed Θ.
+// The reference path above nevertheless re-derives both per probe (a fresh
+// dbf_checkpoints allocation + sort, then one dbf() per point). The curve
+// form computes demand once and re-runs only the Θ-dependent sbf
+// comparisons — the verdict of every probe, and therefore the returned
+// minimum, is bit-identical to the reference (integer demand/supply, and
+// the same ordered double sum for the rate condition).
+
+/// One task group's demand, precomputed over the dbf checkpoints of its
+/// (periods, horizon) pair. Both spans borrow caller storage (typically an
+/// AnalysisContext cache + arena).
+struct DemandCurve {
+  std::span<const util::Time> points;  ///< sorted dbf checkpoints
+  std::span<const util::Time> demand;  ///< dbf at each point
+};
+
+/// edf_schedulable_on_prm on a precomputed curve. `total_util` must be
+/// total_utilization() of the same tasks (the bit-identical ordered sum);
+/// `curve` must cover the checkpoints of lcm(hyperperiod, prm.period).
+bool curve_schedulable(const DemandCurve& curve, double total_util,
+                       const Prm& prm);
+
+/// min_budget_edf on a precomputed curve: same probes, same binary-search
+/// arithmetic, same minimum — demand evaluated zero times (the curve
+/// carries it).
+std::optional<util::Time> min_budget_on_curve(const DemandCurve& curve,
+                                              double total_util,
+                                              util::Time period);
+
 }  // namespace vc2m::analysis

@@ -1,5 +1,7 @@
 #include "analysis/schedulability.h"
 
+#include <ranges>
+
 #include "util/error.h"
 #include "util/instrument.h"
 #include "util/time.h"
@@ -8,9 +10,13 @@ namespace vc2m::analysis {
 namespace {
 
 /// Exact Σ Θ/Π ≤ 1 via a common multiple of the periods when it fits;
-/// long-double fallback for pathological period sets.
+/// long-double fallback for pathological period sets. Templated over the
+/// index range so the whole-set overloads can pass an iota view instead of
+/// materializing a fresh index vector per admission test (these run inside
+/// the hv_alloc grant/balance loops).
+template <typename IndexRange>
 bool utilization_at_most_one(std::span<const model::Vcpu> vcpus,
-                             std::span<const std::size_t> on_core, unsigned c,
+                             const IndexRange& on_core, unsigned c,
                              unsigned b) {
   std::int64_t l = 1;
   bool exact = true;
@@ -38,10 +44,8 @@ bool utilization_at_most_one(std::span<const model::Vcpu> vcpus,
   return u <= 1.0L;
 }
 
-std::vector<std::size_t> all_indices(std::size_t n) {
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
-  return idx;
+inline auto all_indices(std::size_t n) {
+  return std::views::iota(std::size_t{0}, n);
 }
 
 }  // namespace
@@ -56,7 +60,10 @@ double core_utilization(std::span<const model::Vcpu> vcpus,
 
 double core_utilization(std::span<const model::Vcpu> vcpus, unsigned c,
                         unsigned b) {
-  return core_utilization(vcpus, all_indices(vcpus.size()), c, b);
+  double u = 0;
+  for (const std::size_t j : all_indices(vcpus.size()))
+    u += vcpus[j].utilization(c, b);
+  return u;
 }
 
 bool core_schedulable(std::span<const model::Vcpu> vcpus,
@@ -72,7 +79,12 @@ bool core_schedulable(std::span<const model::Vcpu> vcpus,
 
 bool core_schedulable(std::span<const model::Vcpu> vcpus, unsigned c,
                       unsigned b) {
-  return core_schedulable(vcpus, all_indices(vcpus.size()), c, b);
+  const bool ok = utilization_at_most_one(vcpus, all_indices(vcpus.size()), c, b);
+  if (auto* ctr = util::alloc_counters()) {
+    ++ctr->admission_tests;
+    ctr->admission_passed += ok ? 1 : 0;
+  }
+  return ok;
 }
 
 void inflate_tasks(model::Taskset& tasks, util::Time per_job) {

@@ -64,6 +64,7 @@ AdmitResult admit_vm(const AdmissionState& current,
   AdmitResult result;
   AdmissionState next = current;
   analysis::AnalysisContext ctx;  // one memo + counter scope per decision
+  ctx.set_inner_parallelism(vm_cfg.inner_pool, vm_cfg.inner_jobs);
 
   // Parameterize the new VM's VCPUs.
   std::vector<std::size_t> idx(vm_tasks.size());

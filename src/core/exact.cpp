@@ -83,13 +83,15 @@ class ExactSearch {
     const unsigned C = platform_.total_cache();
     const unsigned B = platform_.total_bw();
 
-    // dp[k][x] = minimal total bandwidth for the first k cores using
-    // exactly x cache partitions; choice[k][x] = cache given to core k-1.
-    std::vector<std::vector<unsigned>> dp(
-        m + 1, std::vector<unsigned>(C + 1, kInfeasible));
-    std::vector<std::vector<unsigned>> choice(
-        m + 1, std::vector<unsigned>(C + 1, 0));
-    dp[0][0] = 0;
+    // dp[k·(C+1)+x] = minimal total bandwidth for the first k cores using
+    // exactly x cache partitions; choice[k·(C+1)+x] = cache given to core
+    // k-1. Flat row-major buffers reused across candidate partitions — the
+    // DP runs once per complete packing the recursion reaches, and the
+    // two-level vector-of-vectors layout used to dominate its cost.
+    const std::size_t row = C + 1;
+    dp_.assign((m + 1) * row, kInfeasible);
+    choice_.assign((m + 1) * row, 0);
+    dp_[0] = 0;
     for (std::size_t k = 0; k < m; ++k) {
       const Frontier& f = frontier(cores_[k]);
       if (!f.feasible) {
@@ -103,27 +105,31 @@ class ExactSearch {
         }
         return false;
       }
+      const unsigned* dpk = dp_.data() + k * row;
+      unsigned* dpn = dp_.data() + (k + 1) * row;
+      unsigned* chn = choice_.data() + (k + 1) * row;
       for (unsigned x = 0; x <= C; ++x) {
-        if (dp[k][x] == kInfeasible) continue;
+        if (dpk[x] == kInfeasible) continue;
         for (unsigned c = grid_.c_min; c <= grid_.c_max && x + c <= C; ++c) {
           const unsigned need_b = f.min_b[c - grid_.c_min];
           if (need_b == kInfeasible) continue;
-          const unsigned total_b = dp[k][x] + need_b;
-          if (total_b < dp[k + 1][x + c]) {
-            dp[k + 1][x + c] = total_b;
-            choice[k + 1][x + c] = c;
+          const unsigned total_b = dpk[x] + need_b;
+          if (total_b < dpn[x + c]) {
+            dpn[x + c] = total_b;
+            chn[x + c] = c;
           }
         }
       }
     }
+    const unsigned* dpm = dp_.data() + m * row;
     unsigned best_x = C + 1;
     for (unsigned x = 0; x <= C; ++x)
-      if (dp[m][x] <= B && (best_x > C || dp[m][x] < dp[m][best_x]))
+      if (dpm[x] <= B && (best_x > C || dpm[x] < dpm[best_x]))
         best_x = x;
     if (best_x > C) {
       if (auto* log = obs::decision_log()) {
         unsigned min_b = kInfeasible;
-        for (unsigned x = 0; x <= C; ++x) min_b = std::min(min_b, dp[m][x]);
+        for (unsigned x = 0; x <= C; ++x) min_b = std::min(min_b, dpm[x]);
         obs::DecisionEvent e;
         e.kind = obs::DecisionKind::kExactPartition;
         e.constraint = obs::DecisionConstraint::kBwPoolExhausted;
@@ -140,7 +146,7 @@ class ExactSearch {
       e.kind = obs::DecisionKind::kExactPartition;
       e.accepted = true;
       e.value = static_cast<double>(m);
-      e.margin = static_cast<double>(B - dp[m][best_x]);  // spare bandwidth
+      e.margin = static_cast<double>(B - dpm[best_x]);  // spare bandwidth
       log->emit(e);
     }
 
@@ -152,7 +158,7 @@ class ExactSearch {
     out.bw.assign(m, 0);
     unsigned x = best_x;
     for (std::size_t k = m; k > 0; --k) {
-      const unsigned c = choice[k][x];
+      const unsigned c = choice_[k * row + x];
       out.cache[k - 1] = c;
       out.bw[k - 1] =
           frontier(cores_[k - 1]).min_b[c - grid_.c_min];
@@ -197,6 +203,7 @@ class ExactSearch {
   model::ResourceGrid grid_;
   std::vector<std::vector<std::size_t>> cores_;
   std::unordered_map<Mask, Frontier> frontiers_;
+  std::vector<unsigned> dp_, choice_;  ///< flat DP scratch, reused per call
 };
 
 }  // namespace

@@ -141,6 +141,24 @@ ExperimentResult run_schedulability_experiment(
     }
   }
 
+  // One shared intra-solve pool for the whole sweep (when inner parallelism
+  // is requested without a caller-supplied pool): solve() would otherwise
+  // spin up and tear down a transient pool per work item. Outer workers
+  // block on their batch's latch while the inner pool's threads run the
+  // stripes, so the two pools must be distinct — and are.
+  SolveConfig solve_cfg = cfg.solve;
+  std::unique_ptr<util::ThreadPool> shared_inner;
+  if (solve_cfg.inner_jobs != 1 && solve_cfg.inner_pool == nullptr) {
+    const unsigned inner_workers =
+        solve_cfg.inner_jobs == 0
+            ? util::ThreadPool::hardware_workers()
+            : static_cast<unsigned>(solve_cfg.inner_jobs);
+    if (inner_workers > 1) {
+      shared_inner = std::make_unique<util::ThreadPool>(inner_workers);
+      solve_cfg.inner_pool = shared_inner.get();
+    }
+  }
+
   // Per-solution span labels, precomputed so worker threads never build
   // strings on the hot path.
   std::vector<std::string> span_names;
@@ -203,7 +221,7 @@ ExperimentResult run_schedulability_experiment(
               std::optional<obs::DecisionLogScope> rec;
               if (record_decisions) rec.emplace(cell.log);
               const auto res = solve(*strategies[si], tasksets[ti],
-                                     cfg.platform, cfg.solve, solve_rng);
+                                     cfg.platform, solve_cfg, solve_rng);
               cell.schedulable = res.schedulable;
               cell.seconds = res.seconds;
               cell.counters = res.counters;

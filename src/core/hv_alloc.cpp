@@ -129,8 +129,10 @@ bool phase2_resources(CoreState& st, const model::PlatformSpec& platform,
   unsigned pool_b = platform.total_bw() - m * grid.b_min;
 
   std::size_t rr_cursor = 0;  // round-robin state for the ablation policy
+  std::vector<std::size_t> unsched;  // reused across grant iterations
+  unsched.reserve(m);
   while (true) {
-    std::vector<std::size_t> unsched;
+    unsched.clear();
     for (std::size_t i = 0; i < m; ++i)
       if (!sched_of(st, i)) unsched.push_back(i);
     if (unsched.empty()) return true;

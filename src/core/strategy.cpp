@@ -12,6 +12,7 @@
 #include "obs/decision_log.h"
 #include "util/error.h"
 #include "util/phase_profiler.h"
+#include "util/thread_pool.h"
 
 namespace vc2m::core {
 
@@ -282,8 +283,22 @@ SolveResult solve(const Strategy& strategy, const model::Taskset& tasks,
 
   const auto t0 = std::chrono::steady_clock::now();
   SolveResult res;
+  // Transient inner pool for single-solve callers that ask for intra-solve
+  // parallelism without supplying a pool (experiment sweeps share one pool
+  // across all solves instead). Declared before ctx so it outlives it.
+  std::unique_ptr<util::ThreadPool> transient_pool;
+  util::ThreadPool* inner_pool = cfg.inner_pool;
+  const int inner_jobs = cfg.inner_jobs == 0
+                             ? static_cast<int>(util::ThreadPool::hardware_workers())
+                             : cfg.inner_jobs;
+  if (inner_jobs > 1 && inner_pool == nullptr) {
+    transient_pool = std::make_unique<util::ThreadPool>(
+        static_cast<unsigned>(inner_jobs));
+    inner_pool = transient_pool.get();
+  }
   {
     analysis::AnalysisContext ctx;  // shared by both levels; owns counters
+    ctx.set_inner_parallelism(inner_pool, inner_jobs);
     if (auto* log = obs::decision_log()) {
       obs::DecisionEvent e;
       e.kind = obs::DecisionKind::kSolveBegin;

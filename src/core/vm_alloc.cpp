@@ -41,6 +41,69 @@ model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
   v.tasks.assign(idx.begin(), idx.end());
   v.budget = model::WcetFn(grid);
 
+  const auto emit_point = [&](unsigned c, unsigned b,
+                              std::span<const analysis::PTask> ptasks,
+                              const std::optional<util::Time>& theta) {
+    auto* log = obs::decision_log();
+    if (!log) return;
+    obs::DecisionEvent e;
+    e.kind = obs::DecisionKind::kBudgetPoint;
+    e.vm = v.vm;
+    e.cache = static_cast<std::int32_t>(c);
+    e.bw = static_cast<std::int32_t>(b);
+    if (theta) {
+      e.accepted = true;
+      e.value = theta->ratio(pi);   // budget fraction Θ/Π
+      e.margin = 1.0 - e.value;     // headroom to a fully-loaded VCPU
+    } else {
+      // Θ ≥ u·Π is a lower bound on any feasible budget, so the cell is
+      // short by at least u − 1 budget fractions.
+      double u = 0;
+      for (const auto& t : ptasks) u += t.wcet.ratio(t.period);
+      e.constraint = obs::DecisionConstraint::kNoFeasibleBudget;
+      e.value = u;
+      e.margin = std::max(0.0, u - 1.0);
+    }
+    log->emit(e);
+  };
+
+  if (analysis::fast_kernels_enabled()) {
+    // Fast path: materialize every grid cell's task view in the context
+    // arena and answer the whole budget surface in one batch (shared
+    // checkpoint stream, optional inner-parallel striping). Decision
+    // events are replayed serially below in the legacy cell order and
+    // interleaving: [kBudgetSearch iff that cell ran a fresh search]
+    // then kBudgetPoint, per cell.
+    const std::size_t nc = grid.c_max - grid.c_min + 1u;
+    const std::size_t nb = grid.b_max - grid.b_min + 1u;
+    const std::size_t cells = nc * nb;
+    util::Arena::Scope mark(ctx.arena());
+    auto cell_tasks =
+        ctx.arena().alloc_array<analysis::PTask>(cells * idx.size());
+    auto queries =
+        ctx.arena().alloc_array<std::span<const analysis::PTask>>(cells);
+    std::size_t cell = 0;
+    for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
+      for (unsigned b = grid.b_min; b <= grid.b_max; ++b, ++cell) {
+        analysis::PTask* dst = cell_tasks.data() + cell * idx.size();
+        for (std::size_t k = 0; k < idx.size(); ++k)
+          dst[k] = {tasks[idx[k]].period, tasks[idx[k]].wcet.at(c, b)};
+        queries[cell] = {dst, idx.size()};
+      }
+    const auto res = ctx.min_budget_batch(queries, pi);
+    cell = 0;
+    for (unsigned c = grid.c_min; c <= grid.c_max; ++c)
+      for (unsigned b = grid.b_min; b <= grid.b_max; ++b, ++cell) {
+        const auto& r = res[cell];
+        v.budget.set(c, b, r.theta ? *r.theta : pi * 2);
+        if (r.searched)
+          analysis::AnalysisContext::emit_budget_search(queries[cell], pi,
+                                                        r.theta);
+        emit_point(c, b, queries[cell], r.theta);
+      }
+    return v;
+  }
+
   std::vector<analysis::PTask> ptasks(idx.size());
   // Budget surfaces are non-increasing in c and b (WCET surfaces are
   // monotone), so the budget already found at (c−1, b) or (c, b−1) is a
@@ -57,27 +120,7 @@ model::Vcpu vcpu_existing_csa(const model::Taskset& tasks,
       if (up && (!hint || *up < *hint)) hint = up;
       const auto theta = ctx.min_budget(ptasks, pi, hint);
       v.budget.set(c, b, theta ? *theta : pi * 2);
-      if (auto* log = obs::decision_log()) {
-        obs::DecisionEvent e;
-        e.kind = obs::DecisionKind::kBudgetPoint;
-        e.vm = v.vm;
-        e.cache = static_cast<std::int32_t>(c);
-        e.bw = static_cast<std::int32_t>(b);
-        if (theta) {
-          e.accepted = true;
-          e.value = theta->ratio(pi);   // budget fraction Θ/Π
-          e.margin = 1.0 - e.value;     // headroom to a fully-loaded VCPU
-        } else {
-          // Θ ≥ u·Π is a lower bound on any feasible budget, so the cell is
-          // short by at least u − 1 budget fractions.
-          double u = 0;
-          for (const auto& t : ptasks) u += t.wcet.ratio(t.period);
-          e.constraint = obs::DecisionConstraint::kNoFeasibleBudget;
-          e.value = u;
-          e.margin = std::max(0.0, u - 1.0);
-        }
-        log->emit(e);
-      }
+      emit_point(c, b, ptasks, theta);
       left = theta;
       prev_row[b - grid.b_min] = theta;
     }

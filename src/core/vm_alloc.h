@@ -27,6 +27,10 @@
 #include "model/task.h"
 #include "util/rng.h"
 
+namespace vc2m::util {
+class ThreadPool;
+}
+
 namespace vc2m::core {
 
 enum class VcpuAnalysis {
@@ -41,6 +45,13 @@ struct VmAllocConfig {
   /// Number of slowdown classes for KMeans (clamped to min(m, #tasks)).
   std::size_t clusters = 4;
   VcpuAnalysis analysis = VcpuAnalysis::kRegulated;
+  /// Intra-decision parallelism for paths that build their own context
+  /// (admission): stripes for the min-budget surface batches (1 = serial,
+  /// 0 = hardware) over `inner_pool` (borrowed; results are bit-identical
+  /// at any setting, see docs/performance.md). Ignored when the caller
+  /// supplies an AnalysisContext — configure that context instead.
+  int inner_jobs = 1;
+  util::ThreadPool* inner_pool = nullptr;
 };
 
 /// Compute the existing-CSA (PRM) VCPU for the tasks at `idx`: Π = the

@@ -99,8 +99,12 @@ bool counter_exempt(const std::string& name) {
     return name.size() >= suf.size() &&
            name.compare(name.size() - suf.size(), suf.size(), suf) == 0;
   };
+  // arena_bytes tracks scratch reuse (higher = more work routed through the
+  // arena, not more effort); inner_tasks counts batched queries, which the
+  // legacy kernels report as zero.
   return ends_with("cache_hits") || ends_with("passed") ||
-         ends_with("final_shift");
+         ends_with("final_shift") || ends_with("arena_bytes") ||
+         ends_with("inner_tasks");
 }
 
 }  // namespace
@@ -162,6 +166,9 @@ void set_counters(BenchReport& r, const util::AllocCounters& c) {
       static_cast<double>(c.budget_evaluations);
   r.counters["budget_cache_hits"] = static_cast<double>(c.budget_cache_hits);
   r.counters["load_cache_hits"] = static_cast<double>(c.load_cache_hits);
+  r.counters["arena_bytes"] = static_cast<double>(c.arena_bytes);
+  r.counters["soa_rebuilds"] = static_cast<double>(c.soa_rebuilds);
+  r.counters["inner_tasks"] = static_cast<double>(c.inner_tasks);
   r.counters["candidate_packings"] =
       static_cast<double>(c.candidate_packings);
   r.counters["partition_grants"] = static_cast<double>(c.partition_grants);

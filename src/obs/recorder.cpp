@@ -122,6 +122,9 @@ void record_alloc_counters(MetricsRegistry& registry,
   registry.counter("alloc.budget_evaluations").inc(counters.budget_evaluations);
   registry.counter("alloc.budget_cache_hits").inc(counters.budget_cache_hits);
   registry.counter("alloc.load_cache_hits").inc(counters.load_cache_hits);
+  registry.counter("alloc.arena_bytes").inc(counters.arena_bytes);
+  registry.counter("alloc.soa_rebuilds").inc(counters.soa_rebuilds);
+  registry.counter("alloc.inner_tasks").inc(counters.inner_tasks);
   registry.counter("alloc.candidate_packings").inc(counters.candidate_packings);
   registry.counter("alloc.partition_grants").inc(counters.partition_grants);
   registry.counter("alloc.vcpu_migrations").inc(counters.vcpu_migrations);

@@ -103,6 +103,9 @@ void write_report(std::ostream& os, const sim::SimConfig& cfg,
     t.add_row("min-budget searches", alloc->budget_evaluations);
     t.add_row("budget memo hits", alloc->budget_cache_hits);
     t.add_row("core-load memo hits", alloc->load_cache_hits);
+    t.add_row("arena bytes", alloc->arena_bytes);
+    t.add_row("checkpoint set builds", alloc->soa_rebuilds);
+    t.add_row("batched budget queries", alloc->inner_tasks);
     t.add_row("partition grants", alloc->partition_grants);
     t.add_row("vcpu migrations", alloc->vcpu_migrations);
     t.add_row("VM-level alloc seconds", fmt(alloc->vm_alloc_seconds, 6));

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <sstream>
 
@@ -18,6 +19,7 @@
 #include "util/error.h"
 #include "util/instrument.h"
 #include "util/log_histogram.h"
+#include "util/thread_pool.h"
 
 namespace vc2m::service {
 
@@ -559,7 +561,25 @@ bool load_snapshot(const std::string& path, const std::string& digest,
 // ---------------------------------------------------------------------------
 // run_service
 
-ServiceResult run_service(const ServiceConfig& cfg) {
+ServiceResult run_service(const ServiceConfig& cfg_in) {
+  ServiceConfig cfg = cfg_in;
+  // Single-decision service path: admissions solve one surface at a time,
+  // so stripe them over a service-lifetime inner pool when the platform has
+  // spare hardware threads (verdicts and journal digests are bit-identical
+  // at any inner-jobs value; the digest does not cover vm_cfg).
+  std::unique_ptr<util::ThreadPool> inner_pool;
+  if (cfg.vm_cfg.inner_pool == nullptr && cfg.vm_cfg.inner_jobs != 1) {
+    const unsigned w = cfg.vm_cfg.inner_jobs == 0
+                           ? util::ThreadPool::hardware_workers()
+                           : static_cast<unsigned>(cfg.vm_cfg.inner_jobs);
+    if (w > 1) {
+      inner_pool = std::make_unique<util::ThreadPool>(w);
+      cfg.vm_cfg.inner_pool = inner_pool.get();
+      cfg.vm_cfg.inner_jobs = static_cast<int>(w);
+    } else {
+      cfg.vm_cfg.inner_jobs = 1;
+    }
+  }
   ServiceResult result;
   const auto trace = generate_trace(cfg.trace, cfg.seed);
   const std::string digest = config_digest(cfg);

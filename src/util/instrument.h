@@ -37,6 +37,16 @@ struct AllocCounters {
   std::uint64_t partition_grants = 0;    ///< Phase-2 cache/BW grants
   std::uint64_t vcpu_migrations = 0;     ///< Phase-3 moves
 
+  // SoA / arena / intra-solve-parallel kernels (analysis fast path). All
+  // three are deterministic at any --jobs / --inner-jobs: arena_bytes counts
+  // rounded allocation *requests* (a pure function of the work, unlike
+  // high-water marks), soa_rebuilds counts checkpoint/SoA cache entries
+  // built, inner_tasks counts min-budget cells processed by the batch
+  // engine whether they ran serially or striped over the pool.
+  std::uint64_t arena_bytes = 0;    ///< bytes served by scratch arenas
+  std::uint64_t soa_rebuilds = 0;   ///< checkpoint/SoA cache builds
+  std::uint64_t inner_tasks = 0;    ///< batched min-budget cells computed
+
   // Per-phase wall time (seconds).
   double vm_alloc_seconds = 0;
   double hv_alloc_seconds = 0;
@@ -54,6 +64,9 @@ struct AllocCounters {
     candidate_packings += o.candidate_packings;
     partition_grants += o.partition_grants;
     vcpu_migrations += o.vcpu_migrations;
+    arena_bytes += o.arena_bytes;
+    soa_rebuilds += o.soa_rebuilds;
+    inner_tasks += o.inner_tasks;
     vm_alloc_seconds += o.vm_alloc_seconds;
     hv_alloc_seconds += o.hv_alloc_seconds;
   }

@@ -12,6 +12,8 @@
 #include <numeric>
 #include <ostream>
 
+#include "util/error.h"
+
 namespace vc2m::util {
 
 /// A point in time or a span of time, in integer nanoseconds.
@@ -76,10 +78,23 @@ inline std::ostream& operator<<(std::ostream& os, Time t) {
 constexpr Time min(Time a, Time b) { return a < b ? a : b; }
 constexpr Time max(Time a, Time b) { return a > b ? a : b; }
 
-/// Least common multiple of two periods (hyperperiod building block).
+/// Least common multiple of two positive periods (hyperperiod building
+/// block). Adversarial period sets (large mutually-prime values) can push
+/// the LCM past 64-bit range; that used to wrap silently into a bogus small
+/// horizon, so the product is now checked and overflow fails loudly.
 constexpr Time lcm(Time a, Time b) {
+  VC2M_CHECK_MSG(a.raw_ns() > 0 && b.raw_ns() > 0,
+                 "lcm requires positive periods (got " << a << ", " << b
+                                                       << ")");
   const std::int64_t g = std::gcd(a.raw_ns(), b.raw_ns());
-  return Time::ns(a.raw_ns() / g * b.raw_ns());
+  const std::int64_t q = a.raw_ns() / g;
+  VC2M_CHECK_MSG(
+      q <= std::numeric_limits<std::int64_t>::max() / b.raw_ns(),
+      "hyperperiod overflow: lcm(" << a << ", " << b
+                                   << ") exceeds 64-bit nanoseconds — the "
+                                      "periods are too close to mutually "
+                                      "prime for an exact analysis horizon");
+  return Time::ns(q * b.raw_ns());
 }
 
 /// Round `t` up to the next multiple of `step` (step > 0).

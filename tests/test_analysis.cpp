@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "analysis/dbf.h"
@@ -72,6 +73,50 @@ TEST(Dbf, HyperperiodLcm) {
   const std::vector<PTask> ts{{Time::ms(10), Time::ms(1)},
                               {Time::ms(25), Time::ms(1)}};
   EXPECT_EQ(hyperperiod(ts), Time::ms(50));
+}
+
+TEST(Dbf, CheckpointCapRejectsPathologicalPeriodHorizonRatios) {
+  // A 1 ns period against a 100 ms horizon means 10⁸ pre-dedup points
+  // (~800 MB of Time values). The cap must refuse before allocating, for
+  // both the reference enumerator and the SoA k-way merge.
+  const std::vector<PTask> ts{{Time::ns(1), Time::ns(1)},
+                              {Time::ms(10), Time::ms(1)}};
+  EXPECT_THROW(dbf_checkpoints(ts, Time::ms(100)), util::Error);
+
+  const std::vector<std::int64_t> periods{1, Time::ms(10).raw_ns()};
+  std::vector<Time> out;
+  EXPECT_THROW(merge_checkpoints(periods, Time::ms(100), out), util::Error);
+
+  // Just under the cap still works: a single 1 us period over 1 s is 10⁶
+  // points, well inside 2²².
+  const std::vector<PTask> ok{{Time::us(1), Time::ns(10)}};
+  EXPECT_EQ(dbf_checkpoints(ok, Time::sec(1)).size(), 1'000'000u);
+}
+
+TEST(Dbf, SoaKernelsMatchReferenceKernels) {
+  // TaskArrays + merge_checkpoints + demand_at must reproduce the
+  // reference span-of-PTask kernels exactly on an awkward period mix
+  // (duplicates, coprime pairs, a task whose period exceeds the horizon).
+  const std::vector<PTask> ts{{Time::ms(10), Time::ms(2)},
+                              {Time::ms(10), Time::ms(1)},
+                              {Time::ms(15), Time::ms(4)},
+                              {Time::ms(7), Time::us(1500)},
+                              {Time::sec(2), Time::ms(100)}};
+  TaskArrays soa;
+  soa.assign(ts);
+  EXPECT_DOUBLE_EQ(soa.total_util, total_utilization(ts));
+  EXPECT_EQ(soa.hyperperiod(), hyperperiod(ts));
+
+  const Time horizon = Time::ms(420);
+  const auto ref_points = dbf_checkpoints(ts, horizon);
+  std::vector<Time> points;
+  merge_checkpoints(soa.period, horizon, points);
+  EXPECT_EQ(points, ref_points);
+
+  std::vector<Time> demand(points.size());
+  demand_at(soa.period, soa.wcet, points, demand);
+  for (std::size_t k = 0; k < points.size(); ++k)
+    EXPECT_EQ(demand[k], dbf(ts, points[k])) << "at " << points[k];
 }
 
 // ----------------------------------------------------------------- PRM ----
@@ -149,6 +194,49 @@ TEST(Prm, FullBandwidthTasksetNeedsFullProcessor) {
   const auto theta = min_budget_edf(ts, Time::ms(10));
   ASSERT_TRUE(theta.has_value());
   EXPECT_EQ(*theta, Time::ms(10));
+}
+
+TEST(Prm, MinBudgetOnCurveMatchesReferenceSearchEverywhere) {
+  // The fast path (precomputed checkpoints + demand, then the identical
+  // binary search) must return the reference minimum bit-for-bit across a
+  // spread of periods, utilizations, and infeasible sets.
+  const Time pi = Time::ms(10);
+  std::vector<std::vector<PTask>> cases;
+  cases.push_back({});  // empty set
+  cases.push_back({{Time::ms(10), Time::ms(10)}});  // U = 1 exactly
+  cases.push_back({{Time::ms(10), Time::ms(11)}});  // infeasible
+  cases.push_back({{Time::ms(100), Time::us(137)}});
+  cases.push_back({{Time::ms(10), Time::ms(2)},
+                   {Time::ms(15), Time::ms(3)},
+                   {Time::ms(35), Time::us(4200)}});
+  cases.push_back({{Time::ms(7), Time::us(900)},
+                   {Time::ms(21), Time::ms(5)},
+                   {Time::ms(12), Time::us(3100)},
+                   {Time::ms(12), Time::us(250)}});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& ts = cases[i];
+    const auto ref = min_budget_edf(ts, pi);
+
+    std::optional<Time> fast;
+    if (ts.empty()) {
+      fast = min_budget_on_curve(DemandCurve{}, 0.0, pi);
+    } else {
+      TaskArrays soa;
+      soa.assign(ts);
+      std::vector<Time> points;
+      if (soa.total_util <= 1.0 + 1e-12)
+        merge_checkpoints(soa.period, util::lcm(soa.hyperperiod(), pi),
+                          points);
+      std::vector<Time> demand(points.size());
+      demand_at(soa.period, soa.wcet, points, demand);
+      fast = min_budget_on_curve(DemandCurve{points, demand}, soa.total_util,
+                                 pi);
+    }
+    ASSERT_EQ(fast.has_value(), ref.has_value()) << "case " << i;
+    if (ref) {
+      EXPECT_EQ(*fast, *ref) << "case " << i;
+    }
+  }
 }
 
 // A parameterized sweep: the abstraction overhead (Θ/Π vs utilization) of a

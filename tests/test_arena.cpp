@@ -1,0 +1,169 @@
+// Arena bump-allocator suite: alignment, reset/rewind semantics, the
+// large-block fallback, and allocation-pattern reuse (the steady-state
+// "no heap traffic after warm-up" property the analysis hot path relies
+// on). The suite runs under ASan in scripts/check.sh, so the reuse tests
+// double as use-after-rewind poison checks: every byte written here is
+// within spans the arena currently considers live.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/error.h"
+#include "util/instrument.h"
+
+namespace {
+
+using vc2m::util::AllocCounterScope;
+using vc2m::util::Arena;
+using vc2m::util::ArenaAllocator;
+
+TEST(Arena, AlignmentHonoredForEveryPowerOfTwo) {
+  Arena arena(256);
+  // Interleave odd sizes with aligned requests so the bump pointer is
+  // frequently misaligned right before an aligned allocation.
+  for (std::size_t align = 1; align <= Arena::kMaxAlign; align *= 2) {
+    for (int i = 0; i < 16; ++i) {
+      arena.allocate(3);
+      void* p = arena.allocate(align * 2, align);
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+          << "align=" << align << " i=" << i;
+    }
+  }
+}
+
+TEST(Arena, TypedArraysAreAlignedAndDisjoint) {
+  Arena arena(128);
+  const auto a = arena.alloc_array<std::int64_t>(10);
+  const auto b = arena.alloc_array<double>(10);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a.data()) %
+                alignof(std::int64_t),
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % alignof(double), 0u);
+  // Fill both fully; overlapping spans would corrupt each other.
+  for (std::size_t i = 0; i < 10; ++i) a[i] = static_cast<std::int64_t>(i);
+  for (std::size_t i = 0; i < 10; ++i) b[i] = 0.5 * static_cast<double>(i);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(a[i], static_cast<std::int64_t>(i));
+}
+
+TEST(Arena, ResetKeepsCapacityAndReusesChunks) {
+  Arena arena(1024);
+  for (int i = 0; i < 8; ++i) arena.allocate(512);
+  const std::size_t warm_capacity = arena.capacity();
+  EXPECT_GT(warm_capacity, 0u);
+  EXPECT_GT(arena.in_use(), 0u);
+
+  arena.reset();
+  EXPECT_EQ(arena.in_use(), 0u);
+  EXPECT_EQ(arena.capacity(), warm_capacity) << "reset released chunks";
+
+  // The steady-state property: repeating the identical allocation pattern
+  // after reset must be served entirely from the warm chunks.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      auto span = arena.alloc_array<std::byte>(512);
+      std::memset(span.data(), round, span.size());
+    }
+    EXPECT_EQ(arena.capacity(), warm_capacity) << "round " << round;
+    arena.reset();
+  }
+}
+
+TEST(Arena, ScopeRewindsToMarkAndNests) {
+  Arena arena(256);
+  auto outer = arena.alloc_array<std::int32_t>(8);
+  outer[0] = 41;
+  const std::size_t at_mark = arena.in_use();
+  {
+    Arena::Scope mark(arena);
+    arena.allocate(1000);  // spills into further chunks
+    {
+      Arena::Scope inner(arena);
+      arena.allocate(2000);
+      EXPECT_GT(arena.in_use(), at_mark);
+    }
+    arena.allocate(64);
+  }
+  EXPECT_EQ(arena.in_use(), at_mark);
+  EXPECT_EQ(outer[0], 41) << "rewind touched memory allocated before the mark";
+
+  // Allocations after the rewind reuse the reclaimed space: repeating the
+  // identical (nested) pattern under fresh scopes must be served entirely
+  // from the warm chunks.
+  const std::size_t warm_capacity = arena.capacity();
+  for (int round = 0; round < 4; ++round) {
+    Arena::Scope round_mark(arena);
+    arena.allocate(1000);
+    {
+      Arena::Scope inner(arena);
+      arena.allocate(2000);
+    }
+    arena.allocate(64);
+    EXPECT_EQ(arena.capacity(), warm_capacity) << "round " << round;
+  }
+}
+
+TEST(Arena, LargeBlockFallbackServesOversizedRequests) {
+  Arena arena(64);
+  // Much larger than the chunk size: must succeed with a dedicated chunk of
+  // exactly the rounded request, not a multiple of 64.
+  const std::size_t big = 64 * 1024 + 13;
+  auto span = arena.alloc_array<std::byte>(big);
+  ASSERT_EQ(span.size(), big);
+  std::memset(span.data(), 0xAB, span.size());  // ASan checks the bounds
+  EXPECT_EQ(std::to_integer<int>(span[big - 1]), 0xAB);
+  EXPECT_GE(arena.in_use(), big);
+
+  // Small allocations continue to work after the oversized chunk, and a
+  // reset brings the oversized chunk back into rotation.
+  auto small = arena.alloc_array<std::int64_t>(4);
+  small[3] = 7;
+  arena.reset();
+  auto again = arena.alloc_array<std::byte>(big);
+  std::memset(again.data(), 0xCD, again.size());
+  EXPECT_EQ(arena.capacity(), arena.capacity());
+  EXPECT_EQ(arena.high_water(), arena.high_water());
+}
+
+TEST(Arena, ZeroByteAllocationsAreValidAndDistinctFromCrash) {
+  Arena arena;
+  void* p = arena.allocate(0);
+  EXPECT_NE(p, nullptr);
+  // Must not advance past the chunk or crash on repetition.
+  for (int i = 0; i < 100; ++i) EXPECT_NE(arena.allocate(0), nullptr);
+}
+
+TEST(Arena, CountsRoundedBytesDeterministically) {
+  AllocCounterScope scope;
+  Arena arena(128);
+  arena.allocate(10, 8);  // rounds to 16
+  arena.allocate(8, 8);   // exact
+  EXPECT_EQ(scope.counters().arena_bytes, 24u);
+
+  // The count is a pure function of the requests: repeating the pattern on
+  // a warm arena (no new chunks) adds exactly the same number of bytes.
+  arena.reset();
+  arena.allocate(10, 8);
+  arena.allocate(8, 8);
+  EXPECT_EQ(scope.counters().arena_bytes, 48u);
+}
+
+TEST(Arena, AllocatorAdaptorBacksStdVector) {
+  Arena arena;
+  std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(arena)};
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_GT(arena.in_use(), 1000 * sizeof(int))
+      << "growth reallocations should all have come from the arena";
+}
+
+TEST(Arena, RejectsUnsupportedAlignment) {
+  Arena arena;
+  EXPECT_THROW(arena.allocate(8, Arena::kMaxAlign * 2), vc2m::util::Error);
+  EXPECT_THROW(arena.allocate(8, 3), vc2m::util::Error);
+}
+
+}  // namespace

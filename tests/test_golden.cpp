@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/context.h"
 #include "core/admission.h"
 #include "core/exact.h"
 #include "core/experiment.h"
@@ -127,7 +128,7 @@ std::vector<std::string> exact_lines() {
 // ---------------------------------------------------------------------------
 // Sweep section (Fig. 2-shaped, must be jobs-independent)
 
-core::ExperimentConfig sweep_config(int jobs) {
+core::ExperimentConfig sweep_config(int jobs, int inner_jobs = 1) {
   core::ExperimentConfig cfg;
   cfg.platform = model::PlatformSpec::A();
   cfg.dist = workload::UtilDist::kUniform;
@@ -137,6 +138,7 @@ core::ExperimentConfig sweep_config(int jobs) {
   cfg.tasksets_per_point = 3;
   cfg.seed = 20260806;
   cfg.jobs = jobs;
+  cfg.solve.inner_jobs = inner_jobs;
   return cfg;
 }
 
@@ -145,10 +147,11 @@ struct SweepRun {
   util::AllocCounters effort;           ///< totals over the whole sweep
 };
 
-SweepRun run_sweep(int jobs) {
+SweepRun run_sweep(int jobs, int inner_jobs = 1) {
   SweepRun out;
   util::AllocCounterScope scope;
-  const auto result = core::run_schedulability_experiment(sweep_config(jobs));
+  const auto result =
+      core::run_schedulability_experiment(sweep_config(jobs, inner_jobs));
   out.effort = scope.counters();
   for (const auto& pt : result.points) {
     std::ostringstream os;
@@ -215,5 +218,73 @@ INSTANTIATE_TEST_SUITE_P(Jobs, GoldenSweepTest, ::testing::Values(1, 2, 8),
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "jobs" + std::to_string(info.param);
                          });
+
+// ---------------------------------------------------------------------------
+// Fast-path determinism grid: the SoA + arena + inner-parallel engine must
+// be bit-identical to the golden sweep at every (--jobs, --inner-jobs)
+// combination, including the effort counters the perfdiff gate compares
+// (budget_evaluations = memoization misses in serial query order).
+
+/// The serial single-threaded run is the reference every grid cell (and the
+/// legacy-kernel run below) must match exactly. Computed once.
+const SweepRun& reference_sweep() {
+  static const SweepRun ref = run_sweep(1, 1);
+  return ref;
+}
+
+class GoldenSweepGridTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GoldenSweepGridTest, SweepAndCountersBitIdenticalAtAnyInnerJobs) {
+  if (capture_mode()) GTEST_SKIP() << "capture handled by GoldenEquivalence";
+  const GoldenFile g = load_golden();
+  ASSERT_TRUE(g.loaded) << "golden file missing: " << kGoldenFile;
+  const auto [jobs, inner] = GetParam();
+  const SweepRun run = run_sweep(jobs, inner);
+  expect_lines_equal(g.sweep, run.lines, "sweep");
+
+  const SweepRun& ref = reference_sweep();
+  EXPECT_EQ(run.effort.budget_evaluations, ref.effort.budget_evaluations)
+      << "budget searches depend on jobs=" << jobs << " inner=" << inner;
+  EXPECT_EQ(run.effort.budget_cache_hits, ref.effort.budget_cache_hits);
+  EXPECT_EQ(run.effort.dbf_evaluations, ref.effort.dbf_evaluations);
+  EXPECT_EQ(run.effort.arena_bytes, ref.effort.arena_bytes);
+  EXPECT_EQ(run.effort.soa_rebuilds, ref.effort.soa_rebuilds);
+  EXPECT_EQ(run.effort.inner_tasks, ref.effort.inner_tasks);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    JobsByInner, GoldenSweepGridTest,
+    ::testing::Values(std::pair{1, 2}, std::pair{1, 8}, std::pair{2, 2},
+                      std::pair{2, 8}, std::pair{8, 1}, std::pair{8, 8}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+      return "jobs" + std::to_string(info.param.first) + "_inner" +
+             std::to_string(info.param.second);
+    });
+
+TEST(GoldenEquivalence, FastKernelsMatchLegacyKernelsExactly) {
+  if (capture_mode()) GTEST_SKIP() << "capture handled by GoldenEquivalence";
+  const GoldenFile g = load_golden();
+  ASSERT_TRUE(g.loaded) << "golden file missing: " << kGoldenFile;
+  const SweepRun& fast = reference_sweep();
+
+  analysis::set_fast_kernels(false);
+  const SweepRun legacy = run_sweep(1, 1);
+  analysis::set_fast_kernels(true);
+
+  expect_lines_equal(g.sweep, legacy.lines, "sweep(legacy kernels)");
+  // The memo-miss count is layout-independent: both engines consult the
+  // same per-context memo in the same serial query order.
+  EXPECT_EQ(fast.effort.budget_evaluations, legacy.effort.budget_evaluations);
+  EXPECT_EQ(fast.effort.budget_cache_hits, legacy.effort.budget_cache_hits);
+  // The fast path's whole point: checkpoint reuse must make it do strictly
+  // less demand-bound work than the hinted per-cell searches.
+  EXPECT_LT(fast.effort.dbf_evaluations, legacy.effort.dbf_evaluations);
+  // Legacy kernels never touch the arena or the checkpoint cache.
+  EXPECT_EQ(legacy.effort.arena_bytes, 0u);
+  EXPECT_EQ(legacy.effort.soa_rebuilds, 0u);
+  EXPECT_GT(fast.effort.arena_bytes, 0u);
+  EXPECT_GT(fast.effort.soa_rebuilds, 0u);
+}
 
 }  // namespace

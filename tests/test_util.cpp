@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 #include <sstream>
 #include <vector>
@@ -53,6 +54,22 @@ TEST(Time, ConversionHelpers) {
 TEST(Time, LcmOfHarmonicPairIsLargerPeriod) {
   EXPECT_EQ(lcm(Time::ms(100), Time::ms(400)), Time::ms(400));
   EXPECT_EQ(lcm(Time::ms(6), Time::ms(4)), Time::ms(12));
+}
+
+TEST(Time, LcmOverflowFailsLoudlyInsteadOfWrapping) {
+  // 2^62 ns and a coprime 3 ns: the true LCM (3·2^62) exceeds 64-bit
+  // nanoseconds. The old implementation wrapped silently into a bogus
+  // small horizon; now the product check must throw.
+  const Time big = Time::ns(std::int64_t{1} << 62);
+  EXPECT_THROW(lcm(big, Time::ns(3)), Error);
+  EXPECT_THROW(lcm(Time::ns(3), big), Error);
+  // The same magnitude with a harmonic partner stays exact and in range.
+  EXPECT_EQ(lcm(big, Time::ns(2)), big);
+}
+
+TEST(Time, LcmRejectsNonPositivePeriods) {
+  EXPECT_THROW(lcm(Time::zero(), Time::ms(1)), Error);
+  EXPECT_THROW(lcm(Time::ms(1), Time::ns(-5)), Error);
 }
 
 TEST(Time, RoundUp) {

@@ -174,6 +174,9 @@ struct Args {
   double util_lo = 0.1;
   double util_hi = 2.0;
   int jobs = 0;  ///< sweep worker threads; 0 = hardware concurrency
+  /// Intra-solve stripes for the min-budget surface batches; 1 = serial,
+  /// 0 = hardware. Bit-identical results at any value.
+  int inner_jobs = 1;
   // fault injection (simulate + experiment)
   std::string faults;            ///< sim/faults.h spec, empty = none
   std::string policy = "strict"; ///< enforcement policy name
@@ -183,6 +186,7 @@ struct Args {
   bool profile = false;          ///< render the phase tree after the run
   std::string pool_trace;        ///< experiment: counter-track trace file
   std::string max_regress;       ///< perfdiff threshold, "10%" or "0.1"
+  std::string min_abs_sec;       ///< perfdiff noise floor for time deltas
   // explain
   std::string json_out;          ///< write the explain report here
   bool events = false;           ///< render every recorded decision event
@@ -222,7 +226,7 @@ struct Args {
                "                    [--json out.json] [--events]\n"
                "       vc2m check --trace out.json|out.csv\n"
                "       vc2m perfdiff base.json current.json "
-               "[--max-regress 10%|0.1]\n"
+               "[--max-regress 10%|0.1] [--min-abs-sec S]\n"
                "       vc2m serve --trace SPEC [--platform P] [--seed S]\n"
                "                  [--journal FILE] [--recover] "
                "[--snapshot-every N]\n"
@@ -242,7 +246,7 @@ struct Args {
                "[--seed S]\n"
                "                       [--tasksets N] [--step S] "
                "[--util-lo U] [--util-hi U]\n"
-               "                       [--jobs N] "
+               "                       [--jobs N] [--inner-jobs N] "
                "[--solutions NAME[,NAME...]]\n"
                "                       [--faults SPEC] "
                "[--policy P] [--fault-horizon H]\n"
@@ -322,6 +326,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--util-lo") a.util_lo = double_flag(arg, next());
     else if (arg == "--util-hi") a.util_hi = double_flag(arg, next());
     else if (arg == "--jobs") a.jobs = int_flag(arg, next());
+    else if (arg == "--inner-jobs") a.inner_jobs = int_flag(arg, next());
     else if (arg == "--faults") a.faults = next();
     else if (arg == "--policy") a.policy = next();
     else if (arg == "--fault-horizon") a.fault_horizon = int_flag(arg, next());
@@ -329,6 +334,7 @@ Args parse(int argc, char** argv) {
     else if (arg == "--profile") a.profile = true;
     else if (arg == "--pool-trace") a.pool_trace = next();
     else if (arg == "--max-regress") a.max_regress = next();
+    else if (arg == "--min-abs-sec") a.min_abs_sec = next();
     else if (arg == "--json") a.json_out = next();
     else if (arg == "--events") a.events = true;
     else if (arg == "--shard") a.shard = next();
@@ -549,8 +555,12 @@ int cmd_explain(const Args& a) {
   const auto tasks = workload::read_taskset_csv(file, platform.grid);
   const auto& strat = strategy_of(a.solution);
   util::Rng rng(a.seed);
+  // Single-solve path: stripe the min-budget surface search over the
+  // hardware threads (bit-identical results at any inner-jobs value).
+  core::SolveConfig scfg;
+  scfg.inner_jobs = 0;
   const auto report =
-      obs::explain_solve(strat, tasks, platform, {}, rng);
+      obs::explain_solve(strat, tasks, platform, scfg, rng);
   obs::render_explain(std::cout, report, a.events);
   if (!a.json_out.empty()) {
     obs::write_explain_report_file(a.json_out, report);
@@ -650,6 +660,8 @@ int cmd_simulate(const Args& a) {
 int cmd_experiment(const Args& a) {
   if (a.jobs < 0)
     throw util::Error("--jobs must be >= 0 (0 = hardware concurrency)");
+  if (a.inner_jobs < 0)
+    throw util::Error("--inner-jobs must be >= 0 (0 = hardware concurrency)");
   if (!a.pool_trace.empty())
     util::ensure_output_path_writable(a.pool_trace, "pool trace");
   if (a.profile) util::PhaseProfiler::set_enabled(true);
@@ -663,6 +675,7 @@ int cmd_experiment(const Args& a) {
   cfg.num_vms = a.vms;
   cfg.seed = a.seed;
   cfg.jobs = a.jobs;
+  cfg.solve.inner_jobs = a.inner_jobs;
   if (!a.solutions.empty()) cfg.solutions = solutions_of(a.solutions);
   if (!a.faults.empty()) {
     if (a.fault_horizon <= 0)
@@ -733,6 +746,14 @@ int cmd_perfdiff(const Args& a) {
   const auto current = obs::read_bench_report_file(a.positional[1]);
   obs::PerfDiffOptions opt;
   if (!a.max_regress.empty()) opt.max_regress = regress_of(a.max_regress);
+  if (!a.min_abs_sec.empty()) {
+    // Raising the floor lets wall-clock gates ignore micro-phases
+    // (sub-millisecond bookkeeping spans) whose run-to-run jitter exceeds
+    // any sane relative threshold.
+    opt.min_abs_sec = double_flag("--min-abs-sec", a.min_abs_sec.c_str());
+    if (opt.min_abs_sec < 0)
+      throw util::Error("--min-abs-sec must be >= 0");
+  }
   const auto diff = obs::diff_reports(base, current, opt);
   std::cout << "perfdiff " << a.positional[0] << " (" << base.git_rev
             << ") -> " << a.positional[1] << " (" << current.git_rev
@@ -796,6 +817,9 @@ int cmd_serve(const Args& a) {
   service::ServiceConfig cfg;
   cfg.platform = platform_of(a.platform);
   cfg.platform_name = a.platform;
+  // One admission decision at a time: use intra-decision parallelism
+  // (0 = hardware threads; decisions and digests are bit-identical).
+  cfg.vm_cfg.inner_jobs = 0;
   cfg.trace = service::parse_trace_spec(a.trace);
   cfg.seed = a.seed;
   if (a.deadline_us < 0) throw util::Error("--deadline-us must be >= 0");
