@@ -16,13 +16,19 @@
 # The scenario-matrix suite matters for TSan specifically: it drives
 # run_matrix with checkpointing at --jobs 2+, where worker-thread slot
 # writes and the checkpoint snapshot must stay serialized; the service
-# suite rides along because `vc2m serve` shares the signal-flag /
-# cancellation plumbing with the matrix runner. The address pass also runs
+# and telemetry suites ride along because `vc2m serve` shares the
+# signal-flag / cancellation plumbing with the matrix runner and the
+# stats-signal latch is read from the decision loop. The address pass also runs
 # the serve smoke: crash-kill the service at every injected crash point
 # and require --recover to reproduce the uninterrupted report byte for
 # byte, fuzz torn/corrupted journals (recovery must warn, never crash),
 # schema-validate the vc2m-serve-report/1 artifact, and sweep the strict
-# numeric-flag matrix. The address pass also runs the scenario smoke: the curated
+# numeric-flag matrix. The address pass also runs the telemetry smoke:
+# telemetry must not perturb the report or the journal, the metrics
+# timeline must be schema-valid, bit-identical across --inner-jobs and
+# across crash + --recover, `vc2m timeline --diff` must pass a
+# self-compare, SIGUSR1 must render a stats snapshot mid-run, and a
+# corrupted-timeline fuzz loop must exit cleanly, never crash. The address pass also runs the scenario smoke: the curated
 # corpus under scenarios/ (all four enforcement policies under fault plans,
 # the infeasible-by-constraint pins, the stress scenarios) must pass through
 # `vc2m scenario run`, a 2-way-sharded run merged back together must be
@@ -237,6 +243,107 @@ serve_smoke() {
   echo "--- serve smoke passed ---"
 }
 
+telemetry_smoke() {
+  # $1 = build dir with a tools/vc2m binary. Exercises the runtime
+  # telemetry (docs/telemetry.md) from the outside: instrumentation must
+  # not perturb the deterministic artifacts, the timeline must be
+  # schema-valid and bit-identical across --inner-jobs and across a real
+  # crash + --recover, the `vc2m timeline` reader must survive corrupted
+  # input, and SIGUSR1 must render a stats snapshot mid-run.
+  local vc2m="$1/tools/vc2m"
+  local work; work="$(mktemp -d)"
+  trap 'rm -rf "$work"' RETURN
+  local trace="poisson:requests=600,interarrival-us=300,util=0.1..0.4,remove-frac=0.35,resize-frac=0.1"
+  local args=(--trace "$trace" --seed 7 --snapshot-every 20)
+
+  echo "--- telemetry: fully instrumented run ---"
+  "$vc2m" serve "${args[@]}" --journal "$work/telem.wal" \
+    --timeline "$work/t.bin" --sample-every 50 --stats-every 200 \
+    --span-trace "$work/spans.json" --json "$work/telem.json" \
+    > /dev/null 2> "$work/stats.txt"
+  grep -q "\[vc2m serve\]" "$work/stats.txt" \
+    || { echo "--stats-every rendered no snapshots"; return 1; }
+
+  echo "--- telemetry leaves the report and the journal byte-identical ---"
+  "$vc2m" serve "${args[@]}" --journal "$work/plain.wal" \
+    --json "$work/plain.json" > /dev/null
+  cmp "$work/telem.json" "$work/plain.json" \
+    || { echo "telemetry perturbed the serve report"; return 1; }
+  cmp "$work/telem.wal" "$work/plain.wal" \
+    || { echo "telemetry perturbed the journal"; return 1; }
+
+  echo "--- timeline is schema-valid ---"
+  python3 scripts/scenarios_validate.py --timeline "$work/t.bin"
+
+  echo "--- vc2m timeline: summary, csv, and self-diff ---"
+  "$vc2m" timeline "$work/t.bin" > /dev/null
+  "$vc2m" timeline "$work/t.bin" --csv | head -1 | grep -q "^file,sample," \
+    || { echo "timeline --csv header missing"; return 1; }
+  "$vc2m" timeline "$work/t.bin" --diff "$work/t.bin" \
+    | grep -q "byte-identical" \
+    || { echo "timeline self-diff failed"; return 1; }
+
+  echo "--- timeline is bit-identical across --inner-jobs ---"
+  "$vc2m" serve "${args[@]}" --inner-jobs 2 --timeline "$work/t_j2.bin" \
+    --sample-every 50 > /dev/null
+  "$vc2m" timeline "$work/t.bin" --diff "$work/t_j2.bin" > /dev/null \
+    || { echo "timeline differs at --inner-jobs 2"; return 1; }
+
+  echo "--- crash + --recover reproduces the timeline ---"
+  rm -f "$work/c.wal" "$work/c.wal.snap" "$work/c.wal.spans" "$work/c.bin"
+  local rc=0
+  ASAN_OPTIONS=abort_on_error=1 "$vc2m" serve "${args[@]}" \
+    --journal "$work/c.wal" --timeline "$work/c.bin" --sample-every 50 \
+    --crash-at after-append:300 > /dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 137 ]; then
+    echo "telemetry crash run: expected rc 137, got $rc"; return 1
+  fi
+  [ -s "$work/c.wal.spans" ] \
+    || { echo "crash left no span-ring dump next to the journal"; return 1; }
+  "$vc2m" serve "${args[@]}" --journal "$work/c.wal" --timeline "$work/c.bin" \
+    --sample-every 50 --recover --json "$work/crec.json" > /dev/null 2>&1 \
+    || { echo "telemetry recovery failed"; return 1; }
+  cmp "$work/c.bin" "$work/t.bin" \
+    || { echo "recovered timeline differs from the uninterrupted run"
+         return 1; }
+  cmp "$work/crec.json" "$work/plain.json" \
+    || { echo "recovered report differs from baseline"; return 1; }
+
+  echo "--- SIGUSR1 renders a stats snapshot mid-run ---"
+  local slow="poisson:requests=6000,interarrival-us=300,util=0.1..0.4"
+  "$vc2m" serve --trace "$slow" --seed 7 \
+    > /dev/null 2> "$work/usr1.txt" &
+  local pid=$!
+  sleep 0.5
+  kill -USR1 "$pid" 2>/dev/null || true
+  wait "$pid" || { echo "serve under SIGUSR1 failed"; return 1; }
+  grep -q "\[vc2m serve\]" "$work/usr1.txt" \
+    || { echo "SIGUSR1 rendered no stats snapshot"; return 1; }
+
+  echo "--- fuzz: corrupted timelines must be read cleanly ---"
+  local tsize; tsize="$(wc -c < "$work/t.bin")"
+  RANDOM=20260810
+  for i in $(seq 1 16); do
+    cp "$work/t.bin" "$work/fuzz.bin"
+    if [ $((i % 2)) -eq 0 ]; then
+      truncate -s $((RANDOM % tsize)) "$work/fuzz.bin"
+    else
+      local off=$((RANDOM % tsize)) byte=$((RANDOM % 255 + 1))
+      printf "$(printf '\\%03o' "$byte")" |
+        dd of="$work/fuzz.bin" bs=1 seek="$off" count=1 conv=notrunc status=none
+    fi
+    rc=0
+    ASAN_OPTIONS=abort_on_error=1 "$vc2m" timeline "$work/fuzz.bin" \
+      > /dev/null 2> "$work/fuzz-err.txt" || rc=$?
+    if [ "$rc" -ge 128 ]; then
+      echo "timeline fuzz iteration $i crashed (rc=$rc):"
+      cat "$work/fuzz-err.txt"
+      return 1
+    fi
+  done
+  echo "--- telemetry smoke passed ---"
+}
+
 perf_smoke() {
   # $1 = build dir with bench/bench_micro_ops and tools/vc2m binaries.
   local work; work="$(mktemp -d)"
@@ -319,8 +426,8 @@ for san in "${sanitizers[@]}"; do
   ctest_args=(--output-on-failure -j "$(nproc)")
   if [ "$san" = thread ]; then
     build_args=(--target test_parallel test_faults test_scenario test_service
-                test_golden)
-    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel|ScenarioMatrix|TraceGen|Journal|CrashSpec|ShedPolicy|Service|ServeReport)')
+                test_telemetry test_golden)
+    ctest_args+=(-R '^(ThreadPool|ParallelExperiment|ExperimentResultGuards|FaultValidatorParallel|ScenarioMatrix|TraceGen|Journal|CrashSpec|ShedPolicy|Service|ServeReport|Timeline|TelemetryText|SpanRing|Spans|StatsSnapshot)')
   fi
   echo "=== ${san}: configure (${dir}/) ==="
   cmake -B "$dir" -S . -DVC2M_SANITIZE="$san" >/dev/null
@@ -341,6 +448,8 @@ for san in "${sanitizers[@]}"; do
     scenario_smoke "$dir"
     echo "=== ${san}: serve smoke (crash-kill/recover + journal fuzz + flags) ==="
     serve_smoke "$dir"
+    echo "=== ${san}: telemetry smoke (timeline + spans + SIGUSR1 + fuzz) ==="
+    telemetry_smoke "$dir"
     echo "=== ${san}: taskset fuzz ==="
     taskset_fuzz "$dir"
     echo "=== ${san}: golden equivalence (engine vs seed digests) ==="

@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Schema check for the scenario corpus and its matrix-run reports.
+"""Schema check for the scenario corpus and its run artifacts.
 
-Validates from the outside (plain stdlib JSON) what the C++ strict reader
-enforces from the inside, so a loader bug cannot silently relax the format:
+Validates from the outside (plain stdlib JSON / struct) what the C++
+strict readers enforce from the inside, so a loader bug cannot silently
+relax a format:
 
     scripts/scenarios_validate.py scenarios/                # corpus files
     scripts/scenarios_validate.py --report run.json         # vc2m-scenario-report/1
     scripts/scenarios_validate.py --serve-report out.json   # vc2m-serve-report/1
+    scripts/scenarios_validate.py --timeline t.bin          # vc2m-metrics-timeline/1
 
 Exits non-zero with a per-file message on the first violation.
 """
@@ -14,11 +16,13 @@ Exits non-zero with a per-file message on the first violation.
 import argparse
 import json
 import pathlib
+import struct
 import sys
 
 SCENARIO_SCHEMA = "vc2m-scenario/1"
 REPORT_SCHEMA = "vc2m-scenario-report/1"
 SERVE_SCHEMA = "vc2m-serve-report/1"
+TIMELINE_SCHEMA = "vc2m-metrics-timeline/1"
 
 PLATFORMS = {"A", "B", "C"}
 # Domain caps mirrored from src/scenario/scenario.h (kMaxVms,
@@ -175,6 +179,8 @@ SERVE_TOTAL_KEYS = [
 
 SUMMARY_KEYS = ["count", "mean", "min", "max", "p50", "p90", "p95", "p99"]
 
+LATENCY_CLASSES = ["admitted", "rejected", "deferred", "shed"]
+
 
 def check_serve_report(doc):
     check_keys(doc, "serve report",
@@ -219,11 +225,15 @@ def check_serve_report(doc):
          "decisions fields must be non-negative integers")
 
     lat = doc["latency_us"]
-    check_keys(lat, "latency_us", required=SUMMARY_KEYS, optional=[])
-    need(is_index(lat["count"]), "latency_us.count must be an integer")
-    for k in SUMMARY_KEYS[1:]:
-        need(isinstance(lat[k], (int, float)) and not isinstance(lat[k], bool),
-             f"latency_us.{k} must be a number")
+    check_keys(lat, "latency_us", required=LATENCY_CLASSES, optional=[])
+    for cls in LATENCY_CLASSES:
+        s = lat[cls]
+        check_keys(s, f"latency_us.{cls}", required=SUMMARY_KEYS, optional=[])
+        need(is_index(s["count"]), f"latency_us.{cls}.count must be an integer")
+        for k in SUMMARY_KEYS[1:]:
+            need(isinstance(s[k], (int, float)) and
+                 not isinstance(s[k], bool),
+                 f"latency_us.{cls}.{k} must be a number")
 
     st = doc["state"]
     check_keys(st, "state",
@@ -248,26 +258,152 @@ def check_serve_report(doc):
          "outcome totals do not cover the enqueued attempts")
 
 
+# --- vc2m-metrics-timeline/1 (binary, journal framing) ----------------------
+#
+# Framing mirrored from src/service/journal.cpp: each frame is
+# [u32 payload-len LE][u64 FNV-1a(payload) LE][payload]. Frame 0 is the
+# header "vc2m-metrics-timeline/1|config=<hex16>|every=<N>"; every later
+# frame is one pipe-separated metrics sample (src/service/telemetry.cpp).
+
+SAMPLE_KEYS = [
+    "sample", "served", "vt_ns", "queue", "retry", "est", "arrivals",
+    "admitted", "rejected", "probe_rejected", "deferred", "timed_out",
+    "shed", "downgrades", "backpressure", "commits", "dbf", "budget", "adm",
+    "lat_admitted", "lat_rejected", "lat_deferred", "lat_shed",
+]
+# Monotone between consecutive samples (cumulative counters).
+SAMPLE_CUMULATIVE = ["served", "arrivals", "admitted", "rejected",
+                     "probe_rejected", "deferred", "timed_out", "shed",
+                     "downgrades", "backpressure", "commits", "dbf",
+                     "budget", "adm"]
+SAMPLE_SIGNED = {"vt_ns", "est"}
+
+
+def fnv1a(data):
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def timeline_frames(data):
+    frames, offset = [], 0
+    while offset < len(data):
+        need(offset + 12 <= len(data),
+             f"torn frame header at byte {offset}")
+        (length,) = struct.unpack_from("<I", data, offset)
+        (checksum,) = struct.unpack_from("<Q", data, offset + 4)
+        need(offset + 12 + length <= len(data),
+             f"torn frame payload at byte {offset}")
+        payload = data[offset + 12:offset + 12 + length]
+        need(fnv1a(payload) == checksum,
+             f"frame checksum mismatch at byte {offset}")
+        frames.append(payload.decode("utf-8", errors="strict"))
+        offset += 12 + length
+    return frames
+
+
+def parse_hist(text, what):
+    parts = text.split(" ")
+    need(len(parts) >= 6, f"{what}: truncated histogram")
+    count, nonpositive = (int(parts[0]), int(parts[1]))
+    need(count >= 0 and nonpositive >= 0, f"{what}: negative counts")
+    for bits in parts[2:5]:
+        need(len(bits) == 16 and all(c in "0123456789abcdef" for c in bits),
+             f"{what}: doubles must be 16 hex digits, got {bits!r}")
+    npairs = int(parts[5])
+    need(npairs == len(parts) - 6, f"{what}: bucket pair count mismatch")
+    bucketed = 0
+    for pair in parts[6:]:
+        idx, _, cnt = pair.partition(":")
+        need(idx.isdigit() and cnt.isdigit(), f"{what}: bad bucket {pair!r}")
+        bucketed += int(cnt)
+    need(bucketed + nonpositive == count,
+         f"{what}: bucket counts do not sum to the sample count")
+    return count
+
+
+def parse_sample(payload, what):
+    parts = payload.split("|")
+    need(len(parts) == len(SAMPLE_KEYS),
+         f"{what}: expected {len(SAMPLE_KEYS)} fields, got {len(parts)}")
+    sample = {}
+    for key, part in zip(SAMPLE_KEYS, parts):
+        need(part.startswith(key + "="), f"{what}: field is not '{key}='")
+        value = part[len(key) + 1:]
+        if key.startswith("lat_"):
+            sample[key] = parse_hist(value, f"{what}: {key}")
+        elif key in SAMPLE_SIGNED:
+            need(value.lstrip("-").isdigit(), f"{what}: bad {key} {value!r}")
+            sample[key] = int(value)
+        else:
+            need(value.isdigit(), f"{what}: bad {key} {value!r}")
+            sample[key] = int(value)
+    return sample
+
+
+def check_timeline(data):
+    frames = timeline_frames(data)
+    need(frames, "empty timeline (no header frame)")
+    header = frames[0].split("|")
+    need(len(header) == 3 and header[0] == TIMELINE_SCHEMA,
+         f"bad timeline header {frames[0]!r}")
+    need(header[1].startswith("config=") and len(header[1]) == 23 and
+         all(c in "0123456789abcdef" for c in header[1][7:]),
+         "header config digest must be 16 lowercase hex chars")
+    need(header[2].startswith("every=") and header[2][6:].isdigit() and
+         int(header[2][6:]) >= 1, "header cadence must be a positive integer")
+    every = int(header[2][6:])
+
+    prev = None
+    for i, payload in enumerate(frames[1:]):
+        s = parse_sample(payload, f"sample {i}")
+        need(s["sample"] == i, f"sample {i}: index {s['sample']} out of order")
+        need(s["served"] == (i + 1) * every,
+             f"sample {i}: served {s['served']} breaks the cadence")
+        lat_total = sum(s[k] for k in SAMPLE_KEYS if k.startswith("lat_"))
+        need(lat_total <= s["served"],
+             f"sample {i}: latency counts exceed the decisions")
+        if prev is not None:
+            for k in SAMPLE_CUMULATIVE:
+                need(s[k] >= prev[k],
+                     f"sample {i}: cumulative {k} moved backwards")
+            need(s["vt_ns"] >= prev["vt_ns"],
+                 f"sample {i}: virtual time moved backwards")
+        prev = s
+    return len(frames) - 1
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("path", help="scenario file/directory, or a report file")
+    ap.add_argument("path", help="scenario file/directory, or an artifact")
     ap.add_argument("--report", action="store_true",
                     help="validate a vc2m-scenario-report/1 instead")
     ap.add_argument("--serve-report", action="store_true",
                     help="validate a vc2m-serve-report/1 instead")
+    ap.add_argument("--timeline", action="store_true",
+                    help="validate a binary vc2m-metrics-timeline/1 instead")
     args = ap.parse_args()
 
     path = pathlib.Path(args.path)
-    files = sorted(path.glob("*.json")) if path.is_dir() else [path]
+    if args.timeline:
+        files = [path]
+    else:
+        files = sorted(path.glob("*.json")) if path.is_dir() else [path]
     if not files:
         sys.exit(f"{path}: no scenario files")
 
-    if args.report and args.serve_report:
-        sys.exit("--report and --serve-report are mutually exclusive")
+    if sum((args.report, args.serve_report, args.timeline)) > 1:
+        sys.exit("--report, --serve-report, and --timeline are mutually "
+                 "exclusive")
 
     names = set()
+    samples = 0
     for f in files:
         try:
+            if args.timeline:
+                samples += check_timeline(f.read_bytes())
+                continue
             doc = json.loads(f.read_text())
             if args.serve_report:
                 check_serve_report(doc)
@@ -278,8 +414,12 @@ def main():
                 if name in names:
                     raise Bad(f"duplicate scenario name {name!r}")
                 names.add(name)
-        except (Bad, json.JSONDecodeError, KeyError, TypeError) as err:
+        except (Bad, json.JSONDecodeError, KeyError, TypeError,
+                ValueError) as err:
             sys.exit(f"{f}: {err}")
+    if args.timeline:
+        print(f"{len(files)} timeline(s) schema-valid ({samples} sample(s))")
+        return
     kind = ("serve report(s)" if args.serve_report
             else "report(s)" if args.report else "scenario(s)")
     print(f"{len(files)} {kind} schema-valid")

@@ -114,6 +114,13 @@ class AnalysisContext {
     inner_jobs_ = jobs;
   }
 
+  /// Telemetry correlation: the id of the service request this context is
+  /// solving for (-1 = not request-scoped). Purely informational — nothing
+  /// in the analysis reads it; the admission layer stamps it so span-level
+  /// tooling can attribute a context's counters to one request.
+  void set_request_id(std::int64_t id) { request_id_ = id; }
+  std::int64_t request_id() const { return request_id_; }
+
   /// The per-solve scratch arena. Callers may draw scratch from it under an
   /// Arena::Scope mark; everything is reclaimed when the context dies.
   util::Arena& arena() { return arena_; }
@@ -168,6 +175,7 @@ class AnalysisContext {
   util::Arena arena_;
   util::ThreadPool* inner_pool_ = nullptr;
   int inner_jobs_ = 1;
+  std::int64_t request_id_ = -1;
   util::AllocCounterScope scope_;
 };
 

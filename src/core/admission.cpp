@@ -62,9 +62,11 @@ AdmitResult admit_vm(const AdmissionState& current,
     VC2M_CHECK_MSG(v.vm != vm_id, "VM id already present");
 
   AdmitResult result;
+  result.request_id = vm_cfg.request_id;
   AdmissionState next = current;
   analysis::AnalysisContext ctx;  // one memo + counter scope per decision
   ctx.set_inner_parallelism(vm_cfg.inner_pool, vm_cfg.inner_jobs);
+  ctx.set_request_id(vm_cfg.request_id);
 
   // Parameterize the new VM's VCPUs.
   std::vector<std::size_t> idx(vm_tasks.size());

@@ -33,6 +33,10 @@ struct AdmitResult {
   /// The updated system on success; empty on rejection (the caller keeps
   /// using its own, untouched AdmissionState — rejection is atomic).
   AdmissionState state;
+  /// Echo of `vm_cfg.request_id` (the serve trace seq that triggered this
+  /// decision; -1 when not request-scoped), present on success and on
+  /// rejection so telemetry can correlate either outcome.
+  std::int64_t request_id = -1;
 };
 
 /// Try to admit a VM (the tasks must all carry `vm_id`) into `current`.

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -52,6 +53,11 @@ struct VmAllocConfig {
   /// supplies an AnalysisContext — configure that context instead.
   int inner_jobs = 1;
   util::ThreadPool* inner_pool = nullptr;
+  /// Telemetry correlation id for the request that triggered this decision
+  /// (the serve trace seq). Echoed into AdmitResult and stamped on the
+  /// decision's AnalysisContext; -1 = not request-scoped. Never affects
+  /// the allocation.
+  std::int64_t request_id = -1;
 };
 
 /// Compute the existing-CSA (PRM) VCPU for the tasks at `idx`: Π = the

@@ -1,0 +1,87 @@
+// Request-scoped spans for the admission-control service.
+//
+// A span is the life of one request *attempt* through the serve queue:
+// queued (arrival or retry-ready time) → dequeued (the server picked it
+// up) → solved (the decision's virtual completion), plus the terminal
+// outcome the journal recorded for the same (seq, attempt). All three
+// timestamps are virtual-time nanoseconds, so spans are deterministic and
+// bit-identical at any --jobs; `wall_ns` carries the informational
+// wall-clock duration of the real solver call and is excluded from every
+// deterministic artifact comparison.
+//
+// Spans export as per-request Perfetto tracks (one thread per trace seq,
+// a "queued" segment and a "solve" segment per attempt) with a lossless
+// `vc2mSpans` array for re-import, mirroring obs/trace_export. The
+// checker validates the structural invariants the service guarantees by
+// construction: timestamps are ordered, attempts on one request nest
+// without overlap, cost matches the solve segment, and (seq, attempt)
+// pairs are unique.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vc2m::obs {
+
+/// One request attempt's span. `kind` and `outcome` are the service's
+/// stable serialization names (e.g. "admit", "deferred"); obs treats them
+/// as opaque labels so this layer stays independent of the service.
+struct RequestSpan {
+  std::uint64_t seq = 0;
+  unsigned attempt = 0;
+  std::string kind;
+  std::string outcome;
+  int vm = 0;
+  std::int64_t queued_ns = 0;    ///< arrival (attempt 0) or retry-ready time
+  std::int64_t dequeued_ns = 0;  ///< server pickup; == solved_ns when shed
+  std::int64_t solved_ns = 0;    ///< decision completion (virtual)
+  std::int64_t cost_ns = 0;      ///< virtual solve cost; solved - dequeued
+  std::int64_t latency_ns = 0;   ///< arrival → terminal (0 when deferred)
+  std::int64_t wall_ns = 0;      ///< informational wall clock; not checked
+};
+
+/// Pipe-separated text form, one span per payload — the format of the
+/// ring-buffer dump written next to the journal on crash/interrupt.
+std::string serialize(const RequestSpan& s);
+/// Strict parse; throws util::Error on any malformed field.
+RequestSpan parse_request_span(const std::string& payload);
+
+/// Chrome trace_event JSON with one "requests" process, one thread per
+/// trace seq, and a lossless `vc2mSpans` array; opens in ui.perfetto.dev.
+void write_span_trace(std::ostream& os, std::span<const RequestSpan> spans);
+void write_span_trace_file(const std::string& path,
+                           std::span<const RequestSpan> spans);
+/// Re-import the `vc2mSpans` array. Throws util::Error when absent or
+/// malformed.
+std::vector<RequestSpan> read_span_trace(std::istream& is);
+std::vector<RequestSpan> read_span_trace_file(const std::string& path);
+
+struct SpanViolation {
+  std::uint64_t seq = 0;
+  unsigned attempt = 0;
+  std::string what;
+};
+
+struct SpanCheckResult {
+  std::size_t spans = 0;             ///< spans examined
+  std::size_t total_violations = 0;  ///< including those past the cap
+  std::vector<SpanViolation> violations;
+
+  bool ok() const { return total_violations == 0; }
+  /// One-line verdict, e.g. "OK: 120 spans, 0 violations".
+  std::string summary() const;
+};
+
+/// Structural invariants: queued ≤ dequeued ≤ solved, cost == solved −
+/// dequeued, (seq, attempt) unique, successive attempts of one seq nest
+/// without overlap (attempt k+1 queued ≥ attempt k solved), and a retry
+/// only follows a "deferred" outcome (the one outcome name this layer
+/// knows). Spans may arrive in any order; violations past
+/// `max_violations` are counted, not stored.
+SpanCheckResult check_request_spans(std::span<const RequestSpan> spans,
+                                    std::size_t max_violations = 32);
+
+}  // namespace vc2m::obs

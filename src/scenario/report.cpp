@@ -160,13 +160,28 @@ void write_scenario_report_file(const std::string& path,
   util::close_output_file(f, path, "scenario report");
 }
 
-ScenarioReport read_scenario_report(std::istream& is,
-                                    const std::string& what) {
+ScenarioReport read_scenario_report(std::istream& is, const std::string& what,
+                                    std::vector<std::string>* notes) {
   std::ostringstream buf;
   buf << is.rdbuf();
   const Value root = obs::json::parse(buf.str(), what);
   VC2M_CHECK_MSG(root.kind == Kind::kObject,
                  what << ": top level must be an object");
+  // Forward compatibility: top-level fields this reader does not know are
+  // reported through `notes`, never rejected — a newer writer may
+  // legitimately add them.
+  if (notes) {
+    static constexpr const char* kKnown[] = {
+        "schema", "git_rev", "corpus", "shard",     "interrupted",
+        "total",  "passed",  "failed", "scenarios"};
+    for (const auto& [k, v] : root.object) {
+      bool hit = false;
+      for (const char* known : kKnown) hit = hit || k == known;
+      if (!hit)
+        notes->push_back(what + ": unknown field '" + k +
+                         "' (written by a newer vc2m?) — ignored");
+    }
+  }
   ScenarioReport r;
   r.schema = get_string(root, "schema", what);
   VC2M_CHECK_MSG(r.schema == kReportSchema,
@@ -204,11 +219,12 @@ ScenarioReport read_scenario_report(std::istream& is,
   return r;
 }
 
-ScenarioReport read_scenario_report_file(const std::string& path) {
+ScenarioReport read_scenario_report_file(const std::string& path,
+                                         std::vector<std::string>* notes) {
   std::ifstream f(path);
   if (!f.good())
     throw util::Error("cannot open scenario report '" + path + "'");
-  return read_scenario_report(f, path);
+  return read_scenario_report(f, path, notes);
 }
 
 ScenarioReport merge_scenario_reports(const std::vector<ScenarioReport>& in) {

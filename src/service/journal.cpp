@@ -84,13 +84,18 @@ JournalWriter::~JournalWriter() {
 void JournalWriter::open_fresh(const std::string& path,
                                const std::string& config_digest,
                                std::uint64_t base) {
+  open_with_header(path, journal_header_payload(config_digest, base));
+}
+
+void JournalWriter::open_with_header(const std::string& path,
+                                     const std::string& header_payload) {
   close();
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0)
     throw util::Error("cannot open journal '" + path + "': " +
                       std::strerror(errno));
   path_ = path;
-  append(journal_header_payload(config_digest, base));
+  append(header_payload);
 }
 
 void JournalWriter::open_append(const std::string& path,
@@ -146,8 +151,8 @@ void write_file_durable(const std::string& path, const std::string& bytes) {
   ::close(fd);
 }
 
-JournalScan scan_journal(const std::string& path) {
-  JournalScan out;
+FrameScan scan_frames(const std::string& path) {
+  FrameScan out;
   std::ifstream f(path, std::ios::binary);
   if (!f.good()) return out;  // missing file: exists stays false
   out.exists = true;
@@ -156,47 +161,58 @@ JournalScan scan_journal(const std::string& path) {
   const std::string bytes = buf.str();
 
   std::size_t off = 0;
-  bool first = true;
   while (off + 12 <= bytes.size()) {
     const std::uint32_t len = get_u32(bytes.data() + off);
     const std::uint64_t sum = get_u64(bytes.data() + off + 4);
     if (len > kMaxPayload || off + 12 + len > bytes.size()) break;
     if (fnv1a(bytes.data() + off + 12, len) != sum) break;
-    std::string payload = bytes.substr(off + 12, len);
-    if (first) {
-      // Header: "<schema>|config=<hex>|base=<N>".
-      first = false;
-      const std::string schema_prefix = std::string(kJournalSchema) + "|";
-      if (payload.rfind(schema_prefix, 0) != 0) break;
-      std::string rest = payload.substr(schema_prefix.size());
-      const auto bar = rest.find('|');
-      if (bar == std::string::npos || rest.rfind("config=", 0) != 0 ||
-          rest.find("base=", bar + 1) != bar + 1)
-        break;
-      out.config_digest = rest.substr(7, bar - 7);
-      const std::string base_str = rest.substr(bar + 6);
-      char* end = nullptr;
-      errno = 0;
-      const unsigned long long base =
-          std::strtoull(base_str.c_str(), &end, 10);
-      if (base_str.empty() || end != base_str.c_str() + base_str.size() ||
-          errno != 0)
-        break;
-      out.base = base;
-      out.header_ok = true;
-    } else {
-      out.records.push_back(std::move(payload));
-    }
+    out.payloads.push_back(bytes.substr(off + 12, len));
     off += 12 + len;
     out.valid_bytes = off;
   }
   out.torn = out.valid_bytes < bytes.size();
+  return out;
+}
+
+JournalScan scan_journal(const std::string& path) {
+  JournalScan out;
+  FrameScan frames = scan_frames(path);
+  out.exists = frames.exists;
+  if (!frames.exists) return out;
+  out.valid_bytes = frames.valid_bytes;
+  out.torn = frames.torn;
+
+  if (!frames.payloads.empty()) {
+    // Header: "<schema>|config=<hex>|base=<N>".
+    const std::string& payload = frames.payloads.front();
+    const std::string schema_prefix = std::string(kJournalSchema) + "|";
+    if (payload.rfind(schema_prefix, 0) == 0) {
+      std::string rest = payload.substr(schema_prefix.size());
+      const auto bar = rest.find('|');
+      if (bar != std::string::npos && rest.rfind("config=", 0) == 0 &&
+          rest.find("base=", bar + 1) == bar + 1) {
+        const std::string base_str = rest.substr(bar + 6);
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long long base =
+            std::strtoull(base_str.c_str(), &end, 10);
+        if (!base_str.empty() && end == base_str.c_str() + base_str.size() &&
+            errno == 0) {
+          out.config_digest = rest.substr(7, bar - 7);
+          out.base = base;
+          out.header_ok = true;
+        }
+      }
+    }
+  }
   if (!out.header_ok) {
     // Without a valid header nothing after it is trustworthy.
-    out.records.clear();
     out.valid_bytes = 0;
-    out.torn = !bytes.empty();
+    out.torn = !frames.payloads.empty() || frames.torn;
+    return out;
   }
+  out.records.assign(std::make_move_iterator(frames.payloads.begin() + 1),
+                     std::make_move_iterator(frames.payloads.end()));
   return out;
 }
 

@@ -28,6 +28,10 @@ inline constexpr const char* kJournalSchema = "vc2m-admission-journal/1";
 
 /// Append-side handle. All writes go through a POSIX fd so each append can
 /// be fsync()'d; throws util::Error on any I/O failure.
+///
+/// The framing is schema-agnostic: `open_with_header` writes any header
+/// payload, so other framed artifacts (the metrics timeline) share the
+/// writer and the tolerant scanner below.
 class JournalWriter {
  public:
   JournalWriter() = default;
@@ -35,9 +39,13 @@ class JournalWriter {
   JournalWriter(const JournalWriter&) = delete;
   JournalWriter& operator=(const JournalWriter&) = delete;
 
-  /// Create/truncate `path` and write the header record.
+  /// Create/truncate `path` and write the admission-journal header record.
   void open_fresh(const std::string& path, const std::string& config_digest,
                   std::uint64_t base);
+
+  /// Create/truncate `path` and write `header_payload` as the first frame.
+  void open_with_header(const std::string& path,
+                        const std::string& header_payload);
 
   /// Open an existing journal for appends after `valid_bytes` (the scan
   /// result); the file is truncated to that length first, which is how a
@@ -54,6 +62,19 @@ class JournalWriter {
   int fd_ = -1;
   std::string path_;
 };
+
+/// Schema-agnostic scan of any framed file: every checksum-valid frame's
+/// payload in order (the first one is the header, uninterpreted), the byte
+/// length of the valid prefix, and whether trailing bytes were dropped. The
+/// scanner never throws for malformed content.
+struct FrameScan {
+  bool exists = false;
+  std::vector<std::string> payloads;  ///< valid frame payloads, in order
+  std::uint64_t valid_bytes = 0;      ///< prefix length covering them
+  bool torn = false;                  ///< trailing bytes past the prefix
+};
+
+FrameScan scan_frames(const std::string& path);
 
 /// Result of scanning a journal file. `header_ok` is false when the file
 /// is missing, empty, or its first frame is invalid — the scanner never

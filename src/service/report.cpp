@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 
@@ -73,6 +74,21 @@ obs::HistogramSummary parse_summary(const Value& v, const std::string& what) {
   return h;
 }
 
+/// Forward compatibility: fields this reader does not know are reported,
+/// never rejected — a newer writer may legitimately add them.
+void surface_unknown(const Value& obj, const char* const* known,
+                     std::size_t n_known, const std::string& what,
+                     std::vector<std::string>* notes) {
+  if (!notes) return;
+  for (const auto& [k, v] : obj.object) {
+    bool hit = false;
+    for (std::size_t i = 0; i < n_known && !hit; ++i) hit = k == known[i];
+    if (!hit)
+      notes->push_back(what + ": unknown field '" + k +
+                       "' (written by a newer vc2m?) — ignored");
+  }
+}
+
 }  // namespace
 
 void write_serve_report(std::ostream& os, const ServeReport& r) {
@@ -103,9 +119,15 @@ void write_serve_report(std::ostream& os, const ServeReport& r) {
      << ", \"backpressure\": " << r.backpressure << "},\n";
   os << "\"decisions\": {\"events\": " << r.decision_events
      << ", \"dropped\": " << r.decision_dropped << "},\n";
-  os << "\"latency_us\": ";
-  write_summary(os, r.latency_us);
-  os << ",\n";
+  os << "\"latency_us\": {\"admitted\": ";
+  write_summary(os, r.latency_admitted_us);
+  os << ", \"rejected\": ";
+  write_summary(os, r.latency_rejected_us);
+  os << ", \"deferred\": ";
+  write_summary(os, r.latency_deferred_us);
+  os << ", \"shed\": ";
+  write_summary(os, r.latency_shed_us);
+  os << "},\n";
   os << "\"state\": {\"vms\": " << r.vms << ", \"vcpus\": " << r.vcpus
      << ", \"cores_used\": " << r.cores_used << ", \"digest\": \""
      << obs::json::escape(r.digest) << "\"}";
@@ -119,12 +141,18 @@ void write_serve_report_file(const std::string& path, const ServeReport& r) {
   util::close_output_file(f, path, "serve report");
 }
 
-ServeReport read_serve_report(std::istream& is, const std::string& what) {
+ServeReport read_serve_report(std::istream& is, const std::string& what,
+                              std::vector<std::string>* notes) {
   std::ostringstream buf;
   buf << is.rdbuf();
   const Value root = obs::json::parse(buf.str(), what);
   VC2M_CHECK_MSG(root.kind == Kind::kObject,
                  what << ": top level must be an object");
+  static constexpr const char* kKnown[] = {
+      "schema", "git_rev",   "trace",     "platform",   "seed",  "config",
+      "totals", "queue",     "decisions", "latency_us", "state",
+      "interrupted"};
+  surface_unknown(root, kKnown, std::size(kKnown), what, notes);
   ServeReport r;
   r.schema = get_string(root, "schema", what);
   VC2M_CHECK_MSG(r.schema == kServeReportSchema,
@@ -163,7 +191,11 @@ ServeReport read_serve_report(std::istream& is, const std::string& what) {
   const Value& d = get_object(root, "decisions", what);
   r.decision_events = get_count(d, "events", what);
   r.decision_dropped = get_count(d, "dropped", what);
-  r.latency_us = parse_summary(get_object(root, "latency_us", what), what);
+  const Value& lat = get_object(root, "latency_us", what);
+  r.latency_admitted_us = parse_summary(get_object(lat, "admitted", what), what);
+  r.latency_rejected_us = parse_summary(get_object(lat, "rejected", what), what);
+  r.latency_deferred_us = parse_summary(get_object(lat, "deferred", what), what);
+  r.latency_shed_us = parse_summary(get_object(lat, "shed", what), what);
   const Value& s = get_object(root, "state", what);
   r.vms = get_count(s, "vms", what);
   r.vcpus = get_count(s, "vcpus", what);
@@ -185,10 +217,11 @@ ServeReport read_serve_report(std::istream& is, const std::string& what) {
   return r;
 }
 
-ServeReport read_serve_report_file(const std::string& path) {
+ServeReport read_serve_report_file(const std::string& path,
+                                   std::vector<std::string>* notes) {
   std::ifstream f(path);
   if (!f.good()) throw util::Error("cannot open serve report '" + path + "'");
-  return read_serve_report(f, path);
+  return read_serve_report(f, path, notes);
 }
 
 }  // namespace vc2m::service

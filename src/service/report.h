@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/bench_report.h"
 
@@ -56,8 +57,14 @@ struct ServeReport {
   // Decision-log provenance volume (events emitted per request, summed).
   std::uint64_t decision_events = 0;
   std::uint64_t decision_dropped = 0;
-  /// Virtual end-to-end latency (arrival -> terminal outcome), µs.
-  obs::HistogramSummary latency_us;
+  /// Virtual end-to-end latency (arrival -> decision), µs, split by
+  /// outcome class: admitted = {admitted, removed, resized}; rejected =
+  /// {rejected, probe_rejected, resize_rejected, not_present, timed_out};
+  /// deferred = arrival -> defer decision; shed = arrival -> shed.
+  obs::HistogramSummary latency_admitted_us;
+  obs::HistogramSummary latency_rejected_us;
+  obs::HistogramSummary latency_deferred_us;
+  obs::HistogramSummary latency_shed_us;
   // Final admitted state.
   std::uint64_t vms = 0;
   std::uint64_t vcpus = 0;
@@ -72,9 +79,14 @@ void write_serve_report(std::ostream& os, const ServeReport& r);
 void write_serve_report_file(const std::string& path, const ServeReport& r);
 
 /// Strict reader (throws util::Error on malformed JSON, a bad schema, or
-/// missing/ill-typed fields).
+/// missing/ill-typed fields). Unknown top-level fields — a newer writer's
+/// additions — are surfaced through `notes` (when given) instead of being
+/// rejected, so old readers keep working across forward-compatible schema
+/// growth.
 ServeReport read_serve_report(std::istream& is,
-                              const std::string& what = "serve report");
-ServeReport read_serve_report_file(const std::string& path);
+                              const std::string& what = "serve report",
+                              std::vector<std::string>* notes = nullptr);
+ServeReport read_serve_report_file(const std::string& path,
+                                   std::vector<std::string>* notes = nullptr);
 
 }  // namespace vc2m::service

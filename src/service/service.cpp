@@ -11,11 +11,16 @@
 #include <set>
 #include <sstream>
 
+#include <chrono>
+#include <iostream>
+
 #include "core/admission.h"
 #include "core/strategy.h"
 #include "obs/decision_log.h"
+#include "obs/request_span.h"
 #include "scenario/digest.h"
 #include "service/journal.h"
+#include "service/telemetry.h"
 #include "util/error.h"
 #include "util/instrument.h"
 #include "util/log_histogram.h"
@@ -53,23 +58,6 @@ bool request_kind_from_string(const std::string& s, RequestKind& out) {
   else if (s == "resize") out = RequestKind::kResize;
   else return false;
   return true;
-}
-
-// Exact double round-trip for the snapshot: hex bit pattern, never decimal.
-std::string double_bits(double v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
-  return buf;
-}
-
-double bits_double(const std::string& s, const char* what) {
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 16);
-  VC2M_CHECK_MSG(s.size() == 16 && end == s.c_str() + s.size() && errno == 0,
-                 what << ": bad double bits '" << s << "'");
-  return std::bit_cast<double>(static_cast<std::uint64_t>(v));
 }
 
 std::vector<std::string> split(const std::string& s, char sep) {
@@ -143,14 +131,16 @@ std::string serialize(const JournalRecord& r) {
   os << "seq=" << r.seq << "|attempt=" << r.attempt << "|kind="
      << to_string(r.kind) << "|outcome=" << to_string(r.outcome)
      << "|vm=" << r.vm << "|tasks=" << r.tasks << "|events=" << r.events
-     << "|cost_ns=" << r.cost_ns << "|latency_ns=" << r.latency_ns;
+     << "|cost_ns=" << r.cost_ns << "|latency_ns=" << r.latency_ns
+     << "|dbf=" << r.dbf_evals << "|budget=" << r.budget_evals
+     << "|adm=" << r.admission_tests;
   return os.str();
 }
 
 JournalRecord parse_journal_record(const std::string& payload) {
   const auto parts = split(payload, '|');
-  VC2M_CHECK_MSG(parts.size() == 9,
-                 "journal record: want 9 fields, got " << parts.size());
+  VC2M_CHECK_MSG(parts.size() == 12,
+                 "journal record: want 12 fields, got " << parts.size());
   auto field = [&](std::size_t i, const char* key) -> std::string {
     const std::string prefix = std::string(key) + "=";
     VC2M_CHECK_MSG(parts[i].rfind(prefix, 0) == 0,
@@ -172,6 +162,9 @@ JournalRecord parse_journal_record(const std::string& payload) {
   r.events = parse_u64(field(6, "events"), "journal record");
   r.cost_ns = parse_i64(field(7, "cost_ns"), "journal record");
   r.latency_ns = parse_i64(field(8, "latency_ns"), "journal record");
+  r.dbf_evals = parse_u64(field(9, "dbf"), "journal record");
+  r.budget_evals = parse_u64(field(10, "budget"), "journal record");
+  r.admission_tests = parse_u64(field(11, "adm"), "journal record");
   return r;
 }
 
@@ -247,17 +240,32 @@ struct Stats {
                 removed = 0, resized = 0, resize_rejected = 0, not_present = 0,
                 deferred = 0, retries = 0, shed = 0, timed_out = 0,
                 downgrades = 0, queue_max_depth = 0, backpressure = 0,
-                decision_events = 0, decision_dropped = 0;
+                decision_events = 0, decision_dropped = 0,
+                // Cumulative allocator effort, folded from the journal's
+                // per-record deltas on recovery so the metrics timeline is
+                // replay-stable even for decisions whose solver run is
+                // skipped.
+                dbf_evals = 0, budget_evals = 0, admission_tests = 0;
 };
 
 // Fixed serialization order of the stats counters in a snapshot.
-std::array<std::uint64_t*, 17> stat_fields(Stats& s) {
+std::array<std::uint64_t*, 20> stat_fields(Stats& s) {
   return {&s.arrivals,     &s.admitted,       &s.rejected,
           &s.probe_rejected, &s.removed,      &s.resized,
           &s.resize_rejected, &s.not_present, &s.deferred,
           &s.retries,      &s.shed,           &s.timed_out,
           &s.downgrades,   &s.queue_max_depth, &s.backpressure,
-          &s.decision_events, &s.decision_dropped};
+          &s.decision_events, &s.decision_dropped,
+          &s.dbf_evals,    &s.budget_evals,   &s.admission_tests};
+}
+
+/// Decisions taken so far — one per journal record: every terminal outcome
+/// plus every deferral. The timeline sampler counts in this unit, and the
+/// sum is derivable from Stats so it restores with any snapshot.
+std::uint64_t decisions_of(const Stats& s) {
+  return s.admitted + s.rejected + s.probe_rejected + s.deferred +
+         s.timed_out + s.shed + s.removed + s.not_present + s.resized +
+         s.resize_rejected;
 }
 
 struct State {
@@ -270,7 +278,10 @@ struct State {
   std::uint64_t commits = 0;
   std::uint64_t ordinal = 0;  ///< snapshots successfully written
   Stats stats;
-  util::LogHistogram hist;
+  /// Per-outcome-class latency histograms (µs): admitted ∪ removed ∪
+  /// resized, the rejection family, deferrals (arrival → defer decision),
+  /// and sheds. The serve report and the timeline sample all four.
+  util::LogHistogram lat_admitted, lat_rejected, lat_deferred, lat_shed;
 };
 
 bool retry_after(const QueueEntry& a, const QueueEntry& b) {
@@ -351,12 +362,10 @@ std::string snapshot_text(State& st, const std::string& digest,
     first = false;
   }
   os << "\n";
-  const auto hs = st.hist.snapshot();
-  os << "hist=" << hs.count << " " << hs.nonpositive << " "
-     << double_bits(hs.sum) << " " << double_bits(hs.min) << " "
-     << double_bits(hs.max) << " " << hs.counts.size();
-  for (const auto& [i, c] : hs.counts) os << " " << i << ":" << c;
-  os << "\n";
+  os << "hist_admitted=" << serialize_histogram(st.lat_admitted) << "\n";
+  os << "hist_rejected=" << serialize_histogram(st.lat_rejected) << "\n";
+  os << "hist_deferred=" << serialize_histogram(st.lat_deferred) << "\n";
+  os << "hist_shed=" << serialize_histogram(st.lat_shed) << "\n";
   os << "queue=" << st.queue.size() << "\n";
   for (const auto& e : st.queue)
     os << "q " << e.seq << " " << e.attempt << " " << e.ready_at.raw_ns()
@@ -453,28 +462,10 @@ bool load_snapshot(const std::string& path, const std::string& digest,
         VC2M_CHECK_MSG(static_cast<bool>(ls >> *fld), "snapshot: short stats");
       }
     }
-    {
-      std::istringstream ls(next_kv("hist"));
-      util::LogHistogram::Snapshot hs;
-      std::string sum_bits, min_bits, max_bits;
-      std::size_t pairs = 0;
-      VC2M_CHECK_MSG(static_cast<bool>(ls >> hs.count >> hs.nonpositive >>
-                                       sum_bits >> min_bits >> max_bits >>
-                                       pairs),
-                     "snapshot: bad hist line");
-      hs.sum = bits_double(sum_bits, "snapshot");
-      hs.min = bits_double(min_bits, "snapshot");
-      hs.max = bits_double(max_bits, "snapshot");
-      for (std::size_t i = 0; i < pairs; ++i) {
-        std::string tok;
-        VC2M_CHECK_MSG(static_cast<bool>(ls >> tok), "snapshot: short hist");
-        const auto colon = tok.find(':');
-        VC2M_CHECK_MSG(colon != std::string::npos, "snapshot: bad hist pair");
-        hs.counts.emplace_back(parse_u64(tok.substr(0, colon), "snapshot"),
-                               parse_u64(tok.substr(colon + 1), "snapshot"));
-      }
-      out.hist = util::LogHistogram::from_snapshot(hs);
-    }
+    out.lat_admitted = parse_histogram(next_kv("hist_admitted"));
+    out.lat_rejected = parse_histogram(next_kv("hist_rejected"));
+    out.lat_deferred = parse_histogram(next_kv("hist_deferred"));
+    out.lat_shed = parse_histogram(next_kv("hist_shed"));
     auto read_entries = [&](const char* key, const char* tag,
                             std::vector<QueueEntry>& into) {
       const std::uint64_t n = parse_u64(next_kv(key), "snapshot");
@@ -659,6 +650,123 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
     writer.open_fresh(cfg.journal_path, digest, 0);
   }
 
+  // -- telemetry --------------------------------------------------------
+  //
+  // The metrics timeline is sampled every `sample_every` decisions and
+  // framed like the journal. On --recover the replay regenerates the same
+  // sample stream; samples that survive on disk are byte-verified instead
+  // of rewritten, and appends resume past them — so a crash + --recover
+  // run reproduces the uninterrupted timeline bit for bit.
+
+  const bool timeline_on = !cfg.timeline_path.empty() && cfg.sample_every > 0;
+  JournalWriter tl_writer;
+  SpanRing ring(cfg.span_ring);
+  std::vector<std::string> tl_raw;        ///< surviving samples to verify
+  std::vector<std::uint64_t> tl_end;      ///< file offset after sample i
+  const std::string tl_header =
+      timeline_on ? timeline_header_payload(digest, cfg.sample_every)
+                  : std::string();
+  if (timeline_on) {
+    bool fresh = true;
+    if (cfg.recover) {
+      TimelineScan tls = scan_timeline(cfg.timeline_path);
+      for (const auto& w : tls.warnings)
+        result.warnings.push_back("recover: timeline '" + cfg.timeline_path +
+                                  "': " + w);
+      if (tls.exists && tls.header_ok && tls.config_digest == digest &&
+          tls.every == cfg.sample_every) {
+        if (tls.torn) {
+          result.warnings.push_back(
+              "recover: timeline '" + cfg.timeline_path +
+              "' has a torn tail — truncated to the last valid sample (" +
+              std::to_string(tls.valid_bytes) + " bytes)");
+          // Physically drop the torn bytes now: an uninterrupted run never
+          // has them, and the replay may not append anything past them.
+          tl_writer.open_append(cfg.timeline_path, tls.valid_bytes);
+        }
+        std::uint64_t off = 12 + tl_header.size();
+        tl_raw = std::move(tls.raw);
+        for (const auto& r : tl_raw) {
+          off += 12 + r.size();
+          tl_end.push_back(off);
+        }
+        fresh = false;
+      } else if (tls.exists) {
+        result.warnings.push_back(
+            "recover: timeline '" + cfg.timeline_path +
+            "' does not match this configuration — starting a fresh "
+            "timeline (earlier samples cannot be reproduced)");
+      }
+    }
+    if (fresh) tl_writer.open_with_header(cfg.timeline_path, tl_header);
+  }
+
+  auto dump_ring = [&]() {
+    if (journaling && cfg.span_ring > 0)
+      write_span_dump(cfg.journal_path + ".spans", ring);
+  };
+
+  /// Everything a sample or a stats snapshot shows, read off the live
+  /// state. Virtual-time quantities only — deterministic by construction.
+  auto build_sample = [&](std::int64_t vt_ns) {
+    MetricsSample ms;
+    ms.served = decisions_of(st.stats);
+    ms.vt_ns = vt_ns;
+    ms.queue_depth = st.queue.size();
+    ms.retry_depth = st.retry.size();
+    ms.est_ns_per_task = st.est_ns_per_task;
+    ms.arrivals = st.stats.arrivals;
+    ms.admitted = st.stats.admitted;
+    ms.rejected = st.stats.rejected;
+    ms.probe_rejected = st.stats.probe_rejected;
+    ms.deferred = st.stats.deferred;
+    ms.timed_out = st.stats.timed_out;
+    ms.shed = st.stats.shed;
+    ms.downgrades = st.stats.downgrades;
+    ms.backpressure = st.stats.backpressure;
+    ms.commits = st.commits;
+    ms.dbf_evals = st.stats.dbf_evals;
+    ms.budget_evals = st.stats.budget_evals;
+    ms.admission_tests = st.stats.admission_tests;
+    ms.lat_admitted = st.lat_admitted;
+    ms.lat_rejected = st.lat_rejected;
+    ms.lat_deferred = st.lat_deferred;
+    ms.lat_shed = st.lat_shed;
+    return ms;
+  };
+
+  auto take_sample = [&](std::int64_t vt_ns) {
+    const std::uint64_t d = decisions_of(st.stats);
+    MetricsSample ms = build_sample(vt_ns);
+    ms.index = d / cfg.sample_every - 1;
+    const std::string payload = serialize(ms);
+    // Recovery resumes from a snapshot, so the first regenerated sample can
+    // land mid-file: match by sample index, not file position. Samples
+    // before the resume point are trusted as-is — the scan already proved
+    // them checksummed, index-sequential, and written under this config
+    // digest, and every counter is cumulative so none of them feeds the
+    // regenerated tail.
+    const auto idx = static_cast<std::size_t>(ms.index);
+    if (idx < tl_raw.size()) {
+      if (payload == tl_raw[idx]) return;  // already durable; nothing to write
+      result.warnings.push_back(
+          "recover: timeline sample " + std::to_string(ms.index) +
+          " diverges from the recorded run — rewriting from that sample");
+      const std::uint64_t keep =
+          idx == 0 ? 12 + tl_header.size() : tl_end[idx - 1];
+      tl_writer.open_append(cfg.timeline_path, keep);
+      tl_raw.resize(idx);
+      tl_end.resize(idx);
+      tl_writer.append(payload);
+      return;
+    }
+    if (!tl_writer.is_open())
+      tl_writer.open_append(cfg.timeline_path,
+                            tl_end.empty() ? 12 + tl_header.size()
+                                           : tl_end.back());
+    tl_writer.append(payload);
+  };
+
   // -- helpers bound to the local state --------------------------------
 
   auto update_est = [&](std::int64_t cost_ns, std::uint64_t tasks) {
@@ -694,6 +802,7 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
     if (cfg.crash.point == CrashPoint::kMidSnapshot &&
         snapshot_writes == cfg.crash.at) {
       write_file_durable(tmp, text.substr(0, text.size() / 2));
+      dump_ring();
       std::_Exit(137);
     }
     write_file_durable(tmp, text);
@@ -705,34 +814,98 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
     journal_records = 0;
   };
 
-  /// Verify (replay) or append (live) one record; flips to live mode when
-  /// the replay cursor reaches the end of the journal.
-  auto journal_or_verify = [&](const JournalRecord& rec) {
-    if (!journaling) return;
-    if (replaying) {
-      const JournalRecord& exp = pending[cursor];
-      VC2M_CHECK_MSG(exp.seq == rec.seq && exp.attempt == rec.attempt &&
-                         exp.kind == rec.kind && exp.outcome == rec.outcome &&
-                         exp.cost_ns == rec.cost_ns,
-                     "journal replay diverged at record "
-                         << cursor << ": journal says seq=" << exp.seq
-                         << " outcome=" << to_string(exp.outcome)
-                         << ", recomputation says seq=" << rec.seq
-                         << " outcome=" << to_string(rec.outcome));
-      ++cursor;
-      if (cursor == pending.size()) {
-        writer.open_append(cfg.journal_path, journal_valid_bytes);
-        replaying = false;
-      }
-      return;
+  /// The per-outcome-class latency histogram a terminal outcome feeds.
+  auto hist_for = [&](Outcome o) -> util::LogHistogram& {
+    switch (o) {
+      case Outcome::kAdmitted:
+      case Outcome::kRemoved:
+      case Outcome::kResized:
+        return st.lat_admitted;
+      case Outcome::kShed:
+        return st.lat_shed;
+      case Outcome::kDeferred:
+        return st.lat_deferred;
+      default:
+        return st.lat_rejected;
     }
-    if (cfg.crash.point == CrashPoint::kBeforeAppend &&
-        rec.seq == cfg.crash.at)
+  };
+
+  /// The single choke point every decision passes through: verify (replay)
+  /// or append (live) the record — flipping to live mode when the replay
+  /// cursor reaches the end of the journal — then run the telemetry tail:
+  /// fold the record's allocator-effort deltas, push the request span
+  /// (only once the record is durable, so the ring always mirrors the
+  /// journal tail), take a timeline sample on cadence, and render stats
+  /// snapshots on cadence or SIGUSR1. Callers bump the outcome counters
+  /// before calling, so decisions_of already counts this record.
+  auto commit_record = [&](const JournalRecord& rec, util::Time queued,
+                           util::Time dequeued, std::int64_t wall_ns) {
+    st.stats.dbf_evals += rec.dbf_evals;
+    st.stats.budget_evals += rec.budget_evals;
+    st.stats.admission_tests += rec.admission_tests;
+
+    bool appended = false;
+    if (journaling) {
+      if (replaying) {
+        const JournalRecord& exp = pending[cursor];
+        VC2M_CHECK_MSG(exp.seq == rec.seq && exp.attempt == rec.attempt &&
+                           exp.kind == rec.kind &&
+                           exp.outcome == rec.outcome &&
+                           exp.cost_ns == rec.cost_ns,
+                       "journal replay diverged at record "
+                           << cursor << ": journal says seq=" << exp.seq
+                           << " outcome=" << to_string(exp.outcome)
+                           << ", recomputation says seq=" << rec.seq
+                           << " outcome=" << to_string(rec.outcome));
+        ++cursor;
+        if (cursor == pending.size()) {
+          writer.open_append(cfg.journal_path, journal_valid_bytes);
+          replaying = false;
+        }
+      } else {
+        if (cfg.crash.point == CrashPoint::kBeforeAppend &&
+            rec.seq == cfg.crash.at) {
+          // The current span is deliberately not in the dump: its record
+          // never became durable, and the ring must match the journal tail.
+          dump_ring();
+          std::_Exit(137);
+        }
+        writer.append(serialize(rec));
+        ++journal_records;
+        appended = true;
+      }
+    }
+
+    obs::RequestSpan span;
+    span.seq = rec.seq;
+    span.attempt = rec.attempt;
+    span.kind = to_string(rec.kind);
+    span.outcome = to_string(rec.outcome);
+    span.vm = rec.vm;
+    span.queued_ns = queued.raw_ns();
+    span.dequeued_ns = dequeued.raw_ns();
+    span.solved_ns = dequeued.raw_ns() + rec.cost_ns;
+    span.cost_ns = rec.cost_ns;
+    span.latency_ns = rec.latency_ns;
+    span.wall_ns = wall_ns;
+    ring.push(span);
+    if (cfg.collect_spans) result.spans.push_back(span);
+
+    if (appended && cfg.crash.point == CrashPoint::kAfterAppend &&
+        rec.seq == cfg.crash.at) {
+      dump_ring();
       std::_Exit(137);
-    writer.append(serialize(rec));
-    ++journal_records;
-    if (cfg.crash.point == CrashPoint::kAfterAppend && rec.seq == cfg.crash.at)
-      std::_Exit(137);
+    }
+
+    const std::uint64_t d = decisions_of(st.stats);
+    if (timeline_on && d % cfg.sample_every == 0) take_sample(span.solved_ns);
+    const bool poked =
+        cfg.stats_signal != nullptr &&
+        cfg.stats_signal->exchange(false, std::memory_order_relaxed);
+    if (poked || (cfg.stats_every && d % cfg.stats_every == 0))
+      (cfg.stats_out ? *cfg.stats_out : std::cerr)
+          << render_stats_snapshot(build_sample(span.solved_ns))
+          << std::flush;
   };
 
   auto push_retry = [&](QueueEntry e) {
@@ -753,9 +926,11 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
       rec.outcome = Outcome::kShed;
       rec.vm = trace[victim.seq].vm;
       rec.latency_ns = (e.ready_at - trace[victim.seq].at).raw_ns();
-      st.hist.add(static_cast<double>(rec.latency_ns) / 1000.0);
+      st.lat_shed.add(static_cast<double>(rec.latency_ns) / 1000.0);
       bump_outcome(Outcome::kShed);
-      journal_or_verify(rec);
+      // Shed spans never reach the server: queued at the victim's ready
+      // time, cut at the moment the overflowing arrival displaced it.
+      commit_record(rec, victim.ready_at, e.ready_at, /*wall_ns=*/0);
       if (v != st.queue.size()) {
         st.queue.erase(st.queue.begin() + static_cast<std::ptrdiff_t>(v));
         st.queue.push_back(e);
@@ -769,6 +944,7 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
   };
 
   auto serve = [&](const QueueEntry& entry) {
+    const auto wall_start = std::chrono::steady_clock::now();
     const ServeRequest& req = trace[entry.seq];
     const util::Time ts = util::max(st.busy_until, entry.ready_at);
     JournalRecord rec;
@@ -795,6 +971,9 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
       rec.cost_ns = peek->cost_ns;
       rec.tasks = peek->tasks;
       rec.events = peek->events;
+      rec.dbf_evals = peek->dbf_evals;
+      rec.budget_evals = peek->budget_evals;
+      rec.admission_tests = peek->admission_tests;
       st.stats.decision_events += rec.events;
       if (rec.outcome == Outcome::kRejected ||
           rec.outcome == Outcome::kResizeRejected)
@@ -851,12 +1030,14 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
               rec.outcome = Outcome::kTimedOut;
           } else {
             util::Rng rng(mix_seed(cfg.seed, entry.seq, entry.attempt));
+            core::VmAllocConfig vmc = cfg.vm_cfg;
+            vmc.request_id = static_cast<std::int64_t>(entry.seq);
             core::AdmitResult r =
                 req.kind == RequestKind::kAdmit
                     ? core::admit_vm(st.adm, tasks, req.vm, cfg.platform,
-                                     cfg.vm_cfg, rng)
+                                     vmc, rng)
                     : core::resize_vm(st.adm, tasks, req.vm, cfg.platform,
-                                      cfg.vm_cfg, rng);
+                                      vmc, rng);
             if (r.admitted) {
               st.adm = std::move(r.state);
               rec.outcome = req.kind == RequestKind::kAdmit
@@ -875,20 +1056,33 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
       rec.events = local.events().size();
       st.stats.decision_events += rec.events;
       st.stats.decision_dropped += local.dropped();
+      const util::AllocCounters ac = counters.counters();
+      rec.dbf_evals = ac.dbf_evaluations;
+      rec.budget_evals = ac.budget_evaluations;
+      rec.admission_tests = ac.admission_tests;
     }
 
     st.busy_until = ts + util::Time::ns(rec.cost_ns);
     if (rec.outcome == Outcome::kDeferred) {
       ++st.stats.deferred;
+      // A deferral's wait so far (arrival → defer decision) is observable
+      // latency too; rec.latency_ns stays 0 because the attempt is not
+      // terminal.
+      st.lat_deferred.add(
+          static_cast<double>((st.busy_until - req.at).raw_ns()) / 1000.0);
       push_retry({entry.seq, entry.attempt + 1,
                   st.busy_until + cfg.backoff * (std::int64_t{1}
                                                  << entry.attempt)});
     } else {
       rec.latency_ns = (st.busy_until - req.at).raw_ns();
-      st.hist.add(static_cast<double>(rec.latency_ns) / 1000.0);
+      hist_for(rec.outcome).add(static_cast<double>(rec.latency_ns) / 1000.0);
       bump_outcome(rec.outcome);
     }
-    journal_or_verify(rec);
+    const std::int64_t wall_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    commit_record(rec, entry.ready_at, ts, wall_ns);
     if (mutating(rec.outcome)) {
       ++st.commits;
       if (!replaying && journaling && cfg.snapshot_every &&
@@ -940,7 +1134,9 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
       enqueue_next();
     }
   }
+  if (interrupted) dump_ring();
   writer.close();
+  tl_writer.close();
 
   // -- report ----------------------------------------------------------
 
@@ -982,7 +1178,14 @@ ServiceResult run_service(const ServiceConfig& cfg_in) {
   rep.backpressure = s.backpressure;
   rep.decision_events = s.decision_events;
   rep.decision_dropped = s.decision_dropped;
-  if (!st.hist.empty()) rep.latency_us = obs::HistogramSummary::of(st.hist);
+  if (!st.lat_admitted.empty())
+    rep.latency_admitted_us = obs::HistogramSummary::of(st.lat_admitted);
+  if (!st.lat_rejected.empty())
+    rep.latency_rejected_us = obs::HistogramSummary::of(st.lat_rejected);
+  if (!st.lat_deferred.empty())
+    rep.latency_deferred_us = obs::HistogramSummary::of(st.lat_deferred);
+  if (!st.lat_shed.empty())
+    rep.latency_shed_us = obs::HistogramSummary::of(st.lat_shed);
   std::set<int> vms;
   for (const auto& v : st.adm.vcpus) vms.insert(v.vm);
   rep.vms = vms.size();

@@ -40,11 +40,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/vm_alloc.h"
 #include "model/platform.h"
+#include "obs/request_span.h"
 #include "service/report.h"
 #include "service/trace_gen.h"
 #include "util/time.h"
@@ -82,10 +84,11 @@ const char* to_string(Outcome o);
 bool outcome_from_string(const std::string& s, Outcome& out);
 
 /// One write-ahead journal record: the fate of one request attempt, with
-/// enough folded state (cost, task count, decision-event count) that
-/// recovery can replay non-mutating decisions without re-running the
-/// solver. Serialized as
-/// "seq=N|attempt=A|kind=K|outcome=O|vm=V|tasks=T|events=E|cost_ns=C|latency_ns=L".
+/// enough folded state (cost, task count, decision-event count, allocator
+/// effort deltas) that recovery can replay non-mutating decisions without
+/// re-running the solver while keeping every cumulative counter — and
+/// therefore the metrics timeline — bit-identical. Serialized as
+/// "seq=N|attempt=A|kind=K|outcome=O|vm=V|tasks=T|events=E|cost_ns=C|latency_ns=L|dbf=D|budget=B|adm=M".
 struct JournalRecord {
   std::uint64_t seq = 0;
   unsigned attempt = 0;
@@ -96,6 +99,9 @@ struct JournalRecord {
   std::uint64_t events = 0;      ///< decision-log events this attempt emitted
   std::int64_t cost_ns = 0;      ///< virtual processing cost
   std::int64_t latency_ns = 0;   ///< arrival -> completion (0 when deferred)
+  std::uint64_t dbf_evals = 0;      ///< AllocCounters.dbf_evaluations delta
+  std::uint64_t budget_evals = 0;   ///< AllocCounters.budget_evaluations delta
+  std::uint64_t admission_tests = 0;  ///< AllocCounters.admission_tests delta
 };
 
 std::string serialize(const JournalRecord& r);
@@ -143,6 +149,28 @@ struct ServiceConfig {
   /// Test hook: behave as if interrupted after N served requests (0 = off) —
   /// exercises the interrupted-report path without killing the process.
   std::uint64_t stop_after = 0;
+
+  // --- Runtime telemetry (docs/telemetry.md). None of these fields enter
+  //     config_digest: telemetry on/off, and any sampling rate, must leave
+  //     the report and the journal byte-identical and recovery-compatible.
+  std::string timeline_path;  ///< metrics timeline file; empty = off
+  /// Decisions (journal records) per timeline sample. Sampling is counted
+  /// in virtual-time events, so the timeline is bit-identical at any
+  /// --jobs/--inner-jobs and across --recover.
+  std::uint64_t sample_every = 100;
+  /// Render a deterministic stats snapshot to `stats_out` every N
+  /// decisions; 0 = off.
+  std::uint64_t stats_every = 0;
+  /// Live introspection latch (SIGUSR1): when set, the next decision
+  /// renders a stats snapshot and clears it.
+  std::atomic<bool>* stats_signal = nullptr;
+  std::ostream* stats_out = nullptr;  ///< stats sink; null = std::cerr
+  /// Bounded post-mortem ring: the last K request spans, dumped to
+  /// <journal>.spans on crash/interrupt. 0 disables the ring.
+  std::size_t span_ring = 64;
+  /// Keep every request span in ServiceResult.spans (for --span-trace and
+  /// the tests); the ring is maintained either way.
+  bool collect_spans = false;
 };
 
 struct ServiceResult {
@@ -152,6 +180,8 @@ struct ServiceResult {
   /// ignored, snapshot discarded); the CLI prints them to stderr so the
   /// report JSON stays byte-identical to an uninterrupted run's.
   std::vector<std::string> warnings;
+  /// Every request span, in decision order (only when cfg.collect_spans).
+  std::vector<obs::RequestSpan> spans;
 };
 
 /// Run the service over the configured trace (optionally recovering from a

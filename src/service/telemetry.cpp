@@ -1,0 +1,301 @@
+#include "service/telemetry.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "service/journal.h"
+#include "util/error.h"
+
+namespace vc2m::service {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  VC2M_CHECK_MSG(!s.empty() && s.find('-') == std::string::npos,
+                 "telemetry: bad " << what << " '" << s << "'");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  VC2M_CHECK_MSG(end == s.c_str() + s.size() && errno == 0,
+                 "telemetry: bad " << what << " '" << s << "'");
+  return v;
+}
+
+std::int64_t parse_i64(const std::string& s, const char* what) {
+  VC2M_CHECK_MSG(!s.empty(), "telemetry: bad " << what << " '" << s << "'");
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  VC2M_CHECK_MSG(end == s.c_str() + s.size() && errno == 0,
+                 "telemetry: bad " << what << " '" << s << "'");
+  return v;
+}
+
+/// Exact double round-trip as a 16-hex-digit bit pattern (mirrors the
+/// service snapshot's encoding).
+std::string double_bits(double d) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(d)));
+  return buf;
+}
+
+double bits_double(const std::string& s) {
+  VC2M_CHECK_MSG(s.size() == 16, "telemetry: bad double bits '" << s << "'");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  VC2M_CHECK_MSG(end == s.c_str() + 16 && errno == 0,
+                 "telemetry: bad double bits '" << s << "'");
+  return std::bit_cast<double>(static_cast<std::uint64_t>(v));
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string serialize_histogram(const util::LogHistogram& h) {
+  const auto snap = h.snapshot();
+  std::ostringstream os;
+  os << snap.count << ' ' << snap.nonpositive << ' ' << double_bits(snap.sum)
+     << ' ' << double_bits(snap.min) << ' ' << double_bits(snap.max) << ' '
+     << snap.counts.size();
+  for (const auto& [i, c] : snap.counts) os << ' ' << i << ':' << c;
+  return os.str();
+}
+
+util::LogHistogram parse_histogram(const std::string& text) {
+  const auto parts = split(text, ' ');
+  VC2M_CHECK_MSG(parts.size() >= 6, "telemetry: truncated histogram");
+  util::LogHistogram::Snapshot snap;
+  snap.count = parse_u64(parts[0], "histogram count");
+  snap.nonpositive = parse_u64(parts[1], "histogram nonpositive");
+  snap.sum = bits_double(parts[2]);
+  snap.min = bits_double(parts[3]);
+  snap.max = bits_double(parts[4]);
+  const std::uint64_t pairs = parse_u64(parts[5], "histogram pair count");
+  VC2M_CHECK_MSG(parts.size() == 6 + pairs,
+                 "telemetry: histogram pair count mismatch");
+  for (std::uint64_t k = 0; k < pairs; ++k) {
+    const std::string& cell = parts[6 + k];
+    const auto colon = cell.find(':');
+    VC2M_CHECK_MSG(colon != std::string::npos,
+                   "telemetry: bad histogram bucket '" << cell << "'");
+    snap.counts.emplace_back(
+        parse_u64(cell.substr(0, colon), "histogram bucket index"),
+        parse_u64(cell.substr(colon + 1), "histogram bucket count"));
+  }
+  return util::LogHistogram::from_snapshot(snap);
+}
+
+std::string serialize(const MetricsSample& s) {
+  std::ostringstream os;
+  os << "sample=" << s.index << "|served=" << s.served
+     << "|vt_ns=" << s.vt_ns << "|queue=" << s.queue_depth
+     << "|retry=" << s.retry_depth << "|est=" << s.est_ns_per_task
+     << "|arrivals=" << s.arrivals << "|admitted=" << s.admitted
+     << "|rejected=" << s.rejected << "|probe_rejected=" << s.probe_rejected
+     << "|deferred=" << s.deferred << "|timed_out=" << s.timed_out
+     << "|shed=" << s.shed << "|downgrades=" << s.downgrades
+     << "|backpressure=" << s.backpressure << "|commits=" << s.commits
+     << "|dbf=" << s.dbf_evals << "|budget=" << s.budget_evals
+     << "|adm=" << s.admission_tests
+     << "|lat_admitted=" << serialize_histogram(s.lat_admitted)
+     << "|lat_rejected=" << serialize_histogram(s.lat_rejected)
+     << "|lat_deferred=" << serialize_histogram(s.lat_deferred)
+     << "|lat_shed=" << serialize_histogram(s.lat_shed);
+  return os.str();
+}
+
+MetricsSample parse_metrics_sample(const std::string& payload) {
+  const auto parts = split(payload, '|');
+  VC2M_CHECK_MSG(parts.size() == 23,
+                 "metrics sample: expected 23 fields, got " << parts.size());
+  auto field = [&](std::size_t i, const char* key) -> std::string {
+    const std::string prefix = std::string(key) + "=";
+    VC2M_CHECK_MSG(parts[i].rfind(prefix, 0) == 0,
+                   "metrics sample: field " << i << " is not '" << key
+                                            << "='");
+    return parts[i].substr(prefix.size());
+  };
+  MetricsSample s;
+  s.index = parse_u64(field(0, "sample"), "sample");
+  s.served = parse_u64(field(1, "served"), "served");
+  s.vt_ns = parse_i64(field(2, "vt_ns"), "vt_ns");
+  s.queue_depth = parse_u64(field(3, "queue"), "queue");
+  s.retry_depth = parse_u64(field(4, "retry"), "retry");
+  s.est_ns_per_task = parse_i64(field(5, "est"), "est");
+  s.arrivals = parse_u64(field(6, "arrivals"), "arrivals");
+  s.admitted = parse_u64(field(7, "admitted"), "admitted");
+  s.rejected = parse_u64(field(8, "rejected"), "rejected");
+  s.probe_rejected = parse_u64(field(9, "probe_rejected"), "probe_rejected");
+  s.deferred = parse_u64(field(10, "deferred"), "deferred");
+  s.timed_out = parse_u64(field(11, "timed_out"), "timed_out");
+  s.shed = parse_u64(field(12, "shed"), "shed");
+  s.downgrades = parse_u64(field(13, "downgrades"), "downgrades");
+  s.backpressure = parse_u64(field(14, "backpressure"), "backpressure");
+  s.commits = parse_u64(field(15, "commits"), "commits");
+  s.dbf_evals = parse_u64(field(16, "dbf"), "dbf");
+  s.budget_evals = parse_u64(field(17, "budget"), "budget");
+  s.admission_tests = parse_u64(field(18, "adm"), "adm");
+  s.lat_admitted = parse_histogram(field(19, "lat_admitted"));
+  s.lat_rejected = parse_histogram(field(20, "lat_rejected"));
+  s.lat_deferred = parse_histogram(field(21, "lat_deferred"));
+  s.lat_shed = parse_histogram(field(22, "lat_shed"));
+  return s;
+}
+
+std::string timeline_header_payload(const std::string& config_digest,
+                                    std::uint64_t every) {
+  std::ostringstream os;
+  os << kTimelineSchema << "|config=" << config_digest << "|every=" << every;
+  return os.str();
+}
+
+TimelineScan scan_timeline(const std::string& path) {
+  TimelineScan out;
+  FrameScan frames = scan_frames(path);
+  out.exists = frames.exists;
+  if (!frames.exists) return out;
+  out.valid_bytes = frames.valid_bytes;
+  out.torn = frames.torn;
+
+  if (!frames.payloads.empty()) {
+    const std::string& payload = frames.payloads.front();
+    const std::string schema_prefix = std::string(kTimelineSchema) + "|";
+    if (payload.rfind(schema_prefix, 0) == 0) {
+      std::string rest = payload.substr(schema_prefix.size());
+      const auto bar = rest.find('|');
+      if (bar != std::string::npos && rest.rfind("config=", 0) == 0 &&
+          rest.find("every=", bar + 1) == bar + 1) {
+        const std::string every_str = rest.substr(bar + 7);
+        char* end = nullptr;
+        errno = 0;
+        const unsigned long long every =
+            std::strtoull(every_str.c_str(), &end, 10);
+        if (!every_str.empty() &&
+            end == every_str.c_str() + every_str.size() && errno == 0 &&
+            every > 0) {
+          out.config_digest = rest.substr(7, bar - 7);
+          out.every = every;
+          out.header_ok = true;
+        }
+      }
+    }
+  }
+  if (!out.header_ok) {
+    out.valid_bytes = 0;
+    out.torn = !frames.payloads.empty() || frames.torn;
+    return out;
+  }
+
+  // A checksum-valid frame whose payload is not a well-formed sample ends
+  // the valid prefix exactly like a torn tail would.
+  std::uint64_t off = 12 + frames.payloads.front().size();
+  for (std::size_t i = 1; i < frames.payloads.size(); ++i) {
+    try {
+      MetricsSample s = parse_metrics_sample(frames.payloads[i]);
+      if (s.index != out.samples.size()) {
+        std::ostringstream w;
+        w << "timeline sample " << i - 1 << " has index " << s.index
+          << " (expected " << out.samples.size()
+          << ") — truncating to the last consistent sample";
+        out.warnings.push_back(w.str());
+        out.valid_bytes = off;
+        out.torn = true;
+        return out;
+      }
+      out.samples.push_back(std::move(s));
+      out.raw.push_back(frames.payloads[i]);
+    } catch (const util::Error& e) {
+      std::ostringstream w;
+      w << "timeline sample " << i - 1
+        << " is malformed — truncating to the last valid sample ("
+        << e.what() << ")";
+      out.warnings.push_back(w.str());
+      out.valid_bytes = off;
+      out.torn = true;
+      return out;
+    }
+    off += 12 + frames.payloads[i].size();
+  }
+  return out;
+}
+
+void write_span_dump(const std::string& path, const SpanRing& ring) {
+  const auto spans = ring.snapshot();
+  std::ostringstream os;
+  os << kSpanDumpSchema << ' ' << spans.size() << '\n';
+  for (const auto& s : spans) os << obs::serialize(s) << '\n';
+  write_file_durable(path, os.str());
+}
+
+std::vector<obs::RequestSpan> read_span_dump(const std::string& path) {
+  std::ifstream f(path);
+  VC2M_CHECK_MSG(f.good(), "cannot open span dump '" << path << "'");
+  std::string line;
+  VC2M_CHECK_MSG(std::getline(f, line) &&
+                     line.rfind(std::string(kSpanDumpSchema) + " ", 0) == 0,
+                 "'" << path << "' is not a " << kSpanDumpSchema << " dump");
+  const std::uint64_t count =
+      parse_u64(line.substr(std::string(kSpanDumpSchema).size() + 1),
+                "span dump count");
+  std::vector<obs::RequestSpan> out;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    out.push_back(obs::parse_request_span(line));
+  }
+  VC2M_CHECK_MSG(out.size() == count,
+                 "span dump '" << path << "': header says " << count
+                               << " spans, found " << out.size());
+  return out;
+}
+
+std::string render_stats_snapshot(const MetricsSample& s) {
+  auto lat = [](const util::LogHistogram& h) {
+    char buf[80];
+    if (h.empty()) return std::string("-/- (0)");
+    std::snprintf(buf, sizeof buf, "%.1f/%.1f (%llu)", h.quantile(0.50),
+                  h.quantile(0.95),
+                  static_cast<unsigned long long>(h.count()));
+    return std::string(buf);
+  };
+  char vt[40];
+  std::snprintf(vt, sizeof vt, "%.3f", static_cast<double>(s.vt_ns) / 1e6);
+  std::ostringstream os;
+  os << "[vc2m serve] served=" << s.served << " vt_ms=" << vt
+     << " queue=" << s.queue_depth << " retry=" << s.retry_depth
+     << " est_ns_per_task=" << s.est_ns_per_task << '\n'
+     << "  outcomes: arrivals=" << s.arrivals << " admitted=" << s.admitted
+     << " rejected=" << s.rejected << " probe_rejected=" << s.probe_rejected
+     << " deferred=" << s.deferred << " timed_out=" << s.timed_out
+     << " shed=" << s.shed << " downgrades=" << s.downgrades
+     << " backpressure=" << s.backpressure << " commits=" << s.commits
+     << '\n'
+     << "  effort: dbf=" << s.dbf_evals << " budget=" << s.budget_evals
+     << " admission=" << s.admission_tests
+     << '\n'
+     << "  latency_us p50/p95 (count): admitted=" << lat(s.lat_admitted)
+     << " rejected=" << lat(s.lat_rejected)
+     << " deferred=" << lat(s.lat_deferred) << " shed=" << lat(s.lat_shed)
+     << '\n';
+  return os.str();
+}
+
+}  // namespace vc2m::service

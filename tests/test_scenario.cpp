@@ -481,6 +481,26 @@ TEST(ScenarioReport, ReaderRejectsForeignSchemaAndUnknownKeys) {
   EXPECT_THROW((void)scenario::read_scenario_report(extra), util::Error);
 }
 
+TEST(ScenarioReport, UnknownFieldInAValidReportIsSurfacedNotRejected) {
+  const auto report = scenario::run_matrix(corpus_config(1)).report;
+  std::string text = serialized(report);
+  const std::size_t at = text.find("\"corpus\"");
+  ASSERT_NE(at, std::string::npos);
+  text.insert(at, "\"from_the_future\": true,\n");
+  std::vector<std::string> notes;
+  std::istringstream in(text);
+  scenario::ScenarioReport back;
+  ASSERT_NO_THROW(back = scenario::read_scenario_report(
+                      in, "scenario report", &notes));
+  EXPECT_EQ(back.passed(), report.passed());
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_NE(notes[0].find("from_the_future"), std::string::npos);
+  EXPECT_NE(notes[0].find("ignored"), std::string::npos);
+  // Without a notes sink the field is silently skipped, still no throw.
+  std::istringstream in2(text);
+  EXPECT_NO_THROW((void)scenario::read_scenario_report(in2));
+}
+
 TEST(ScenarioReport, MergeRejectsOverlappingShardsAndForeignCorpora) {
   auto a = scenario::run_matrix(corpus_config(2)).report;
   EXPECT_THROW((void)scenario::merge_scenario_reports({a, a}), util::Error);

@@ -62,7 +62,23 @@
 //       after-append:SEQ, mid-snapshot:K) for the recovery tests.
 //       SIGINT/SIGTERM stop the service between requests: the journal is
 //       already durable, the report is written marked "interrupted", and
-//       the exit code is 130.
+//       the exit code is 130. Runtime telemetry (docs/telemetry.md):
+//       --timeline FILE appends a framed, checksummed metrics timeline
+//       sampled every --sample-every decisions (bit-identical at any
+//       --jobs and across --recover); --stats-every N renders a
+//       deterministic stats snapshot to stderr every N decisions, and
+//       SIGUSR1 renders one on demand; --span-ring K keeps the last K
+//       request spans and dumps them to <journal>.spans on crash or
+//       interrupt; --span-trace writes every request span as a Perfetto
+//       trace with per-request tracks.
+//
+//   vc2m timeline FILE... [--diff BASE] [--csv]
+//       Read vc2m-metrics-timeline/1 files (tolerantly: torn tails and
+//       malformed samples warn and truncate, never crash). Prints a
+//       per-file summary and per-outcome-class latency quantile tables
+//       (merged across files when several are given). --diff BASE compares
+//       the first FILE against BASE sample by sample and exits nonzero on
+//       divergence; --csv emits one scalar row per sample.
 //
 //   vc2m scenario run PATH... [--jobs N] [--shard i/m] [--resume]
 //                    [--json report.json] [--checkpoint ckpt.json]
@@ -135,9 +151,11 @@
 #include "obs/profiler.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
+#include "obs/request_span.h"
 #include "obs/trace_check.h"
 #include "obs/trace_export.h"
 #include "service/service.h"
+#include "service/telemetry.h"
 #include "sim/deploy.h"
 #include "sim/enforcement.h"
 #include "sim/faults.h"
@@ -204,6 +222,14 @@ struct Args {
   std::uint64_t max_retries = 3;
   std::int64_t backoff_us = 10000;
   std::string crash_at;                ///< injected crash point spec
+  // serve telemetry (docs/telemetry.md) + the timeline subcommand
+  std::string timeline;                ///< metrics timeline file; empty = off
+  std::uint64_t sample_every = 100;    ///< decisions per timeline sample
+  std::uint64_t stats_every = 0;       ///< stderr stats cadence; 0 = off
+  std::uint64_t span_ring = 64;        ///< post-mortem span ring capacity
+  std::string span_trace;              ///< request-span Perfetto trace file
+  std::string diff;                    ///< timeline: baseline to diff against
+  bool csv = false;                    ///< timeline: emit CSV rows
   std::vector<std::string> positional;  ///< perfdiff report files / explain
                                         ///< taskset / scenario verb+paths
 };
@@ -235,6 +261,10 @@ struct Args {
                "                  [--queue-cap N] [--max-retries N] "
                "[--backoff-us B]\n"
                "                  [--crash-at POINT:N] [--json report.json]\n"
+               "                  [--timeline FILE] [--sample-every N] "
+               "[--stats-every N]\n"
+               "                  [--span-ring K] [--span-trace out.json]\n"
+               "       vc2m timeline FILE... [--diff BASE] [--csv]\n"
                "       vc2m scenario run PATH... [--jobs N] [--shard i/m] "
                "[--resume]\n"
                "                         [--json report.json] "
@@ -349,6 +379,13 @@ Args parse(int argc, char** argv) {
     else if (arg == "--max-retries") a.max_retries = u64_flag(arg, next());
     else if (arg == "--backoff-us") a.backoff_us = i64_flag(arg, next());
     else if (arg == "--crash-at") a.crash_at = next();
+    else if (arg == "--timeline") a.timeline = next();
+    else if (arg == "--sample-every") a.sample_every = u64_flag(arg, next());
+    else if (arg == "--stats-every") a.stats_every = u64_flag(arg, next());
+    else if (arg == "--span-ring") a.span_ring = u64_flag(arg, next());
+    else if (arg == "--span-trace") a.span_trace = next();
+    else if (arg == "--diff") a.diff = next();
+    else if (arg == "--csv") a.csv = true;
     else if (!arg.empty() && arg[0] != '-') a.positional.push_back(arg);
     else usage(2);
   }
@@ -809,10 +846,27 @@ void install_signal_handlers() {
 
 constexpr int kInterruptedExit = 130;  // 128 + SIGINT, the shell convention
 
+/// SIGUSR1 asks the service for a live stats snapshot: the handler only
+/// latches the flag, the service renders at the next decision boundary.
+std::atomic<bool> g_stats_requested{false};
+
+void install_stats_signal() {
+  struct sigaction sa{};
+  sa.sa_handler = [](int) { g_stats_requested.store(true); };
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGUSR1, &sa, nullptr);
+}
+
 int cmd_serve(const Args& a) {
   if (a.trace.empty()) usage(2);
   if (!a.json_out.empty())
     util::ensure_output_path_writable(a.json_out, "serve report");
+  if (!a.timeline.empty())
+    util::ensure_output_path_writable(a.timeline, "metrics timeline");
+  if (!a.span_trace.empty())
+    util::ensure_output_path_writable(a.span_trace, "span trace");
+  if (!a.timeline.empty() && a.sample_every == 0)
+    throw util::Error("--sample-every must be >= 1 when --timeline is set");
 
   service::ServiceConfig cfg;
   cfg.platform = platform_of(a.platform);
@@ -838,8 +892,15 @@ int cmd_serve(const Args& a) {
     throw util::Error("--recover needs --journal FILE");
   cfg.recover = a.recover;
   if (!a.crash_at.empty()) cfg.crash = service::parse_crash_spec(a.crash_at);
+  cfg.timeline_path = a.timeline;
+  cfg.sample_every = a.sample_every;
+  cfg.stats_every = a.stats_every;
+  cfg.span_ring = static_cast<std::size_t>(a.span_ring);
+  cfg.collect_spans = !a.span_trace.empty();
   install_signal_handlers();
+  install_stats_signal();
   cfg.cancel = &g_interrupted;
+  cfg.stats_signal = &g_stats_requested;
 
   const auto res = service::run_service(cfg);
   for (const auto& w : res.warnings) std::cerr << "warning: " << w << "\n";
@@ -863,22 +924,42 @@ int cmd_serve(const Args& a) {
   table.add_row("backpressure", r.backpressure);
   table.add_row("commits", r.commits);
   table.add_row("snapshots", r.snapshots);
-  if (r.latency_us.count > 0) {
-    table.add_row("latency p50 (us)", r.latency_us.p50);
-    table.add_row("latency p95 (us)", r.latency_us.p95);
-    table.add_row("latency p99 (us)", r.latency_us.p99);
-    table.add_row("latency max (us)", r.latency_us.max);
-  }
+  auto add_latency = [&](const char* label, const obs::HistogramSummary& h) {
+    if (h.count == 0) return;
+    table.add_row(std::string("latency ") + label + " p50 (us)", h.p50);
+    table.add_row(std::string("latency ") + label + " p95 (us)", h.p95);
+    table.add_row(std::string("latency ") + label + " max (us)", h.max);
+  };
+  add_latency("admitted", r.latency_admitted_us);
+  add_latency("rejected", r.latency_rejected_us);
+  add_latency("deferred", r.latency_deferred_us);
+  add_latency("shed", r.latency_shed_us);
   table.print(std::cout);
   std::cout << "final state: " << r.vms << " VM(s), " << r.vcpus
             << " VCPU(s) on " << r.cores_used << " core(s)\n"
             << "digest: " << r.digest << "\n";
 
+  if (!a.span_trace.empty()) {
+    obs::write_span_trace_file(a.span_trace, res.spans);
+    // Round-trip and run the span invariant checker: a trace we cannot
+    // re-read, or whose spans violate the lifecycle rules, fails loudly.
+    const auto back = obs::read_span_trace_file(a.span_trace);
+    const auto chk = obs::check_request_spans(back);
+    std::cout << "wrote " << res.spans.size() << " request span(s) to "
+              << a.span_trace << " (" << chk.summary() << ")\n";
+    for (const auto& v : chk.violations)
+      std::cout << "  seq " << v.seq << " attempt " << v.attempt << ": "
+                << v.what << "\n";
+    if (!chk.ok()) return 1;
+  }
   if (!a.json_out.empty()) {
     service::write_serve_report_file(a.json_out, r);
     // Round-trip through the strict reader so a report we cannot re-read
-    // never lands on disk unnoticed.
-    (void)service::read_serve_report_file(a.json_out);
+    // never lands on disk unnoticed; fields a newer writer added are
+    // surfaced, not fatal.
+    std::vector<std::string> notes;
+    (void)service::read_serve_report_file(a.json_out, &notes);
+    for (const auto& n : notes) std::cerr << "note: " << n << "\n";
     std::cout << "wrote " << a.json_out << "\n";
   }
   if (res.interrupted) {
@@ -964,8 +1045,11 @@ int cmd_scenario_run(const Args& a,
   if (!a.json_out.empty()) {
     scenario::write_scenario_report_file(a.json_out, result.report);
     // Round-trip through the strict reader: a report we cannot re-read
-    // must never land on disk unnoticed.
-    (void)scenario::read_scenario_report_file(a.json_out);
+    // must never land on disk unnoticed; fields a newer writer added are
+    // surfaced, not fatal.
+    std::vector<std::string> notes;
+    (void)scenario::read_scenario_report_file(a.json_out, &notes);
+    for (const auto& n : notes) std::cerr << "note: " << n << "\n";
     std::cout << "wrote " << a.json_out << "\n";
   }
   if (result.interrupted) {
@@ -1028,8 +1112,10 @@ int cmd_scenario_merge(const Args& a,
     usage(2);
   }
   std::vector<scenario::ScenarioReport> shards;
+  std::vector<std::string> notes;
   for (const auto& p : paths)
-    shards.push_back(scenario::read_scenario_report_file(p));
+    shards.push_back(scenario::read_scenario_report_file(p, &notes));
+  for (const auto& n : notes) std::cerr << "note: " << n << "\n";
   const auto merged = scenario::merge_scenario_reports(shards);
   scenario::write_scenario_report_file(a.json_out, merged);
   std::cout << "merged " << shards.size() << " shard report(s): "
@@ -1049,6 +1135,128 @@ int cmd_scenario(const Args& a) {
   if (verb == "merge") return cmd_scenario_merge(a, paths);
   std::cerr << "unknown scenario verb '" << verb << "'\n";
   usage(2);
+}
+
+/// Tolerant scan wrapper for `vc2m timeline`: a missing file or a file
+/// that is not a timeline is fatal; torn tails and malformed samples are
+/// stderr warnings with the valid prefix kept, matching the service's own
+/// reopen behaviour.
+service::TimelineScan scan_timeline_or_die(const std::string& path) {
+  service::TimelineScan s = service::scan_timeline(path);
+  if (!s.exists) throw util::Error("cannot open timeline '" + path + "'");
+  if (!s.header_ok)
+    throw util::Error("'" + path + "' is not a " +
+                      std::string(service::kTimelineSchema) + " file");
+  for (const auto& w : s.warnings)
+    std::cerr << "warning: " << path << ": " << w << "\n";
+  if (s.torn)
+    std::cerr << "warning: " << path << ": torn tail past " << s.valid_bytes
+              << " valid byte(s) — ignored\n";
+  return s;
+}
+
+int cmd_timeline(const Args& a) {
+  if (a.positional.empty()) usage(2);
+
+  if (!a.diff.empty()) {
+    if (a.positional.size() != 1) {
+      std::cerr << "timeline --diff wants exactly one FILE and one BASE\n";
+      usage(2);
+    }
+    const auto x = scan_timeline_or_die(a.positional.front());
+    const auto y = scan_timeline_or_die(a.diff);
+    if (x.config_digest != y.config_digest || x.every != y.every) {
+      std::cout << "DIFF: headers disagree (config " << x.config_digest
+                << " every " << x.every << " vs config " << y.config_digest
+                << " every " << y.every << ")\n";
+      return 1;
+    }
+    const std::size_t n = std::min(x.raw.size(), y.raw.size());
+    for (std::size_t i = 0; i < n; ++i)
+      if (x.raw[i] != y.raw[i]) {
+        std::cout << "DIFF: sample " << i << " diverges\n  "
+                  << a.positional.front() << ": " << x.raw[i].substr(0, 120)
+                  << "...\n  " << a.diff << ": " << y.raw[i].substr(0, 120)
+                  << "...\n";
+        return 1;
+      }
+    if (x.raw.size() != y.raw.size()) {
+      std::cout << "DIFF: sample counts disagree (" << x.raw.size() << " vs "
+                << y.raw.size() << ")\n";
+      return 1;
+    }
+    std::cout << "OK: " << x.raw.size()
+              << " sample(s), byte-identical payloads\n";
+    return 0;
+  }
+
+  if (a.csv) {
+    std::cout << "file,sample,served,vt_ns,queue_depth,retry_depth,"
+                 "est_ns_per_task,arrivals,admitted,rejected,probe_rejected,"
+                 "deferred,timed_out,shed,downgrades,backpressure,commits,"
+                 "dbf_evals,budget_evals,admission_tests,"
+                 "lat_admitted_count,lat_rejected_count,lat_deferred_count,"
+                 "lat_shed_count\n";
+    for (const auto& path : a.positional) {
+      const auto s = scan_timeline_or_die(path);
+      for (const auto& ms : s.samples)
+        std::cout << path << ',' << ms.index << ',' << ms.served << ','
+                  << ms.vt_ns << ',' << ms.queue_depth << ','
+                  << ms.retry_depth << ',' << ms.est_ns_per_task << ','
+                  << ms.arrivals << ',' << ms.admitted << ',' << ms.rejected
+                  << ',' << ms.probe_rejected << ',' << ms.deferred << ','
+                  << ms.timed_out << ',' << ms.shed << ',' << ms.downgrades
+                  << ',' << ms.backpressure << ',' << ms.commits << ','
+                  << ms.dbf_evals << ',' << ms.budget_evals << ','
+                  << ms.admission_tests << ',' << ms.lat_admitted.count()
+                  << ',' << ms.lat_rejected.count() << ','
+                  << ms.lat_deferred.count() << ',' << ms.lat_shed.count()
+                  << '\n';
+    }
+    return 0;
+  }
+
+  // Summary mode: per-file overview, then per-outcome-class latency
+  // quantiles from the final samples (merged across files).
+  util::LogHistogram m_adm, m_rej, m_def, m_shed;
+  std::uint64_t served = 0;
+  for (const auto& path : a.positional) {
+    const auto s = scan_timeline_or_die(path);
+    std::cout << path << ": " << s.samples.size() << " sample(s), every "
+              << s.every << " decision(s), config " << s.config_digest
+              << "\n";
+    if (s.samples.empty()) continue;
+    const auto& last = s.samples.back();
+    char vt[40];
+    std::snprintf(vt, sizeof vt, "%.3f",
+                  static_cast<double>(last.vt_ns) / 1e6);
+    std::cout << "  last: served=" << last.served << " vt_ms=" << vt
+              << " queue=" << last.queue_depth << " retry="
+              << last.retry_depth << " admitted=" << last.admitted
+              << " rejected=" << last.rejected << " shed=" << last.shed
+              << " commits=" << last.commits << "\n";
+    served += last.served;
+    m_adm.merge(last.lat_admitted);
+    m_rej.merge(last.lat_rejected);
+    m_def.merge(last.lat_deferred);
+    m_shed.merge(last.lat_shed);
+  }
+  util::Table table({"class", "count", "p50", "p90", "p95", "p99", "max"});
+  table.set_precision(1);
+  auto add = [&](const char* label, const util::LogHistogram& h) {
+    if (h.empty()) return;
+    const auto sum = obs::HistogramSummary::of(h);
+    table.add_row(std::string(label), sum.count, sum.p50, sum.p90, sum.p95,
+                  sum.p99, sum.max);
+  };
+  add("admitted", m_adm);
+  add("rejected", m_rej);
+  add("deferred", m_def);
+  add("shed", m_shed);
+  std::cout << '\n';
+  table.print(std::cout, "latency quantiles (us), " +
+                             std::to_string(served) + " decision(s)");
+  return 0;
 }
 
 int cmd_check(const Args& a) {
@@ -1078,6 +1286,7 @@ int main(int argc, char** argv) {
     if (a.command == "check") return cmd_check(a);
     if (a.command == "experiment") return cmd_experiment(a);
     if (a.command == "serve") return cmd_serve(a);
+    if (a.command == "timeline") return cmd_timeline(a);
     if (a.command == "scenario") return cmd_scenario(a);
     if (a.command == "perfdiff") return cmd_perfdiff(a);
     usage(2);
